@@ -1,0 +1,136 @@
+// Extension bench — the deep SSD-module substrate (paper Fig. 1 internals).
+//
+// Three measurements tie the substrate to the QoS work:
+//  (1) calibration: with default parameters a cache-miss read costs exactly
+//      the 0.132507 ms constant every QoS experiment uses;
+//  (2) read latency vs offered load: the module's internal channel and die
+//      contention bend the latency curve well before 100% utilization —
+//      the variance the paper's fixed-latency abstraction assumes away;
+//  (3) GC interference: a background write stream stretches the read tail,
+//      quantifying when the fixed-latency abstraction stops being safe.
+#include <algorithm>
+#include <cstdio>
+
+#include "flashsim/ssd_module.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace flashqos;
+using flashsim::LogicalPage;
+using flashsim::SsdModule;
+using flashsim::SsdModuleConfig;
+
+namespace {
+
+SsdModuleConfig default_config() {
+  SsdModuleConfig cfg;
+  cfg.packages = 4;
+  cfg.ftl = {.blocks = 64,
+             .pages_per_block = 64,
+             .overprovision_blocks = 8,
+             .gc_trigger_blocks = 3};
+  cfg.cache_pages = 128;
+  return cfg;
+}
+
+void calibration() {
+  SsdModule m(default_config());
+  m.submit({.id = 0, .page = 11, .submit_time = 0});
+  m.run();
+  print_banner("SSD substrate calibration");
+  std::printf("cache-miss 8 KB read: %.6f ms (paper constant: 0.132507 ms)\n",
+              to_ms(m.completions()[0].response_time()));
+}
+
+void load_curve() {
+  print_banner("Read latency vs offered load (one module, 4 dies, 1 channel)");
+  Table table({"reads/s", "avg (ms)", "p99 (ms)", "max (ms)"});
+  for (const double rate : {1000.0, 3000.0, 5000.0, 7000.0, 8500.0, 9200.0}) {
+    SsdModuleConfig cfg = default_config();
+    cfg.cache_pages = 0;  // isolate the device path
+    SsdModule m(cfg);
+    Rng rng(7);
+    SimTime t = 0;
+    for (int i = 0; i < 20000; ++i) {
+      t += static_cast<SimTime>(rng.exponential(1e9 / rate));
+      m.submit({.id = static_cast<std::uint64_t>(i),
+                .page = rng.below(m.logical_pages()),
+                .submit_time = t});
+    }
+    m.run();
+    std::vector<double> lat;
+    Accumulator acc;
+    for (const auto& c : m.completions()) {
+      lat.push_back(to_ms(c.response_time()));
+      acc.add(lat.back());
+    }
+    std::sort(lat.begin(), lat.end());
+    table.add_row({Table::num(rate, 0), Table::num(acc.mean(), 4),
+                   Table::num(percentile_sorted(lat, 0.99), 4),
+                   Table::num(acc.max(), 4)});
+  }
+  table.print();
+  std::printf("the channel saturates near 1/transfer ≈ 9300 reads/s; the "
+              "paper's fixed-latency model is the low-load regime.\n");
+}
+
+void gc_interference() {
+  print_banner("GC interference: read tail vs background write share");
+  Table table({"write share", "read avg (ms)", "read p99 (ms)", "read max (ms)",
+               "WA", "GC erases"});
+  for (const double write_share : {0.0, 0.1, 0.3, 0.5}) {
+    SsdModuleConfig cfg = default_config();
+    cfg.cache_pages = 0;
+    SsdModule m(cfg);
+    Rng rng(11);
+    // Pre-fill so GC has something to chew on.
+    SimTime t = 0;
+    for (LogicalPage p = 0; p < m.logical_pages(); ++p) {
+      m.submit({.id = p, .page = p, .is_write = true, .submit_time = t});
+      t += 300 * kMicrosecond;
+    }
+    m.run();
+    (void)m.take_completions();
+    t = m.now();
+    // Mixed stream; ids above the read/write split mark the writes.
+    constexpr std::uint64_t kReadBase = 1000000ULL;
+    constexpr std::uint64_t kWriteBase = 2000000ULL;
+    for (int i = 0; i < 20000; ++i) {
+      t += static_cast<SimTime>(rng.exponential(1e9 / 3000.0));
+      const bool w = rng.chance(write_share);
+      m.submit({.id = (w ? kWriteBase : kReadBase) + i,
+                .page = rng.below(m.logical_pages()),
+                .is_write = w,
+                .submit_time = t});
+    }
+    m.run();
+    std::vector<double> read_lat;
+    Accumulator acc;
+    for (const auto& c : m.take_completions()) {
+      if (c.id >= kReadBase && c.id < kWriteBase) {
+        read_lat.push_back(to_ms(c.response_time()));
+        acc.add(read_lat.back());
+      }
+    }
+    std::sort(read_lat.begin(), read_lat.end());
+    table.add_row({Table::pct(write_share, 0), Table::num(acc.mean(), 4),
+                   Table::num(percentile_sorted(read_lat, 0.99), 4),
+                   Table::num(acc.max(), 4),
+                   Table::num(m.write_amplification(), 2),
+                   std::to_string(m.total_gc_erases())});
+  }
+  table.print();
+  std::printf("GC bursts behind writes stretch the read tail by multiples — "
+              "the determinism the paper's read-only evaluation enjoys is a "
+              "property of the workload, not the device.\n");
+}
+
+}  // namespace
+
+int main() {
+  calibration();
+  load_curve();
+  gc_interference();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 10 — statistical QoS with online retrieval: ε sweep.
+//
+// (a,c) percentage of delayed requests falls as ε grows (more over-limit
+// batches admitted immediately); (b,d) average response time rises (those
+// admitted batches queue on devices instead of being deferred).
+#include <cstdio>
+
+#include "core/qos_pipeline.hpp"
+#include "core/sampler.hpp"
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+#include "trace/workload.hpp"
+#include "util/table.hpp"
+
+using namespace flashqos;
+
+namespace {
+
+void sweep(const char* title, const trace::Trace& t,
+           const decluster::AllocationScheme& scheme) {
+  const auto p_table =
+      core::sample_optimal_probabilities(scheme, 48, {.samples_per_size = 3000});
+  print_banner(title);
+  Table table({"epsilon", "% delayed", "avg delay (ms)", "avg response (ms)",
+               "max response (ms)"});
+  // The admission loop self-regulates toward Q ≈ ε, and the achievable Q
+  // values live near the workload's long-run miss average — sweep small ε
+  // (the interesting region) up through accept-everything.
+  for (const double eps : {0.0, 0.0002, 0.0005, 0.001, 0.002, 0.005, 0.02, 0.1}) {
+    core::PipelineConfig cfg;
+    cfg.retrieval = core::RetrievalMode::kOnline;
+    cfg.admission = core::AdmissionMode::kStatistical;
+    cfg.mapping = core::MappingMode::kFim;
+    cfg.epsilon = eps;
+    cfg.p_table = p_table;
+    const auto r = core::QosPipeline(scheme, cfg).run(t);
+    table.add_row({Table::num(eps, 4), Table::pct(r.overall.pct_deferred, 2),
+                   Table::num(r.overall.avg_delay_ms, 4),
+                   Table::num(r.overall.avg_response_ms, 6),
+                   Table::num(r.overall.max_response_ms, 4)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  const auto exchange = trace::generate_workload(trace::exchange_params(1.0, 2012));
+  const auto tpce = trace::generate_workload(trace::tpce_params(1.0, 2012));
+
+  const auto d9 = design::make_9_3_1();
+  const auto d13 = design::make_13_3_1();
+  const decluster::DesignTheoretic s9(d9, true);
+  const decluster::DesignTheoretic s13(d13, true);
+
+  sweep("Figure 10(a,b): Exchange — statistical QoS, (9,3,1)", exchange, s9);
+  sweep("Figure 10(c,d): TPC-E — statistical QoS, (13,3,1)", tpce, s13);
+  std::printf("\npaper shape: %% delayed monotonically falls with epsilon; "
+              "average response time rises.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 11 — percentage of blocks matched by previous-interval FIM.
+//
+// For each reporting interval, the fraction of requests whose data block
+// was assigned by the FIM mapping mined from the *previous* interval.
+// Paper: first interval 0 (no history); Exchange averages ≈ 17 %, TPC-E
+// ≈ 87 % — OLTP's hot set is stable, mail traffic drifts.
+#include <cstdio>
+
+#include "core/qos_pipeline.hpp"
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+#include "trace/workload.hpp"
+#include "util/table.hpp"
+
+using namespace flashqos;
+
+namespace {
+
+double report(const char* title, const trace::Trace& t,
+              const decluster::AllocationScheme& scheme) {
+  core::PipelineConfig cfg;
+  cfg.retrieval = core::RetrievalMode::kOnline;
+  cfg.admission = core::AdmissionMode::kDeterministic;
+  cfg.mapping = core::MappingMode::kFim;
+  const auto r = core::QosPipeline(scheme, cfg).run(t);
+
+  print_banner(title);
+  Table table({"interval", "requests", "% FIM matched"});
+  double sum = 0.0;
+  std::size_t measured = 0;
+  for (std::size_t i = 0; i < r.intervals.size(); ++i) {
+    if (r.intervals[i].requests == 0) continue;
+    table.add_row({std::to_string(i), std::to_string(r.intervals[i].requests),
+                   Table::pct(r.intervals[i].fim_match_rate)});
+    if (i > 0) {  // interval 0 has no mining history by construction
+      sum += r.intervals[i].fim_match_rate;
+      ++measured;
+    }
+  }
+  table.print();
+  const double avg = measured ? sum / static_cast<double>(measured) : 0.0;
+  std::printf("average match rate (intervals 1+): %.1f%%\n", avg * 100.0);
+  return avg;
+}
+
+}  // namespace
+
+int main() {
+  const auto exchange = trace::generate_workload(trace::exchange_params(1.0, 2012));
+  const auto tpce = trace::generate_workload(trace::tpce_params(1.0, 2012));
+
+  const auto d9 = design::make_9_3_1();
+  const auto d13 = design::make_13_3_1();
+  const decluster::DesignTheoretic s9(d9, true);
+  const decluster::DesignTheoretic s13(d13, true);
+
+  const double e = report("Figure 11(a): Exchange — FIM matched blocks", exchange, s9);
+  const double p = report("Figure 11(b): TPC-E — FIM matched blocks", tpce, s13);
+  std::printf("\nmeasured averages: Exchange %.1f%%, TPC-E %.1f%% "
+              "(paper: ~17%% and ~87%%)\n",
+              e * 100.0, p * 100.0);
+  return 0;
+}

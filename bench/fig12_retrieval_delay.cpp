@@ -1,0 +1,88 @@
+// Figure 12 — average delay: online vs design-theoretic (interval-aligned)
+// retrieval, both under deterministic admission.
+//
+// Aligned retrieval postpones every off-boundary arrival to the next
+// interval start, so its delay includes the alignment cost; online only
+// delays admission overflow. Paper: online saves ≈ 0.12 ms (Exchange) and
+// ≈ 0.17 ms (TPC-E) of average delay.
+#include <cstdio>
+
+#include "core/qos_pipeline.hpp"
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+#include "trace/workload.hpp"
+#include "util/table.hpp"
+
+using namespace flashqos;
+
+namespace {
+
+void compare(const char* title, const trace::Trace& t,
+             const decluster::AllocationScheme& scheme) {
+  core::PipelineConfig online_cfg;
+  online_cfg.retrieval = core::RetrievalMode::kOnline;
+  online_cfg.admission = core::AdmissionMode::kDeterministic;
+  online_cfg.mapping = core::MappingMode::kFim;
+  core::PipelineConfig aligned_cfg = online_cfg;
+  aligned_cfg.retrieval = core::RetrievalMode::kIntervalAligned;
+
+  const auto online = core::QosPipeline(scheme, online_cfg).run(t);
+  const auto aligned = core::QosPipeline(scheme, aligned_cfg).run(t);
+
+  print_banner(title);
+  Table table({"interval", "online avg delay (ms)", "aligned avg delay (ms)",
+               "online % delayed", "aligned % delayed"});
+  double online_sum = 0.0, aligned_sum = 0.0;
+  std::size_t measured = 0;
+  for (std::size_t i = 0; i < online.intervals.size(); ++i) {
+    const auto& on = online.intervals[i];
+    const auto& al = aligned.intervals[i];
+    if (on.requests == 0) continue;
+    table.add_row({std::to_string(i), Table::num(on.avg_delay_ms, 4),
+                   Table::num(al.avg_delay_ms, 4), Table::pct(on.pct_deferred),
+                   Table::pct(al.pct_deferred)});
+    online_sum += on.avg_delay_ms;
+    aligned_sum += al.avg_delay_ms;
+    ++measured;
+  }
+  table.print();
+  if (measured > 0) {
+    const double on_avg = online_sum / static_cast<double>(measured);
+    const double al_avg = aligned_sum / static_cast<double>(measured);
+    std::printf("average delay of delayed requests: online %.4f ms, aligned "
+                "%.4f ms\n",
+                on_avg, al_avg);
+  }
+  // The unambiguous comparison: mean delay across *all* requests. Aligned
+  // retrieval charges every off-boundary arrival about half an interval;
+  // online charges only the admission overflow.
+  const auto mean_delay_all = [](const core::PipelineResult& r) {
+    double sum = 0.0;
+    for (const auto& o : r.outcomes) sum += to_ms(o.delay());
+    return r.outcomes.empty() ? 0.0 : sum / static_cast<double>(r.outcomes.size());
+  };
+  const double on_all = mean_delay_all(online);
+  const double al_all = mean_delay_all(aligned);
+  std::printf("mean delay over all requests: online %.4f ms, aligned %.4f ms "
+              "(online saves %.4f ms per request)\n",
+              on_all, al_all, al_all - on_all);
+}
+
+}  // namespace
+
+int main() {
+  const auto exchange = trace::generate_workload(trace::exchange_params(1.0, 2012));
+  const auto tpce = trace::generate_workload(trace::tpce_params(1.0, 2012));
+
+  const auto d9 = design::make_9_3_1();
+  const auto d13 = design::make_13_3_1();
+  const decluster::DesignTheoretic s9(d9, true);
+  const decluster::DesignTheoretic s13(d13, true);
+
+  compare("Figure 12(a): Exchange — retrieval delay comparison", exchange, s9);
+  compare("Figure 12(b): TPC-E — retrieval delay comparison", tpce, s13);
+  std::printf("\npaper: online retrieval causes ~0.12 ms (Exchange) and "
+              "~0.17 ms (TPC-E) less average delay than design-theoretic "
+              "(interval-aligned) retrieval.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 9 — TPC-E workload, deterministic QoS with online retrieval and
+// the (13,3,1) design.
+//
+// Paper: QoS avg/max flat at 0.132507 ms in every part; original avg
+// slightly above the limit (0.135145 ms on average) with maxima clearly
+// exceeding it; 2–3 % of requests delayed by ≈ 0.03 ms.
+#include <cstdio>
+
+#include "core/qos_pipeline.hpp"
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+#include "trace/workload.hpp"
+#include "util/table.hpp"
+
+using namespace flashqos;
+
+int main() {
+  const auto t = trace::generate_workload(trace::tpce_params(1.0, 2012));
+  std::printf("tpce-like trace: %zu requests, %zu parts, 13 volumes\n",
+              t.events.size(), t.report_intervals());
+
+  const auto orig = core::replay_original(t);
+
+  const auto d = design::make_13_3_1();
+  const decluster::DesignTheoretic scheme(d, true);
+  core::PipelineConfig cfg;
+  cfg.retrieval = core::RetrievalMode::kOnline;
+  cfg.admission = core::AdmissionMode::kDeterministic;
+  cfg.mapping = core::MappingMode::kFim;
+  const auto qos = core::QosPipeline(scheme, cfg).run(t);
+
+  print_banner("Figure 9: TPC-E, deterministic QoS (online retrieval) vs original");
+  Table table({"part", "QoS avg (ms)", "QoS max (ms)", "orig avg (ms)",
+               "orig max (ms)", "% delayed", "avg delay (ms)"});
+  for (std::size_t i = 0; i < qos.intervals.size(); ++i) {
+    const auto& q = qos.intervals[i];
+    const auto& o = orig.intervals[i];
+    if (q.requests == 0) continue;
+    table.add_row({std::to_string(i), Table::num(q.avg_response_ms, 5),
+                   Table::num(q.max_response_ms, 5),
+                   Table::num(o.avg_response_ms, 5),
+                   Table::num(o.max_response_ms, 5), Table::pct(q.pct_deferred),
+                   Table::num(q.avg_delay_ms, 4)});
+  }
+  table.print();
+  std::printf("\noverall: QoS avg %.6f ms vs orig %.6f ms; %.1f%% delayed by "
+              "%.4f ms avg; deadline violations %zu\n",
+              qos.overall.avg_response_ms, orig.overall.avg_response_ms,
+              qos.overall.pct_deferred * 100.0, qos.overall.avg_delay_ms,
+              qos.deadline_violations);
+  std::printf("paper: original avg 0.135145 ms (just above the 0.1325 ms "
+              "guarantee), maxima clearly above; ~2-3%% delayed by ~0.03 ms\n");
+  return 0;
+}

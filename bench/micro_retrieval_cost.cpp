@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) — algorithmic costs the paper quotes:
+// design-theoretic retrieval is O(b), the max-flow solver O(b³); the
+// framework runs DTR first and escalates only on suboptimality (§III-C).
+#include <benchmark/benchmark.h>
+
+#include "core/sampler.hpp"
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+#include "fim/apriori.hpp"
+#include "retrieval/dtr.hpp"
+#include "retrieval/maxflow.hpp"
+#include "util/rng.hpp"
+
+using namespace flashqos;
+
+namespace {
+
+const decluster::DesignTheoretic& scheme13() {
+  static const auto d = design::make_13_3_1();
+  static const decluster::DesignTheoretic s(d, true);
+  return s;
+}
+
+std::vector<BucketId> random_batch(std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BucketId> batch(k);
+  for (auto& b : batch) {
+    b = static_cast<BucketId>(rng.below(scheme13().buckets()));
+  }
+  return batch;
+}
+
+void BM_DtrSchedule(benchmark::State& state) {
+  const auto batch = random_batch(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retrieval::dtr_schedule(batch, scheme13()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DtrSchedule)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_MaxFlowOptimal(benchmark::State& state) {
+  const auto batch = random_batch(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retrieval::optimal_schedule(batch, scheme13()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaxFlowOptimal)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_CombinedRetrieve(benchmark::State& state) {
+  const auto batch = random_batch(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retrieval::retrieve(batch, scheme13()));
+  }
+}
+BENCHMARK(BM_CombinedRetrieve)->RangeMultiplier(2)->Range(4, 256);
+
+void BM_SamplerPerSize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sample_optimal_probabilities(
+        scheme13(), static_cast<std::uint32_t>(state.range(0)),
+        {.samples_per_size = 50, .seed = 9}));
+  }
+}
+BENCHMARK(BM_SamplerPerSize)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_AprioriPairs(benchmark::State& state) {
+  Rng rng(5);
+  fim::TransactionDb db;
+  const auto txs = static_cast<std::size_t>(state.range(0));
+  for (std::size_t t = 0; t < txs; ++t) {
+    std::vector<fim::Item> items;
+    const std::size_t len = 2 + rng.below(10);
+    for (std::size_t i = 0; i < len; ++i) items.push_back(rng.below(5000));
+    db.add(std::move(items));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fim::mine_pairs_apriori(db, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.total_items()));
+}
+BENCHMARK(BM_AprioriPairs)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_EclatPairs(benchmark::State& state) {
+  Rng rng(5);
+  fim::TransactionDb db;
+  const auto txs = static_cast<std::size_t>(state.range(0));
+  for (std::size_t t = 0; t < txs; ++t) {
+    std::vector<fim::Item> items;
+    const std::size_t len = 2 + rng.below(10);
+    for (std::size_t i = 0; i < len; ++i) items.push_back(rng.below(5000));
+    db.add(std::move(items));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fim::mine_pairs_eclat(db, 1));
+  }
+}
+BENCHMARK(BM_EclatPairs)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+namespace {
+
+void BM_IntegratedOptimal(benchmark::State& state) {
+  const auto batch = random_batch(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retrieval::integrated_optimal_schedule(batch, scheme13()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IntegratedOptimal)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Table III — comparison of allocation schemes: I/O driver response times.
+//
+// Paper setup (§V-C): 9 devices, 3 copies, 36 buckets. Three synthetic
+// traces at the deterministic guarantee limits of the (9,3,1) design:
+//   5 requests / 0.133 ms (M=1), 14 / 0.266 ms (M=2), 27 / 0.399 ms (M=3);
+// 10000 requests each, blocks uniform over the 36 buckets, batches at
+// interval starts. Schemes: RAID-1 mirrored, RAID-1 chained, (9,3,1)
+// design-theoretic — all retrieved with the same batch scheduler (DTR +
+// max-flow), so the allocation is the only variable.
+//
+// Expected shape: the design-theoretic column's Max never exceeds the
+// interval; mirrored degrades dramatically with batch size; chained sits
+// between.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/qos_pipeline.hpp"
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+#include "trace/synthetic.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace flashqos;
+
+namespace {
+
+struct SchemeStats {
+  double avg = 0.0, std = 0.0, max = 0.0;
+};
+
+SchemeStats run_scheme(const decluster::AllocationScheme& scheme,
+                       const trace::Trace& t, SimTime interval,
+                       core::SchedulerMode scheduler) {
+  core::PipelineConfig cfg;
+  cfg.qos_interval = interval;
+  cfg.retrieval = core::RetrievalMode::kIntervalAligned;
+  cfg.admission = core::AdmissionMode::kNone;  // pure allocation comparison
+  cfg.mapping = core::MappingMode::kModulo;
+  cfg.scheduler = scheduler;
+  const auto r = core::QosPipeline(scheme, cfg).run(t);
+  Accumulator acc;
+  for (const auto& o : r.outcomes) acc.add(to_ms(o.response()));
+  return {acc.mean(), acc.stddev(), acc.max()};
+}
+
+}  // namespace
+
+int main() {
+  const auto d = design::make_9_3_1();
+  const decluster::DesignTheoretic design_scheme(d, true);
+  const decluster::Raid1Mirrored mirrored(9, 3, 36);
+  const decluster::Raid1Chained chained(9, 3, 36);
+
+  struct Config {
+    std::uint32_t requests;
+    SimTime interval;
+  };
+  const std::vector<Config> configs = {{5, 133 * kMicrosecond},
+                                       {14, 266 * kMicrosecond},
+                                       {27, 399 * kMicrosecond}};
+
+  print_banner(
+      "Table III: comparison of allocation schemes — response times (ms)");
+  Table table({"Req size", "Interval", "Mirrored avg", "Mirrored std",
+               "Mirrored max", "Chained avg", "Chained std", "Chained max",
+               "(9,3,1) avg", "(9,3,1) std", "(9,3,1) max"});
+  for (const auto& c : configs) {
+    const auto t = trace::generate_synthetic({.bucket_pool = 36,
+                                              .interval = c.interval,
+                                              .requests_per_interval = c.requests,
+                                              .total_requests = 10000,
+                                              .seed = 2012});
+    // The RAID baselines read the primary copy only — they are layouts, not
+    // retrieval algorithms (this is what lets mirrored collapse in the
+    // paper's numbers). The design-theoretic column uses the framework's
+    // scheduled retrieval.
+    const auto m = run_scheme(mirrored, t, c.interval,
+                              core::SchedulerMode::kPrimaryOnly);
+    const auto ch = run_scheme(chained, t, c.interval,
+                               core::SchedulerMode::kPrimaryOnly);
+    const auto dt = run_scheme(design_scheme, t, c.interval,
+                               core::SchedulerMode::kReplicaScheduled);
+    table.add_row({std::to_string(c.requests), Table::num(to_ms(c.interval), 3),
+                   Table::num(m.avg, 3), Table::num(m.std, 3), Table::num(m.max, 3),
+                   Table::num(ch.avg, 3), Table::num(ch.std, 3),
+                   Table::num(ch.max, 3), Table::num(dt.avg, 3),
+                   Table::num(dt.std, 3), Table::num(dt.max, 3)});
+    std::printf("request size %2u: design-theoretic max %.6f ms %s interval "
+                "%.3f ms\n",
+                c.requests, dt.max,
+                dt.max <= to_ms(c.interval) + 1e-9 ? "<=" : "EXCEEDS",
+                to_ms(c.interval));
+  }
+  std::printf("\n");
+  table.print();
+  std::printf("\npaper shape: (9,3,1) max always within the interval; RAID-1 "
+              "mirrored max grows to hundreds of ms at 27 requests; chained "
+              "in between.\n");
+  return 0;
+}

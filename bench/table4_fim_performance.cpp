@@ -1,0 +1,74 @@
+// Table IV — performance of FIM (apriori pair mining, set size 2).
+//
+// The paper reports mining time and peak memory of fim_apriori-lowmem on
+// the largest and smallest intervals of each trace (Exchange: 14.3 K to
+// 6.8 M requests; TPC-E: 104 K to 27.6 M), at supports 1 and 3. We mine the
+// synthesized workload intervals at several scales and supports with our
+// apriori implementation; absolute numbers differ from the 2012 Xeon, but
+// the scaling shape (time and memory grow with input; higher support
+// cheaper) is the reproduction target.
+#include <cstdio>
+
+#include "fim/apriori.hpp"
+#include "trace/workload.hpp"
+#include "util/table.hpp"
+
+using namespace flashqos;
+
+namespace {
+
+fim::TransactionDb db_from_trace(const trace::Trace& t, SimTime window) {
+  fim::TransactionDb db;
+  std::vector<fim::Item> current;
+  std::int64_t current_window = -1;
+  for (const auto& e : t.events) {
+    const std::int64_t w = e.time / window;
+    if (w != current_window) {
+      if (!current.empty()) db.add(std::move(current));
+      current = {};
+      current_window = w;
+    }
+    current.push_back(e.block);
+  }
+  if (!current.empty()) db.add(std::move(current));
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Table IV: performance of FIM (apriori, set size = 2, T = 0.133 ms)");
+  Table table({"trace", "requests", "transactions", "support", "pairs",
+               "time (s)", "peak mem (MB)"});
+
+  struct Job {
+    const char* label;
+    trace::WorkloadParams params;
+    std::uint64_t support;
+  };
+  // Small and large intervals of each workload (the paper's exch48/exch52
+  // and tpce6/tpce3 pattern), plus the higher-support variant of the
+  // largest input.
+  std::vector<Job> jobs;
+  jobs.push_back({"exch-small", trace::exchange_params(1.0, 48), 1});
+  jobs.push_back({"exch-large", trace::exchange_params(60.0, 52), 1});
+  jobs.push_back({"tpce-small", trace::tpce_params(0.5, 6), 1});
+  jobs.push_back({"tpce-large", trace::tpce_params(25.0, 3), 1});
+  jobs.push_back({"tpce-large", trace::tpce_params(25.0, 3), 3});
+
+  for (auto& job : jobs) {
+    job.params.report_intervals = 1;  // one interval = one mining input
+    const auto t = trace::generate_workload(job.params);
+    const auto db = db_from_trace(t, kBaseInterval);
+    const auto res = fim::mine_pairs_apriori(db, job.support);
+    table.add_row({job.label, std::to_string(res.total_items),
+                   std::to_string(res.transactions),
+                   std::to_string(job.support), std::to_string(res.pairs.size()),
+                   Table::num(res.elapsed_seconds, 3),
+                   Table::num(static_cast<double>(res.peak_memory_bytes) / 1e6, 1)});
+  }
+  table.print();
+  std::printf("\npaper shape: time and memory grow with the interval's request "
+              "count; raising the support shrinks both.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// flashqos_sim — the config-driven simulator front end (the role DiskSim's
+// parameter files play in the paper's toolchain).
+//
+//   $ ./flashqos_sim --template > experiment.ini
+//   $ ./flashqos_sim experiment.ini
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace flashqos;
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--template") == 0) {
+    std::fputs(core::experiment_template().c_str(), stdout);
+    return 0;
+  }
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: flashqos_sim <experiment.ini>\n"
+                 "       flashqos_sim --template   (print a starter config)\n");
+    return 2;
+  }
+  try {
+    const auto cfg = Config::load(argv[1]);
+    const auto experiment = core::build_experiment(cfg);
+    std::printf("design: %s (%u devices, %u copies, %zu buckets)\n",
+                experiment.design->name().c_str(), experiment.scheme->devices(),
+                experiment.scheme->copies(), experiment.scheme->buckets());
+    std::printf("workload: %s — %zu events across %zu reporting intervals\n",
+                experiment.workload.name.c_str(), experiment.workload.events.size(),
+                experiment.workload.report_intervals());
+
+    const auto r =
+        core::QosPipeline(*experiment.scheme, experiment.pipeline)
+            .run(experiment.workload);
+
+    print_banner("Per reporting interval");
+    Table table({"interval", "requests", "avg resp (ms)", "max resp (ms)",
+                 "% delayed", "avg delay (ms)", "FIM match", "writes", "failed"});
+    for (std::size_t i = 0; i < r.intervals.size(); ++i) {
+      const auto& iv = r.intervals[i];
+      if (iv.requests == 0) continue;
+      table.add_row({std::to_string(i), std::to_string(iv.requests),
+                     Table::num(iv.avg_response_ms, 5),
+                     Table::num(iv.max_response_ms, 5),
+                     Table::pct(iv.pct_deferred), Table::num(iv.avg_delay_ms, 4),
+                     Table::pct(iv.fim_match_rate), std::to_string(iv.writes),
+                     std::to_string(iv.failed)});
+    }
+    table.print();
+
+    print_banner("Overall");
+    std::printf("requests %zu | avg response %.6f ms | max %.6f ms | "
+                "%.1f%% delayed by %.4f ms avg | violations %zu | writes %zu | "
+                "failed %zu\n",
+                r.overall.requests, r.overall.avg_response_ms,
+                r.overall.max_response_ms, r.overall.pct_deferred * 100.0,
+                r.overall.avg_delay_ms, r.deadline_violations, r.overall.writes,
+                r.overall.failed);
+    return 0;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "flashqos_sim: %s\n", ex.what());
+    return 1;
+  }
+}

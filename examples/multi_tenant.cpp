@@ -1,0 +1,81 @@
+// Multi-tenant QoS: sharing one flash array's guarantee budget across
+// priority classes.
+//
+// A premium tenant reserves most of the interval budget S; a standard
+// tenant gets a smaller reservation; both can opportunistically use the
+// shared remainder. The demo floods the array from both tenants and shows
+// that (a) the premium tenant's reservation is untouchable, (b) no slot is
+// wasted, and (c) the retrieval guarantee holds for every admitted request
+// because the total never exceeds S.
+//
+//   $ ./multi_tenant
+#include <cstdio>
+#include <vector>
+
+#include "core/classified_admission.hpp"
+#include "util/time.hpp"
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+#include "retrieval/dtr.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace flashqos;
+
+int main() {
+  const auto d = design::make_9_3_1();
+  const decluster::DesignTheoretic scheme(d, true);
+  const auto S = design::guarantee_buckets(scheme.copies(), 1);
+  std::printf("array: %s, budget S = %lu requests per %.3f ms interval\n",
+              d.name().c_str(), static_cast<unsigned long>(S),
+              to_ms(kBaseInterval));
+
+  core::ClassifiedAdmission admission(
+      S, {{"premium", 3}, {"standard", 1}});  // 1 shared slot remains
+
+  Rng rng(99);
+  constexpr int kIntervals = 20000;
+  std::uint64_t premium_wanted = 0, standard_wanted = 0;
+  std::uint32_t worst_rounds = 0;
+  for (int i = 0; i < kIntervals; ++i) {
+    // Both tenants ask for a random batch each interval; premium is asked
+    // first (priority = ask order for the shared pool).
+    const std::uint64_t p_want = rng.below(5);
+    const std::uint64_t s_want = rng.below(5);
+    premium_wanted += p_want;
+    standard_wanted += s_want;
+    const auto p_got = admission.admit(0, p_want);
+    const auto s_got = admission.admit(1, s_want);
+    // The admitted union must retrieve within one access — spot-check by
+    // scheduling a random batch of that size.
+    const auto total = p_got + s_got;
+    if (total > 0) {
+      std::vector<BucketId> batch;
+      for (const auto b :
+           rng.sample_without_replacement(scheme.buckets(), total)) {
+        batch.push_back(static_cast<BucketId>(b));
+      }
+      worst_rounds = std::max(worst_rounds,
+                              retrieval::retrieve(batch, scheme).rounds);
+    }
+    admission.end_interval();
+  }
+
+  print_banner("Admissions over " + std::to_string(kIntervals) + " intervals");
+  Table table({"tenant", "reservation", "requested", "admitted", "share"});
+  const auto row = [&](std::size_t cls, std::uint64_t wanted) {
+    table.add_row({std::string(admission.spec(cls).name),
+                   std::to_string(admission.spec(cls).reservation),
+                   std::to_string(wanted),
+                   std::to_string(admission.admitted_total(cls)),
+                   Table::pct(static_cast<double>(admission.admitted_total(cls)) /
+                              static_cast<double>(wanted))});
+  };
+  row(0, premium_wanted);
+  row(1, standard_wanted);
+  table.print();
+  std::printf("worst retrieval rounds over all admitted batches: %u "
+              "(guarantee: 1)\n",
+              worst_rounds);
+  return worst_rounds <= 1 ? 0 : 1;
+}

@@ -1,0 +1,133 @@
+// Trace workbench: generate, inspect, and convert traces from the command
+// line. The fourth example application, and the interchange path to real
+// DiskSim deployments.
+//
+//   $ ./trace_workbench generate exchange 0.25 /tmp/exchange.trace
+//   $ ./trace_workbench generate tpce 0.1 /tmp/tpce.trace
+//   $ ./trace_workbench generate synthetic 14 /tmp/synth.trace
+//   $ ./trace_workbench stat /tmp/exchange.trace 9
+//   $ ./trace_workbench qos /tmp/exchange.trace 9
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "core/qos_pipeline.hpp"
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+#include "trace/disksim_format.hpp"
+#include "trace/stats.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/workload.hpp"
+#include "util/table.hpp"
+
+using namespace flashqos;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_workbench generate exchange|tpce <scale> <out-file>\n"
+               "  trace_workbench generate synthetic <requests-per-interval> "
+               "<out-file>\n"
+               "  trace_workbench stat <trace-file> <volumes>\n"
+               "  trace_workbench qos  <trace-file> <volumes>\n");
+  return 2;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string kind = argv[2];
+  trace::Trace t;
+  if (kind == "exchange") {
+    t = trace::generate_workload(trace::exchange_params(std::atof(argv[3])));
+  } else if (kind == "tpce") {
+    t = trace::generate_workload(trace::tpce_params(std::atof(argv[3])));
+  } else if (kind == "synthetic") {
+    t = trace::generate_synthetic(
+        {.requests_per_interval = static_cast<std::uint32_t>(std::atoi(argv[3])),
+         .total_requests = 20000});
+  } else {
+    return usage();
+  }
+  std::ofstream out(argv[4]);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", argv[4]);
+    return 1;
+  }
+  trace::write_disksim_ascii(t, out);
+  std::printf("wrote %zu events (%u volumes, %zu reporting intervals) to %s\n",
+              t.events.size(), t.volumes, t.report_intervals(), argv[4]);
+  return 0;
+}
+
+trace::Trace load(const char* path, std::uint32_t volumes) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  // Reporting interval for file-loaded traces: 1 s slices.
+  return trace::read_disksim_ascii(in, path, volumes, kSecond);
+}
+
+int cmd_stat(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto t = load(argv[2], static_cast<std::uint32_t>(std::atoi(argv[3])));
+  const auto stats = trace::interval_stats(t, t.report_interval / 20);
+  print_banner(std::string("Trace statistics: ") + argv[2]);
+  Table table({"interval", "total reads", "avg reads/s", "max reads/s"});
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    table.add_row({std::to_string(i), std::to_string(stats[i].total_reads),
+                   Table::num(stats[i].avg_reads_per_sec, 0),
+                   Table::num(stats[i].max_reads_per_sec, 0)});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_qos(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto volumes = static_cast<std::uint32_t>(std::atoi(argv[3]));
+  const auto t = load(argv[2], volumes);
+
+  // Pick the smallest Steiner triple system with at least as many devices
+  // as the original volumes (the paper's (9,3,1) / (13,3,1) pattern).
+  std::uint32_t v = std::max(7u, volumes);
+  while (!design::sts_exists(v)) ++v;
+  const auto d = design::sts(v);
+  const decluster::DesignTheoretic scheme(d, true);
+  std::printf("running deterministic QoS with %s on %u devices\n",
+              d.name().c_str(), scheme.devices());
+
+  const auto orig = core::replay_original(t);
+  core::PipelineConfig cfg;
+  cfg.retrieval = core::RetrievalMode::kOnline;
+  cfg.admission = core::AdmissionMode::kDeterministic;
+  cfg.mapping = core::MappingMode::kFim;
+  const auto qos = core::QosPipeline(scheme, cfg).run(t);
+
+  print_banner("Original stand vs deterministic QoS");
+  Table table({"metric", "original", "QoS"});
+  table.add_row({"avg response (ms)", Table::num(orig.overall.avg_response_ms, 6),
+                 Table::num(qos.overall.avg_response_ms, 6)});
+  table.add_row({"max response (ms)", Table::num(orig.overall.max_response_ms, 4),
+                 Table::num(qos.overall.max_response_ms, 4)});
+  table.add_row({"% delayed", "-", Table::pct(qos.overall.pct_deferred)});
+  table.add_row({"avg delay (ms)", "-", Table::num(qos.overall.avg_delay_ms, 4)});
+  table.add_row({"deadline violations", std::to_string(orig.deadline_violations),
+                 std::to_string(qos.deadline_violations)});
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
+  if (std::strcmp(argv[1], "stat") == 0) return cmd_stat(argc, argv);
+  if (std::strcmp(argv[1], "qos") == 0) return cmd_qos(argc, argv);
+  return usage();
+}

@@ -1,0 +1,69 @@
+#include "core/admission.hpp"
+
+#include "util/expect.hpp"
+
+namespace flashqos::core {
+
+std::optional<std::uint32_t> ApplicationRegistry::admit(
+    std::uint64_t requests_per_period) {
+  FLASHQOS_EXPECT(requests_per_period > 0, "application must request something");
+  if (reserved_ + requests_per_period > limit_) return std::nullopt;
+  const std::uint32_t id = next_id_++;
+  apps_.emplace(id, requests_per_period);
+  reserved_ += requests_per_period;
+  return id;
+}
+
+void ApplicationRegistry::remove(std::uint32_t app_id) {
+  const auto it = apps_.find(app_id);
+  FLASHQOS_EXPECT(it != apps_.end(), "unknown application id");
+  reserved_ -= it->second;
+  apps_.erase(it);
+}
+
+StatisticalAdmission::StatisticalAdmission(std::vector<double> p_table,
+                                           std::uint64_t deterministic_limit,
+                                           double epsilon)
+    : p_table_(std::move(p_table)), limit_(deterministic_limit), epsilon_(epsilon) {
+  FLASHQOS_EXPECT(!p_table_.empty(), "statistical admission needs a P_k table");
+  FLASHQOS_EXPECT(epsilon_ >= 0.0 && epsilon_ <= 1.0, "epsilon must be in [0,1]");
+  for (const double p : p_table_) {
+    FLASHQOS_EXPECT(p >= 0.0 && p <= 1.0, "P_k values must be probabilities");
+  }
+}
+
+double StatisticalAdmission::q_with(std::optional<std::uint64_t> extra_k) const {
+  double weighted = weighted_miss_;
+  std::uint64_t total = n_t_;
+  if (extra_k.has_value() && *extra_k > 0) {
+    weighted += miss_probability(*extra_k);
+    ++total;
+  }
+  return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+std::uint64_t StatisticalAdmission::accept(std::uint64_t already,
+                                           std::uint64_t count) const {
+  // Everything within the deterministic limit is always safe.
+  if (already + count <= limit_) return count;
+  // Find the largest k' in (limit, already+count] that keeps Q < ε; sizes
+  // are small so a downward linear scan is fine.
+  for (std::uint64_t k = already + count; k > limit_; --k) {
+    if (k <= already) return 0;  // already over the acceptable size
+    if (q_with(k) < epsilon_) return k - already;
+  }
+  return already >= limit_ ? 0 : limit_ - already;
+}
+
+void StatisticalAdmission::end_interval(std::uint64_t demand, std::uint64_t admitted) {
+  if (demand <= limit_) return;
+  if (n_k_.size() <= admitted) n_k_.resize(admitted + 1, 0);
+  ++n_k_[admitted];
+  ++n_t_;
+  // Trimmed intervals (admitted <= limit) contribute zero miss, so the
+  // running Q decays while the controller is throttling and the loop
+  // settles near ε.
+  weighted_miss_ += miss_probability(admitted);
+}
+
+}  // namespace flashqos::core

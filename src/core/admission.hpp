@@ -1,0 +1,113 @@
+// Admission control (paper §III-A1 and §III-B2).
+//
+// Deterministic: the design guarantees any S = (c-1)M² + cM buckets
+// retrievable in M accesses, so at most S requests are admitted per
+// interval; the rest are rejected or delayed to the next interval.
+//
+// Statistical: batches beyond S may still retrieve optimally (Fig. 4), so
+// the controller keeps the sampled P_k table plus running counters N_k
+// (intervals seen with request size k) and N_t (intervals seen), and admits
+// an over-limit batch while the long-run miss probability
+//     Q = Σ_k (1 - P_k) · N_k / N_t
+// stays below the user's ε. ε = 0 degenerates to the deterministic rule.
+//
+// Application-level admission (the paper's Table I walkthrough) reserves
+// per-period request budgets for long-lived applications against the same
+// limit S.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "design/block_design.hpp"
+
+namespace flashqos::core {
+
+/// Per-interval deterministic admission: accept up to S requests.
+class DeterministicAdmission {
+ public:
+  DeterministicAdmission(std::uint32_t copies, std::uint32_t accesses)
+      : limit_(design::guarantee_buckets(copies, accesses)) {}
+
+  [[nodiscard]] std::uint64_t limit() const noexcept { return limit_; }
+
+  /// With `already` requests accepted this interval, how many of `count`
+  /// arriving requests may be accepted.
+  [[nodiscard]] std::uint64_t accept(std::uint64_t already,
+                                     std::uint64_t count) const noexcept {
+    return already >= limit_ ? 0 : std::min(count, limit_ - already);
+  }
+
+ private:
+  std::uint64_t limit_;
+};
+
+/// Long-lived application registry: applications declare their per-period
+/// request size at join time; the registry admits them while the summed
+/// reservation stays within S.
+class ApplicationRegistry {
+ public:
+  explicit ApplicationRegistry(std::uint64_t limit) : limit_(limit) {}
+
+  /// Returns an application handle, or nullopt if the reservation would
+  /// exceed the limit.
+  [[nodiscard]] std::optional<std::uint32_t> admit(std::uint64_t requests_per_period);
+  void remove(std::uint32_t app_id);
+
+  [[nodiscard]] std::uint64_t limit() const noexcept { return limit_; }
+  [[nodiscard]] std::uint64_t reserved() const noexcept { return reserved_; }
+  [[nodiscard]] std::size_t applications() const noexcept { return apps_.size(); }
+
+ private:
+  std::uint64_t limit_;
+  std::uint64_t reserved_ = 0;
+  std::uint32_t next_id_ = 0;
+  std::unordered_map<std::uint32_t, std::uint64_t> apps_;
+};
+
+class StatisticalAdmission {
+ public:
+  /// `p_table` is P_k for k = 0..max (from core::sample_optimal_probabilities);
+  /// sizes beyond the table are treated as never-optimal (P = 0), which is
+  /// conservative. `deterministic_limit` is S; `epsilon` the miss budget.
+  StatisticalAdmission(std::vector<double> p_table, std::uint64_t deterministic_limit,
+                       double epsilon);
+
+  /// With `already` accepted this interval, how many of `count` arriving
+  /// requests may be accepted under the Q < ε rule.
+  [[nodiscard]] std::uint64_t accept(std::uint64_t already, std::uint64_t count) const;
+
+  /// Close the books on an interval: `demand` requests wanted service,
+  /// `admitted` were accepted. Only intervals whose demand exceeded the
+  /// deterministic limit are counted — those are the intervals the
+  /// statistical rule decides about. (Counting every interval would dilute
+  /// Q toward zero on sparse traces and collapse the ε control into a
+  /// binary switch; counting only over-limit intervals keeps the loop's
+  /// equilibrium at Q ≈ ε. The paper's "total number of intervals
+  /// encountered" is ambiguous on this point; see DESIGN.md.)
+  void end_interval(std::uint64_t demand, std::uint64_t admitted);
+
+  /// The long-run miss probability with the current counters, optionally
+  /// with one extra interval of size k added (the admission test value).
+  [[nodiscard]] double q_with(std::optional<std::uint64_t> extra_k = std::nullopt) const;
+
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+  [[nodiscard]] std::uint64_t deterministic_limit() const noexcept { return limit_; }
+
+ private:
+  [[nodiscard]] double miss_probability(std::uint64_t k) const noexcept {
+    if (k < p_table_.size()) return 1.0 - p_table_[k];
+    return 1.0;
+  }
+
+  std::vector<double> p_table_;
+  std::uint64_t limit_;
+  double epsilon_;
+  std::vector<std::uint64_t> n_k_;  // interval count per request size
+  std::uint64_t n_t_ = 0;           // non-empty intervals seen
+  double weighted_miss_ = 0.0;      // Σ_k (1 - P_k) · N_k, kept incrementally
+};
+
+}  // namespace flashqos::core

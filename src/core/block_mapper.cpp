@@ -1,0 +1,86 @@
+#include "core/block_mapper.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace flashqos::core {
+namespace {
+
+/// Number of shared devices between two buckets' replica sets.
+std::uint32_t device_overlap(const decluster::AllocationScheme& scheme, BucketId a,
+                             BucketId b) {
+  std::uint32_t overlap = 0;
+  for (const auto da : scheme.replicas(a)) {
+    for (const auto db : scheme.replicas(b)) {
+      if (da == db) ++overlap;
+    }
+  }
+  return overlap;
+}
+
+}  // namespace
+
+BucketId BlockMapper::pick_bucket(std::optional<BucketId> partner_bucket) {
+  const std::size_t buckets = scheme_.buckets();
+  // Choose the bucket minimizing, in order: device overlap with the
+  // partner (zero when there is no partner), how many blocks already map
+  // to the bucket (load balance — a handful of buckets are disjoint from
+  // any given partner, and always reusing the same ones would funnel
+  // unrelated blocks onto them), and cyclic distance from the round-robin
+  // cursor (determinism / rotation). Designs are small; O(buckets) is fine.
+  BucketId best = static_cast<BucketId>(cursor_ % buckets);
+  std::uint32_t best_overlap = UINT32_MAX;
+  std::size_t best_usage = SIZE_MAX;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    const auto cand = static_cast<BucketId>((cursor_ + i) % buckets);
+    const std::uint32_t ov =
+        partner_bucket ? device_overlap(scheme_, cand, *partner_bucket) : 0;
+    const std::size_t usage = usage_[cand];
+    if (ov < best_overlap || (ov == best_overlap && usage < best_usage)) {
+      best = cand;
+      best_overlap = ov;
+      best_usage = usage;
+      if (ov == 0 && usage == 0) break;
+    }
+  }
+  ++usage_[best];
+  cursor_ = best + 1;
+  return best;
+}
+
+void BlockMapper::rebuild(std::span<const fim::FrequentPair> pairs) {
+  table_.clear();
+  usage_.assign(scheme_.buckets(), 0);
+  cursor_ = 0;
+  // Strongest co-occurrences first: they deserve the cleanest separation.
+  std::vector<const fim::FrequentPair*> order;
+  order.reserve(pairs.size());
+  for (const auto& p : pairs) order.push_back(&p);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const fim::FrequentPair* x, const fim::FrequentPair* y) {
+                     return x->support > y->support;
+                   });
+  for (const auto* p : order) {
+    const auto it_a = table_.find(p->a);
+    const auto it_b = table_.find(p->b);
+    if (it_a == table_.end() && it_b == table_.end()) {
+      const BucketId ba = pick_bucket(std::nullopt);
+      table_.emplace(p->a, ba);
+      table_.emplace(p->b, pick_bucket(ba));
+    } else if (it_a == table_.end()) {
+      table_.emplace(p->a, pick_bucket(it_b->second));
+    } else if (it_b == table_.end()) {
+      table_.emplace(p->b, pick_bucket(it_a->second));
+    }
+    // Both already placed: keep the earlier (higher-support) decisions.
+  }
+}
+
+BlockMapper::MapResult BlockMapper::map(DataBlockId block) const {
+  if (const auto it = table_.find(block); it != table_.end()) {
+    return {it->second, true};
+  }
+  return {static_cast<BucketId>(block % scheme_.buckets()), false};
+}
+
+}  // namespace flashqos::core

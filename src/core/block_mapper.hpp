@@ -1,0 +1,52 @@
+// Data-block → design-bucket mapping (paper §IV-A).
+//
+// A storage system has far more data blocks than a design has buckets
+// (36 for the rotated (9,3,1)). The mapper assigns data blocks to buckets
+// so that blocks frequently requested together land on buckets with
+// disjoint replica device sets — maximizing the chance they retrieve in
+// parallel. The together-ness signal is the frequent-pair output of FIM on
+// the previous interval's requests. Blocks FIM never saw fall back to the
+// paper's modulo rule: bucket = block % buckets.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "decluster/allocation.hpp"
+#include "fim/transaction.hpp"
+
+namespace flashqos::core {
+
+class BlockMapper {
+ public:
+  explicit BlockMapper(const decluster::AllocationScheme& scheme)
+      : scheme_(scheme) {}
+
+  /// Rebuild the FIM table from frequent pairs (highest support first gets
+  /// the strongest separation). Replaces any previous table.
+  void rebuild(std::span<const fim::FrequentPair> pairs);
+
+  struct MapResult {
+    BucketId bucket = 0;
+    bool matched = false;  // true if the block came from the FIM table
+  };
+
+  [[nodiscard]] MapResult map(DataBlockId block) const;
+
+  [[nodiscard]] std::size_t table_size() const noexcept { return table_.size(); }
+
+ private:
+  /// Pick the next bucket for `block`, preferring device sets disjoint from
+  /// `partner_bucket` (its frequent co-requestee), scanning a small window
+  /// from the round-robin cursor.
+  [[nodiscard]] BucketId pick_bucket(std::optional<BucketId> partner_bucket);
+
+  const decluster::AllocationScheme& scheme_;
+  std::unordered_map<DataBlockId, BucketId> table_;
+  std::vector<std::size_t> usage_;  // blocks mapped per bucket (per rebuild)
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace flashqos::core

@@ -1,0 +1,45 @@
+#include "core/classified_admission.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace flashqos::core {
+
+ClassifiedAdmission::ClassifiedAdmission(std::uint64_t limit,
+                                         std::vector<ClassSpec> classes)
+    : limit_(limit), specs_(std::move(classes)) {
+  FLASHQOS_EXPECT(!specs_.empty(), "need at least one class");
+  std::uint64_t reserved = 0;
+  for (const auto& s : specs_) reserved += s.reservation;
+  FLASHQOS_EXPECT(reserved <= limit_, "reservations exceed the interval budget");
+  shared_ = limit_ - reserved;
+  used_reservation_.assign(specs_.size(), 0);
+  lifetime_admitted_.assign(specs_.size(), 0);
+}
+
+std::uint64_t ClassifiedAdmission::available(std::size_t cls) const {
+  FLASHQOS_EXPECT(cls < specs_.size(), "class index out of range");
+  const std::uint64_t res_left = specs_[cls].reservation - used_reservation_[cls];
+  const std::uint64_t shared_left = shared_ - used_shared_;
+  return res_left + shared_left;
+}
+
+std::uint64_t ClassifiedAdmission::admit(std::size_t cls, std::uint64_t count) {
+  FLASHQOS_EXPECT(cls < specs_.size(), "class index out of range");
+  const std::uint64_t res_left = specs_[cls].reservation - used_reservation_[cls];
+  const std::uint64_t from_reservation = std::min(count, res_left);
+  used_reservation_[cls] += from_reservation;
+  const std::uint64_t still_wanted = count - from_reservation;
+  const std::uint64_t from_shared = std::min(still_wanted, shared_ - used_shared_);
+  used_shared_ += from_shared;
+  const std::uint64_t granted = from_reservation + from_shared;
+  lifetime_admitted_[cls] += granted;
+  return granted;
+}
+
+void ClassifiedAdmission::end_interval() {
+  std::fill(used_reservation_.begin(), used_reservation_.end(), 0U);
+  used_shared_ = 0;
+}
+
+}  // namespace flashqos::core

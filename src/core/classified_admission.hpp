@@ -1,0 +1,69 @@
+// Multi-class admission: sharing one interval budget S across priority
+// classes.
+//
+// The paper's admission control treats all requests alike; real
+// deployments tier their tenants. ClassifiedAdmission splits the
+// deterministic budget S into per-class *reservations* (a guaranteed
+// minimum per interval) plus a shared remainder that higher-priority
+// classes drain first. Invariants:
+//
+//   * a class can always use its full reservation, regardless of what any
+//     other class does (isolation);
+//   * unused reservations and the unreserved remainder are work-conserving
+//     (no slot is wasted while someone wants it);
+//   * total admissions per interval never exceed S, so the retrieval
+//     guarantee is preserved for everyone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace flashqos::core {
+
+class ClassifiedAdmission {
+ public:
+  struct ClassSpec {
+    std::string name;
+    std::uint64_t reservation = 0;  // guaranteed slots per interval
+  };
+
+  /// `limit` is the interval budget S; reservations must sum to <= S.
+  ClassifiedAdmission(std::uint64_t limit, std::vector<ClassSpec> classes);
+
+  [[nodiscard]] std::uint64_t limit() const noexcept { return limit_; }
+  [[nodiscard]] std::size_t classes() const noexcept { return specs_.size(); }
+  [[nodiscard]] const ClassSpec& spec(std::size_t cls) const {
+    FLASHQOS_EXPECT(cls < specs_.size(), "class index out of range");
+    return specs_[cls];
+  }
+
+  /// How many of `count` requests from `cls` may be admitted now. Draws
+  /// from the class reservation first, then from the shared pool.
+  /// Admissions are recorded; call end_interval() at each boundary.
+  [[nodiscard]] std::uint64_t admit(std::size_t cls, std::uint64_t count);
+
+  /// Slots a class could still get this instant (reservation remainder +
+  /// shared pool).
+  [[nodiscard]] std::uint64_t available(std::size_t cls) const;
+
+  void end_interval();
+
+  /// Totals since construction, for fairness reporting.
+  [[nodiscard]] std::uint64_t admitted_total(std::size_t cls) const {
+    FLASHQOS_EXPECT(cls < specs_.size(), "class index out of range");
+    return lifetime_admitted_[cls];
+  }
+
+ private:
+  std::uint64_t limit_;
+  std::uint64_t shared_;  // S minus all reservations
+  std::vector<ClassSpec> specs_;
+  std::vector<std::uint64_t> used_reservation_;  // this interval
+  std::uint64_t used_shared_ = 0;                // this interval
+  std::vector<std::uint64_t> lifetime_admitted_;
+};
+
+}  // namespace flashqos::core

@@ -1,0 +1,226 @@
+#include "core/experiment.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/sampler.hpp"
+#include "decluster/schemes.hpp"
+#include "design/catalog.hpp"
+#include "design/constructions.hpp"
+#include "design/galois.hpp"
+#include "design/resolution.hpp"
+#include "design/transversal.hpp"
+#include "trace/disksim_format.hpp"
+#include "trace/msr_format.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/workload.hpp"
+
+namespace flashqos::core {
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) { throw std::runtime_error(msg); }
+
+std::unique_ptr<design::BlockDesign> make_design(const std::string& spec) {
+  // Catalog names first.
+  for (const auto& e : design::catalog()) {
+    if (e.name == spec) {
+      return std::make_unique<design::BlockDesign>(e.make());
+    }
+  }
+  // Constructor shorthands: sts:v, ag:q, pg:q, td:k,n, kts:15.
+  const auto colon = spec.find(':');
+  if (colon != std::string::npos) {
+    const std::string kind = spec.substr(0, colon);
+    const std::string arg = spec.substr(colon + 1);
+    try {
+      if (kind == "sts") {
+        return std::make_unique<design::BlockDesign>(
+            design::sts(static_cast<std::uint32_t>(std::stoul(arg))));
+      }
+      if (kind == "ag") {
+        return std::make_unique<design::BlockDesign>(
+            design::affine_plane_gf(static_cast<std::uint32_t>(std::stoul(arg))));
+      }
+      if (kind == "pg") {
+        return std::make_unique<design::BlockDesign>(design::projective_plane_gf(
+            static_cast<std::uint32_t>(std::stoul(arg))));
+      }
+      if (kind == "kts" && arg == "15") {
+        return std::make_unique<design::BlockDesign>(design::kirkman_15());
+      }
+      if (kind == "td") {
+        const auto comma = arg.find(',');
+        if (comma == std::string::npos) fail("td needs k,n: " + spec);
+        const auto k = static_cast<std::uint32_t>(std::stoul(arg.substr(0, comma)));
+        const auto n =
+            static_cast<std::uint32_t>(std::stoul(arg.substr(comma + 1)));
+        return std::make_unique<design::BlockDesign>(
+            design::transversal_design(k, n));
+      }
+    } catch (const std::invalid_argument&) {
+      fail("bad design argument: " + spec);
+    }
+  }
+  fail("unknown design: " + spec +
+       " (catalog name, or sts:v / ag:q / pg:q / td:k,n / kts:15)");
+}
+
+trace::Trace make_workload(const Config& cfg) {
+  const std::string kind = cfg.get("workload", "kind", "synthetic");
+  const double scale = cfg.get_double("workload", "scale", 0.25);
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("workload", "seed", 42));
+  if (kind == "exchange" || kind == "tpce") {
+    auto p = kind == "exchange" ? trace::exchange_params(scale, seed)
+                                : trace::tpce_params(scale, seed);
+    p.write_fraction = cfg.get_double("workload", "write_fraction", 0.0);
+    if (cfg.has("workload", "report_intervals")) {
+      p.report_intervals = static_cast<std::size_t>(
+          cfg.get_int("workload", "report_intervals", 0));
+    }
+    return trace::generate_workload(p);
+  }
+  if (kind == "synthetic") {
+    trace::SyntheticParams p;
+    p.bucket_pool =
+        static_cast<std::size_t>(cfg.get_int("workload", "bucket_pool", 36));
+    p.interval = from_ms(cfg.get_double("workload", "interval_ms", 0.133));
+    p.requests_per_interval = static_cast<std::uint32_t>(
+        cfg.get_int("workload", "requests_per_interval", 5));
+    p.total_requests =
+        static_cast<std::size_t>(cfg.get_int("workload", "total_requests", 10000));
+    p.seed = seed;
+    return trace::generate_synthetic(p);
+  }
+  if (kind == "disksim" || kind == "msr") {
+    const std::string path = cfg.get("workload", "path");
+    if (path.empty()) fail("workload kind " + kind + " needs a path");
+    std::ifstream in(path);
+    if (!in) fail("cannot open workload file: " + path);
+    const auto volumes =
+        static_cast<std::uint32_t>(cfg.get_int("workload", "volumes", 0));
+    if (kind == "disksim") {
+      if (volumes == 0) fail("disksim workloads need volumes = N");
+      return trace::read_disksim_ascii(in, path, volumes, kSecond);
+    }
+    trace::MsrReadOptions opts;
+    opts.volumes = volumes;
+    opts.reads_only = cfg.get_bool("workload", "reads_only", false);
+    return trace::read_msr_csv(in, path, opts);
+  }
+  fail("unknown workload kind: " + kind);
+}
+
+}  // namespace
+
+Experiment build_experiment(const Config& cfg) {
+  Experiment e;
+  e.design = make_design(cfg.get("design", "name", "(9,3,1)"));
+  e.scheme = std::make_unique<decluster::DesignTheoretic>(
+      *e.design, cfg.get_bool("design", "rotations", true));
+
+  e.pipeline.qos_interval = from_ms(cfg.get_double("pipeline", "interval_ms", 0.133));
+  e.pipeline.access_budget =
+      static_cast<std::uint32_t>(cfg.get_int("pipeline", "access_budget", 1));
+
+  const std::string retrieval = cfg.get("pipeline", "retrieval", "online");
+  if (retrieval == "online") {
+    e.pipeline.retrieval = RetrievalMode::kOnline;
+  } else if (retrieval == "aligned") {
+    e.pipeline.retrieval = RetrievalMode::kIntervalAligned;
+  } else {
+    fail("unknown retrieval mode: " + retrieval);
+  }
+
+  const std::string admission = cfg.get("pipeline", "admission", "deterministic");
+  if (admission == "none") {
+    e.pipeline.admission = AdmissionMode::kNone;
+  } else if (admission == "deterministic") {
+    e.pipeline.admission = AdmissionMode::kDeterministic;
+  } else if (admission == "statistical") {
+    e.pipeline.admission = AdmissionMode::kStatistical;
+    e.pipeline.epsilon = cfg.get_double("pipeline", "epsilon", 0.001);
+  } else {
+    fail("unknown admission mode: " + admission);
+  }
+
+  const std::string mapping = cfg.get("pipeline", "mapping", "fim");
+  if (mapping == "fim") {
+    e.pipeline.mapping = MappingMode::kFim;
+  } else if (mapping == "modulo") {
+    e.pipeline.mapping = MappingMode::kModulo;
+  } else {
+    fail("unknown mapping mode: " + mapping);
+  }
+
+  const std::string scheduler = cfg.get("pipeline", "scheduler", "replica");
+  if (scheduler == "replica") {
+    e.pipeline.scheduler = SchedulerMode::kReplicaScheduled;
+  } else if (scheduler == "primary") {
+    e.pipeline.scheduler = SchedulerMode::kPrimaryOnly;
+  } else {
+    fail("unknown scheduler mode: " + scheduler);
+  }
+
+  // Failures: "fail = device fail_ms recover_ms" (-1 recover = permanent).
+  for (const auto& spec : cfg.all("failures", "fail")) {
+    std::istringstream ss(spec);
+    std::uint32_t device = 0;
+    double fail_ms = 0.0, recover_ms = -1.0;
+    if (!(ss >> device >> fail_ms)) fail("bad failure spec: " + spec);
+    ss >> recover_ms;
+    DeviceFailure f;
+    f.device = device;
+    f.fail_at = from_ms(fail_ms);
+    f.recover_at =
+        recover_ms < 0 ? DeviceFailure::kNeverRecovers : from_ms(recover_ms);
+    e.pipeline.failures.push_back(f);
+  }
+
+  if (e.pipeline.admission == AdmissionMode::kStatistical) {
+    const auto samples = static_cast<std::size_t>(
+        cfg.get_int("pipeline", "samples", 2000));
+    const auto max_k =
+        static_cast<std::uint32_t>(cfg.get_int("pipeline", "p_table_max_k", 48));
+    e.pipeline.p_table = sample_optimal_probabilities(
+        *e.scheme, max_k, {.samples_per_size = samples, .seed = 7});
+  }
+
+  e.workload = make_workload(cfg);
+  return e;
+}
+
+PipelineResult run_experiment(const Config& cfg) {
+  const auto e = build_experiment(cfg);
+  return QosPipeline(*e.scheme, e.pipeline).run(e.workload);
+}
+
+std::string experiment_template() {
+  return R"(# flashqos_sim experiment file
+[design]
+name = (9,3,1)            # catalog name, or sts:15 / ag:4 / pg:8 / td:3,5 / kts:15
+rotations = true
+
+[pipeline]
+interval_ms = 0.133
+access_budget = 1
+retrieval = online        # online | aligned
+admission = deterministic # none | deterministic | statistical
+# epsilon = 0.001         # statistical only
+mapping = fim             # fim | modulo
+scheduler = replica       # replica | primary
+
+[workload]
+kind = exchange           # exchange | tpce | synthetic | disksim | msr
+scale = 0.25
+seed = 42
+write_fraction = 0.0
+# path = trace.csv        # for disksim / msr kinds
+# volumes = 9
+
+[failures]
+# fail = 3 10.0 50.0      # device, fail-at ms, recover-at ms (-1 = never)
+)";
+}
+
+}  // namespace flashqos::core

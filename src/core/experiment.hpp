@@ -1,0 +1,59 @@
+// Config-driven experiments: the DiskSim-style front end.
+//
+// An experiment config file describes a design, a pipeline configuration,
+// a workload, and optional failures; build_experiment() materializes all
+// of it and run_experiment() executes end to end. flashqos_sim is the CLI
+// wrapper. Example:
+//
+//   [design]
+//   name = (9,3,1)            ; catalog name, or sts:15 / ag:4 / pg:8 / td:3,5
+//
+//   [pipeline]
+//   interval_ms = 0.133
+//   access_budget = 1
+//   retrieval = online        ; online | aligned
+//   admission = deterministic ; none | deterministic | statistical
+//   epsilon = 0.001           ; statistical only
+//   mapping = fim             ; fim | modulo
+//   scheduler = replica       ; replica | primary
+//
+//   [workload]
+//   kind = exchange           ; exchange | tpce | synthetic | disksim | msr
+//   scale = 0.5
+//   seed = 42
+//   write_fraction = 0.0
+//   path = trace.csv          ; disksim / msr kinds
+//   volumes = 9               ; file kinds
+//
+//   [failures]
+//   fail = 3 10.0 50.0        ; device, fail-at ms, recover-at ms (-1 = never)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/qos_pipeline.hpp"
+#include "util/config.hpp"
+
+namespace flashqos::core {
+
+struct Experiment {
+  std::unique_ptr<design::BlockDesign> design;
+  std::unique_ptr<decluster::AllocationScheme> scheme;
+  PipelineConfig pipeline;
+  trace::Trace workload;
+};
+
+/// Materialize an experiment from a parsed config. Throws
+/// std::runtime_error with a readable message on unknown names or
+/// inconsistent settings. For statistical admission the P_k table is
+/// sampled automatically (samples configurable via [pipeline] samples).
+[[nodiscard]] Experiment build_experiment(const Config& cfg);
+
+/// Build and run; returns the pipeline result.
+[[nodiscard]] PipelineResult run_experiment(const Config& cfg);
+
+/// A documented template config (what flashqos_sim --template prints).
+[[nodiscard]] std::string experiment_template();
+
+}  // namespace flashqos::core

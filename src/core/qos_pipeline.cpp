@@ -1,0 +1,584 @@
+#include "core/qos_pipeline.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "fim/apriori.hpp"
+#include "retrieval/dtr.hpp"
+#include "util/stats.hpp"
+
+namespace flashqos::core {
+namespace {
+
+/// A request waiting for dispatch. Ordered by (dispatch time, seq); seq is
+/// the trace position, so deferred requests keep FIFO priority over newer
+/// arrivals at the same boundary.
+struct Pending {
+  SimTime dispatch = 0;
+  std::uint64_t seq = 0;
+  std::size_t idx = 0;  // index into trace events / outcomes
+
+  bool operator>(const Pending& other) const noexcept {
+    return dispatch != other.dispatch ? dispatch > other.dispatch : seq > other.seq;
+  }
+};
+
+/// Incremental bipartite matching of requests onto replica-device slots.
+///
+/// The deterministic online admission rule is "admit only what can start
+/// inside the access budget right now": device d exposes
+///   slots(d) = how many service quanta fit in [max(free, now), now + M·L]
+/// and a request is admissible iff an augmenting path assigns it (possibly
+/// remapping earlier admissions — the paper's "necessary remappings are
+/// performed" for same-instant batches).
+class SlotMatcher {
+ public:
+  SlotMatcher(const decluster::AllocationScheme& scheme,
+              const std::vector<SimTime>& free_at, SimTime now, SimTime service,
+              std::uint32_t budget, const std::vector<bool>& available)
+      : scheme_(scheme) {
+    capacity_.resize(scheme.devices());
+    occupants_.resize(scheme.devices());
+    const SimTime window_end = now + static_cast<SimTime>(budget) * service;
+    for (DeviceId d = 0; d < scheme.devices(); ++d) {
+      if (!available.empty() && !available[d]) continue;  // down: 0 slots
+      const SimTime start = std::max(free_at[d], now);
+      const SimTime room = window_end - start;
+      capacity_[d] = room <= 0 ? 0
+                               : static_cast<std::uint32_t>(
+                                     std::min<SimTime>(room / service, budget));
+    }
+  }
+
+  /// Try to admit one more request for `bucket`; true on success. On
+  /// success the internal assignment covers every admitted request.
+  bool add(BucketId bucket) {
+    buckets_.push_back(bucket);
+    visited_.assign(buckets_.size(), false);
+    if (augment(buckets_.size() - 1)) return true;
+    buckets_.pop_back();
+    return false;
+  }
+
+  /// Device of each admitted request, in admission order.
+  [[nodiscard]] std::vector<DeviceId> assignment() const {
+    std::vector<DeviceId> out(buckets_.size(), kInvalidDevice);
+    for (DeviceId d = 0; d < occupants_.size(); ++d) {
+      for (const auto r : occupants_[d]) out[r] = d;
+    }
+    return out;
+  }
+
+ private:
+  bool augment(std::size_t request) {
+    visited_[request] = true;
+    const auto reps = scheme_.replicas(buckets_[request]);
+    // First pass: a device with a free slot.
+    for (const auto d : reps) {
+      if (occupants_[d].size() < capacity_[d]) {
+        occupants_[d].push_back(request);
+        return true;
+      }
+    }
+    // Second pass: evict-and-relocate (augmenting path).
+    for (const auto d : reps) {
+      for (auto& occupant : occupants_[d]) {
+        if (!visited_[occupant] && augment(occupant)) {
+          occupant = request;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  const decluster::AllocationScheme& scheme_;
+  std::vector<std::uint32_t> capacity_;
+  std::vector<std::vector<std::size_t>> occupants_;  // request indices per device
+  std::vector<BucketId> buckets_;
+  std::vector<bool> visited_;
+};
+
+/// Aggregate outcomes into an IntervalReport.
+IntervalReport summarize_outcomes(std::span<const RequestOutcome> outcomes,
+                                  std::span<const std::size_t> indices) {
+  IntervalReport r;
+  Accumulator resp, e2e, delay, write_ms;
+  std::size_t matched = 0;
+  std::size_t reads = 0;
+  for (const auto i : indices) {
+    const auto& o = outcomes[i];
+    ++r.requests;
+    if (o.failed) {
+      ++r.failed;
+      continue;  // never served: no response/delay statistics
+    }
+    if (o.is_write) {
+      ++r.writes;
+      write_ms.add(to_ms(o.end_to_end()));
+      continue;  // write completion tracked separately from read QoS
+    }
+    ++reads;
+    resp.add(to_ms(o.response()));
+    e2e.add(to_ms(o.end_to_end()));
+    if (o.deferred()) {
+      ++r.deferred;
+      delay.add(to_ms(o.delay()));
+    }
+    if (o.fim_matched) ++matched;
+  }
+  if (r.requests == 0) return r;
+  r.avg_response_ms = resp.mean();
+  r.max_response_ms = resp.max();
+  r.avg_e2e_ms = e2e.mean();
+  r.max_e2e_ms = e2e.max();
+  r.avg_write_ms = write_ms.count() ? write_ms.mean() : 0.0;
+  if (reads > 0) {
+    r.pct_deferred = static_cast<double>(r.deferred) / static_cast<double>(reads);
+    r.fim_match_rate = static_cast<double>(matched) / static_cast<double>(reads);
+  }
+  r.avg_delay_ms = delay.count() ? delay.mean() : 0.0;
+  return r;
+}
+
+/// Build the FIM transaction database for one reporting-interval slice:
+/// each QoS interval's distinct blocks form one transaction.
+fim::TransactionDb build_transactions(const trace::Trace& t, std::size_t begin,
+                                      std::size_t end, SimTime qos_interval) {
+  fim::TransactionDb db;
+  std::vector<fim::Item> current;
+  std::int64_t current_window = -1;
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& e = t.events[i];
+    if (!e.is_read) continue;  // the paper mines read requests
+    const std::int64_t w = e.time / qos_interval;
+    if (w != current_window) {
+      if (!current.empty()) db.add(std::move(current));
+      current = {};
+      current_window = w;
+    }
+    current.push_back(e.block);
+  }
+  if (!current.empty()) db.add(std::move(current));
+  return db;
+}
+
+void finalize_reports(PipelineResult& result, const trace::Trace& t) {
+  const auto slices = trace::report_slices(t);
+  result.intervals.clear();
+  result.intervals.reserve(slices.size());
+  std::vector<std::size_t> idx;
+  for (const auto& [begin, end] : slices) {
+    idx.clear();
+    for (std::size_t i = begin; i < end; ++i) idx.push_back(i);
+    result.intervals.push_back(summarize_outcomes(result.outcomes, idx));
+  }
+  idx.resize(result.outcomes.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  result.overall = summarize_outcomes(result.outcomes, idx);
+}
+
+}  // namespace
+
+QosPipeline::QosPipeline(const decluster::AllocationScheme& scheme, PipelineConfig cfg)
+    : scheme_(scheme), cfg_(std::move(cfg)) {
+  FLASHQOS_EXPECT(cfg_.qos_interval > 0, "QoS interval must be positive");
+  FLASHQOS_EXPECT(cfg_.access_budget >= 1, "access budget must be at least 1");
+  FLASHQOS_EXPECT(cfg_.service_time > 0, "service time must be positive");
+  if (cfg_.admission == AdmissionMode::kStatistical) {
+    FLASHQOS_EXPECT(!cfg_.p_table.empty(),
+                    "statistical admission needs a sampled P_k table");
+  }
+}
+
+PipelineResult QosPipeline::run(const trace::Trace& t) {
+  PipelineResult result;
+  result.outcomes.resize(t.events.size());
+  if (t.events.empty()) return result;
+  FLASHQOS_EXPECT(valid_trace(t), "pipeline input must be a valid trace");
+
+  const SimTime T = cfg_.qos_interval;
+  const SimTime L = cfg_.service_time;
+  BlockMapper mapper(scheme_);
+  DeterministicAdmission det(scheme_.copies(), cfg_.access_budget);
+  std::optional<StatisticalAdmission> stat;
+  if (cfg_.admission == AdmissionMode::kStatistical) {
+    stat.emplace(cfg_.p_table, det.limit(), cfg_.epsilon);
+  }
+
+  flashsim::FlashArray array(
+      scheme_.devices(),
+      std::make_shared<flashsim::FixedLatencyModel>(L, cfg_.write_latency));
+  std::uint64_t next_write_op = result.outcomes.size();  // array ids for
+                                                         // per-replica writes
+  std::vector<SimTime> free_at(scheme_.devices(), 0);
+
+  // Seed the dispatch queue. Online mode dispatches at arrival; aligned
+  // mode at the enclosing interval boundary (requests already exactly on a
+  // boundary run in that interval, matching the paper's synthetic setup).
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue;
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    const SimTime arrival = t.events[i].time;
+    const SimTime dispatch = cfg_.retrieval == RetrievalMode::kOnline
+                                 ? arrival
+                                 : next_interval_start(arrival, T);
+    queue.push(Pending{dispatch, i, i});
+    result.outcomes[i].arrival = arrival;
+  }
+
+  const auto slices = trace::report_slices(t);
+  std::size_t report_idx = 0;  // which reporting interval the mapper is built for
+
+  std::int64_t current_qi = -1;  // current QoS interval index
+  std::uint64_t admitted = 0;    // requests admitted in current QoS interval
+  std::uint64_t demand = 0;      // requests that asked for this interval
+
+  const auto dispatch_request = [&](std::size_t idx, DeviceId dev, SimTime start) {
+    array.submit(flashsim::IoRequest{
+        .id = idx, .device = dev, .submit_time = start, .pages = 1});
+    auto& o = result.outcomes[idx];
+    o.device = dev;
+    o.start = start;
+    o.finish = start + L;
+    free_at[dev] = std::max(free_at[dev], o.finish);
+  };
+
+  while (!queue.empty()) {
+    // Pop the group of requests dispatching at the same instant.
+    const SimTime now = queue.top().dispatch;
+    std::vector<Pending> group;
+    while (!queue.empty() && queue.top().dispatch == now) {
+      group.push_back(queue.top());
+      queue.pop();
+    }
+    array.run_until(now);
+
+    // Reporting-interval rollover: rebuild the FIM mapping from the slice
+    // that just closed (paper: "we use the trace one previous than the
+    // current interval for mining").
+    if (cfg_.mapping == MappingMode::kFim && t.report_interval > 0) {
+      const auto target = static_cast<std::size_t>(now / t.report_interval);
+      while (report_idx < target && report_idx < slices.size()) {
+        const auto [begin, end] = slices[report_idx];
+        const auto db = build_transactions(t, begin, end, T);
+        const auto mined = fim::mine_pairs_apriori(db, cfg_.fim_min_support);
+        mapper.rebuild(mined.pairs);
+        ++report_idx;
+      }
+    }
+
+    // QoS interval rollover: reset the admission budget.
+    const std::int64_t qi = now / T;
+    if (qi != current_qi) {
+      if (stat.has_value() && current_qi >= 0) stat->end_interval(demand, admitted);
+      current_qi = qi;
+      admitted = 0;
+      demand = 0;
+    }
+    for (const auto& g : group) {
+      if (t.events[g.idx].is_read) ++demand;  // writes bypass read admission
+    }
+
+    // Resolve buckets through the mapper; record dispatch tentatively (a
+    // deferred request's outcome is overwritten on its next pass).
+    std::vector<BucketId> buckets(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const auto m = mapper.map(t.events[group[i].idx].block);
+      buckets[i] = m.bucket;
+      auto& o = result.outcomes[group[i].idx];
+      o.dispatch = now;
+      o.fim_matched = cfg_.mapping == MappingMode::kFim && m.matched;
+    }
+
+    const auto defer = [&](const Pending& p) {
+      Pending d = p;
+      d.dispatch = (qi + 1) * T;
+      queue.push(d);
+    };
+
+    // Device availability at this instant. Requests whose replicas are all
+    // down either wait for the earliest recovery (re-queued) or, when no
+    // replica ever comes back, are marked failed.
+    std::vector<bool> available;
+    if (!cfg_.failures.empty()) {
+      available.assign(scheme_.devices(), true);
+      for (const auto& f : cfg_.failures) {
+        if (f.device < available.size() && f.fail_at <= now && now < f.recover_at) {
+          available[f.device] = false;
+        }
+      }
+      std::vector<Pending> live;
+      std::vector<BucketId> live_buckets;
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        const auto reps = scheme_.replicas(buckets[i]);
+        if (std::any_of(reps.begin(), reps.end(),
+                        [&](DeviceId d) { return available[d]; })) {
+          live.push_back(group[i]);
+          live_buckets.push_back(buckets[i]);
+          continue;
+        }
+        // Earliest instant any replica is up again: per device the end of
+        // its last covering outage, then the minimum across replicas.
+        SimTime recovery = DeviceFailure::kNeverRecovers;
+        for (const auto d : reps) {
+          SimTime device_up = 0;
+          for (const auto& f : cfg_.failures) {
+            if (f.device == d && f.fail_at <= now && now < f.recover_at) {
+              device_up = std::max(device_up, f.recover_at);
+            }
+          }
+          recovery = std::min(recovery, device_up);
+        }
+        if (recovery == DeviceFailure::kNeverRecovers) {
+          auto& o = result.outcomes[group[i].idx];
+          o.failed = true;
+          o.start = now;
+          o.finish = now;
+          continue;
+        }
+        Pending p = group[i];
+        p.dispatch = std::max((qi + 1) * T, next_interval_start(recovery, T));
+        queue.push(p);
+      }
+      group = std::move(live);
+      buckets = std::move(live_buckets);
+      if (group.empty()) continue;
+    }
+
+    // Writes (extension): replicate the program to every live copy. They
+    // bypass read admission, but the device time they consume is real — the
+    // matcher sees the updated free times and defers reads accordingly.
+    // Processed before the group's reads (pessimistic for read QoS).
+    {
+      std::vector<Pending> reads;
+      std::vector<BucketId> read_buckets;
+      bool any_write = false;
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        if (t.events[group[i].idx].is_read) {
+          reads.push_back(group[i]);
+          read_buckets.push_back(buckets[i]);
+          continue;
+        }
+        any_write = true;
+        auto& o = result.outcomes[group[i].idx];
+        o.is_write = true;
+        SimTime first_start = INT64_MAX;
+        SimTime last_finish = 0;
+        DeviceId first_dev = kInvalidDevice;
+        for (const auto dev : scheme_.replicas(buckets[i])) {
+          if (!available.empty() && !available[dev]) continue;
+          const SimTime start = std::max(free_at[dev], now);
+          const SimTime finish = start + cfg_.write_latency;
+          array.submit(flashsim::IoRequest{.id = next_write_op++,
+                                           .device = dev,
+                                           .submit_time = now,
+                                           .pages = 1,
+                                           .is_write = true});
+          free_at[dev] = finish;
+          if (start < first_start) {
+            first_start = start;
+            first_dev = dev;
+          }
+          last_finish = std::max(last_finish, finish);
+        }
+        FLASHQOS_ASSERT(first_dev != kInvalidDevice, "filter left a dead write");
+        o.device = first_dev;
+        o.start = first_start;
+        o.finish = last_finish;
+      }
+      if (any_write) {
+        group = std::move(reads);
+        buckets = std::move(read_buckets);
+        if (group.empty()) continue;
+      }
+    }
+
+    if (cfg_.scheduler == SchedulerMode::kPrimaryOnly) {
+      // Baseline dispatch: every request reads its first copy, FIFO behind
+      // whatever is queued there; no admission interplay beyond the budget.
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        std::uint64_t ok = group.size();
+        switch (cfg_.admission) {
+          case AdmissionMode::kNone:
+            ok = 1;
+            break;
+          case AdmissionMode::kDeterministic:
+            ok = det.accept(admitted, 1);
+            break;
+          case AdmissionMode::kStatistical:
+            ok = stat->accept(admitted, 1);
+            break;
+        }
+        if (ok == 0) {
+          defer(group[i]);
+          continue;
+        }
+        ++admitted;
+        // First *live* replica — a degraded RAID read.
+        DeviceId dev = kInvalidDevice;
+        for (const auto d : scheme_.replicas(buckets[i])) {
+          if (available.empty() || available[d]) {
+            dev = d;
+            break;
+          }
+        }
+        FLASHQOS_ASSERT(dev != kInvalidDevice, "filter left a dead request");
+        dispatch_request(group[i].idx, dev, std::max(free_at[dev], now));
+      }
+      continue;
+    }
+
+    if (cfg_.retrieval == RetrievalMode::kIntervalAligned) {
+      // Batch path: admit up to the budget, schedule with DTR + max-flow,
+      // dispatch round by round behind any residual device work.
+      std::uint64_t n_accept = group.size();
+      switch (cfg_.admission) {
+        case AdmissionMode::kNone:
+          break;
+        case AdmissionMode::kDeterministic:
+          n_accept = det.accept(admitted, group.size());
+          break;
+        case AdmissionMode::kStatistical:
+          n_accept = stat->accept(admitted, group.size());
+          break;
+      }
+      admitted += n_accept;
+      for (std::size_t i = n_accept; i < group.size(); ++i) defer(group[i]);
+      if (n_accept == 0) continue;
+      buckets.resize(n_accept);
+
+      const auto degraded =
+          retrieval::retrieve(buckets, scheme_, available, {});
+      FLASHQOS_ASSERT(degraded.has_value(), "filter left a dead request");
+      const auto& schedule = *degraded;
+      // Requests on one device start back to back in round order.
+      std::vector<std::size_t> order(n_accept);
+      for (std::size_t i = 0; i < n_accept; ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return schedule.assignments[a].round <
+                                schedule.assignments[b].round;
+                       });
+      for (const auto i : order) {
+        const DeviceId dev = schedule.assignments[i].device;
+        dispatch_request(group[i].idx, dev, std::max(free_at[dev], now));
+      }
+      continue;
+    }
+
+    // Online mode. Deterministic portion: a request is admitted only if it
+    // can be fitted inside the access budget on currently-available device
+    // slots (with remapping of the same-instant batch); otherwise it is
+    // delayed — this is what makes every admitted request meet the
+    // guarantee exactly (the paper's flat 0.132507 ms line). Statistical
+    // surplus beyond S: admitted while Q < ε and served from the earliest-
+    // finishing replica, queueing allowed (the Fig. 10 response-time cost).
+    SlotMatcher matcher(scheme_, free_at, now, L, cfg_.access_budget, available);
+    std::vector<std::size_t> matched_members;  // indices into group/buckets
+    std::vector<std::size_t> surplus_members;
+    bool matching_open = true;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const bool in_budget =
+          cfg_.admission == AdmissionMode::kNone || admitted < det.limit();
+      if (in_budget && matching_open && matcher.add(buckets[i])) {
+        matched_members.push_back(i);
+        ++admitted;
+        continue;
+      }
+      if (cfg_.admission == AdmissionMode::kNone) {
+        // Baseline: no deferral, queue on the earliest-finishing replica.
+        matching_open = false;
+        surplus_members.push_back(i);
+        continue;
+      }
+      if (cfg_.admission == AdmissionMode::kStatistical && admitted >= det.limit() &&
+          stat->accept(admitted, 1) > 0) {
+        matching_open = false;  // placements below invalidate the slot view
+        surplus_members.push_back(i);
+        ++admitted;
+        continue;
+      }
+      defer(group[i]);
+    }
+
+    // Materialize the matched placements: per device, slot order follows
+    // FIFO (matched_members is already in seq order).
+    const auto assignment = matcher.assignment();
+    std::vector<SimTime> cursor(free_at.size(), -1);
+    for (std::size_t a = 0; a < matched_members.size(); ++a) {
+      const std::size_t i = matched_members[a];
+      const DeviceId dev = assignment[a];
+      FLASHQOS_ASSERT(dev != kInvalidDevice, "matched request must have a device");
+      SimTime& c = cursor[dev];
+      if (c < 0) c = std::max(free_at[dev], now);
+      dispatch_request(group[i].idx, dev, c);
+      c += L;
+    }
+    // Statistical surplus / no-admission overflow: earliest finish replica.
+    for (const auto i : surplus_members) {
+      const auto reps = scheme_.replicas(buckets[i]);
+      DeviceId best = kInvalidDevice;
+      for (const auto d : reps) {
+        if (!available.empty() && !available[d]) continue;
+        if (best == kInvalidDevice ||
+            std::max(free_at[d], now) < std::max(free_at[best], now)) {
+          best = d;
+        }
+      }
+      FLASHQOS_ASSERT(best != kInvalidDevice, "filter left a dead request");
+      dispatch_request(group[i].idx, best, std::max(free_at[best], now));
+    }
+  }
+  if (stat.has_value()) stat->end_interval(demand, admitted);
+
+  array.run();
+  for (const auto& c : array.take_completions()) {
+    if (c.id >= result.outcomes.size()) continue;  // per-replica write op
+    auto& o = result.outcomes[c.id];
+    FLASHQOS_ASSERT(o.start == c.start && o.finish == c.finish,
+                    "pipeline dispatch model diverged from the simulator");
+    o.start = c.start;
+    o.finish = c.finish;
+  }
+
+  for (const auto& o : result.outcomes) {
+    if (o.failed || o.is_write) continue;
+    if (o.response() > cfg_.qos_interval) ++result.deadline_violations;
+  }
+  finalize_reports(result, t);
+  return result;
+}
+
+PipelineResult replay_original(const trace::Trace& t, SimTime service_time,
+                               SimTime deadline) {
+  PipelineResult result;
+  result.outcomes.resize(t.events.size());
+  if (t.events.empty()) return result;
+  FLASHQOS_EXPECT(valid_trace(t), "replay input must be a valid trace");
+  FLASHQOS_EXPECT(t.volumes > 0, "original replay needs the trace volume count");
+
+  flashsim::FlashArray array(
+      t.volumes, std::make_shared<flashsim::FixedLatencyModel>(service_time));
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    const auto& e = t.events[i];
+    array.submit(flashsim::IoRequest{.id = i,
+                                     .device = e.device,
+                                     .submit_time = e.time,
+                                     .pages = e.size_blocks});
+    result.outcomes[i].arrival = e.time;
+    result.outcomes[i].dispatch = e.time;
+    result.outcomes[i].device = e.device;
+  }
+  array.run();
+  for (const auto& c : array.take_completions()) {
+    result.outcomes[c.id].start = c.start;
+    result.outcomes[c.id].finish = c.finish;
+  }
+  for (const auto& o : result.outcomes) {
+    if (o.response() > deadline) ++result.deadline_violations;
+  }
+  finalize_reports(result, t);
+  return result;
+}
+
+}  // namespace flashqos::core

@@ -1,0 +1,72 @@
+#include "core/rebuild.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace flashqos::core {
+
+SimTime RebuildPlan::estimated_duration(double pages_per_second) const {
+  FLASHQOS_EXPECT(pages_per_second > 0.0, "rebuild rate must be positive");
+  return static_cast<SimTime>(static_cast<double>(items.size()) /
+                              pages_per_second * 1e9);
+}
+
+RebuildPlan plan_rebuild(const decluster::AllocationScheme& scheme, DeviceId failed) {
+  FLASHQOS_EXPECT(failed < scheme.devices(), "failed device out of range");
+  RebuildPlan plan;
+  plan.failed = failed;
+  std::vector<std::size_t> source_load(scheme.devices(), 0);
+  for (BucketId b = 0; b < scheme.buckets(); ++b) {
+    const auto reps = scheme.replicas(b);
+    if (std::find(reps.begin(), reps.end(), failed) == reps.end()) continue;
+    DeviceId best = kInvalidDevice;
+    for (const auto d : reps) {
+      if (d == failed) continue;
+      if (best == kInvalidDevice || source_load[d] < source_load[best]) best = d;
+    }
+    FLASHQOS_EXPECT(best != kInvalidDevice,
+                    "rebuild needs at least two copies per bucket");
+    ++source_load[best];
+    plan.items.push_back({b, best});
+  }
+  return plan;
+}
+
+trace::Trace rebuild_trace(const RebuildPlan& plan, SimTime start,
+                           double pages_per_second) {
+  FLASHQOS_EXPECT(pages_per_second > 0.0, "rebuild rate must be positive");
+  trace::Trace t;
+  t.name = "rebuild";
+  t.volumes = 0;
+  const auto gap = static_cast<SimTime>(1e9 / pages_per_second);
+  SimTime at = start;
+  for (const auto& item : plan.items) {
+    t.events.push_back({.time = at,
+                        .block = item.bucket,
+                        .device = item.source,
+                        .size_blocks = 1,
+                        .is_read = true});
+    at += gap;
+  }
+  t.report_interval = at > start ? at - start : 1;
+  return t;
+}
+
+}  // namespace flashqos::core
+
+namespace flashqos::trace {
+
+Trace merge(const Trace& a, const Trace& b) {
+  Trace out;
+  out.name = a.name;
+  out.volumes = a.volumes;
+  out.report_interval = a.report_interval;
+  out.events.reserve(a.events.size() + b.events.size());
+  std::merge(a.events.begin(), a.events.end(), b.events.begin(), b.events.end(),
+             std::back_inserter(out.events),
+             [](const TraceEvent& x, const TraceEvent& y) { return x.time < y.time; });
+  return out;
+}
+
+}  // namespace flashqos::trace

@@ -1,0 +1,51 @@
+#include "core/sampler.hpp"
+
+#include "design/block_design.hpp"
+#include "retrieval/maxflow.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace flashqos::core {
+namespace {
+
+double estimate_one_size(const decluster::AllocationScheme& scheme, std::uint32_t k,
+                         std::size_t samples, std::uint64_t seed) {
+  // Per-size RNG stream: P_k is the same whether sizes run serially or on
+  // a pool (SplitMix-style decorrelation of the seed).
+  Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (k + 1)));
+  std::vector<BucketId> batch(k);
+  const auto lower =
+      static_cast<std::uint32_t>(design::optimal_accesses(k, scheme.devices()));
+  std::size_t optimal = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (auto& b : batch) b = static_cast<BucketId>(rng.below(scheme.buckets()));
+    if (retrieval::feasible_in_rounds(batch, scheme, lower).has_value()) {
+      ++optimal;
+    }
+  }
+  return static_cast<double>(optimal) / static_cast<double>(samples);
+}
+
+}  // namespace
+
+std::vector<double> sample_optimal_probabilities(
+    const decluster::AllocationScheme& scheme, std::uint32_t max_k,
+    const SamplerParams& params) {
+  FLASHQOS_EXPECT(params.samples_per_size > 0, "sampler needs samples");
+  std::vector<double> p(max_k + 1, 1.0);
+  if (max_k == 0) return p;
+  if (params.threads == 1) {
+    for (std::uint32_t k = 1; k <= max_k; ++k) {
+      p[k] = estimate_one_size(scheme, k, params.samples_per_size, params.seed);
+    }
+    return p;
+  }
+  ThreadPool pool(params.threads);
+  parallel_for(pool, max_k, [&](std::size_t i) {
+    const auto k = static_cast<std::uint32_t>(i + 1);
+    p[k] = estimate_one_size(scheme, k, params.samples_per_size, params.seed);
+  });
+  return p;
+}
+
+}  // namespace flashqos::core

@@ -1,0 +1,32 @@
+// Optimal-retrieval probability sampling (paper §III-B1, Fig. 4).
+//
+// For a given allocation scheme, P_k is the probability that k buckets
+// drawn uniformly *with replacement* (the paper: "the same design block is
+// allowed to be chosen multiple times for fair results") can be retrieved
+// in the optimal ⌈k/N⌉ accesses. The statistical admission controller
+// uses the P_k table to accept batches beyond the deterministic limit S.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decluster/allocation.hpp"
+
+namespace flashqos::core {
+
+struct SamplerParams {
+  std::size_t samples_per_size = 5000;
+  std::uint64_t seed = 7;
+  /// Worker threads for the per-size Monte Carlo (0 = hardware
+  /// concurrency, 1 = serial). Results are identical for any thread count:
+  /// each request size gets its own deterministic RNG stream.
+  std::size_t threads = 1;
+};
+
+/// P[k] for k = 0..max_k (P[0] = 1). Each P[k] estimated by Monte Carlo
+/// with the exact max-flow optimality check.
+[[nodiscard]] std::vector<double> sample_optimal_probabilities(
+    const decluster::AllocationScheme& scheme, std::uint32_t max_k,
+    const SamplerParams& params = {});
+
+}  // namespace flashqos::core

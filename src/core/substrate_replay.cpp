@@ -1,0 +1,69 @@
+#include "core/substrate_replay.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/stats.hpp"
+
+namespace flashqos::core {
+
+SubstrateReplayResult replay_on_ssd(const PipelineResult& result,
+                                    const trace::Trace& t,
+                                    const decluster::AllocationScheme& scheme,
+                                    const flashsim::SsdModuleConfig& module_config,
+                                    SimTime deadline) {
+  FLASHQOS_EXPECT(result.outcomes.size() == t.events.size(),
+                  "pipeline result and trace must describe the same run");
+  SubstrateReplayResult out;
+  std::vector<std::unique_ptr<flashsim::SsdModule>> modules;
+  modules.reserve(scheme.devices());
+  for (DeviceId d = 0; d < scheme.devices(); ++d) {
+    modules.push_back(std::make_unique<flashsim::SsdModule>(module_config));
+  }
+  const std::uint64_t pages = modules.front()->logical_pages();
+
+  std::vector<bool> is_read(result.outcomes.size(), true);
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const auto& o = result.outcomes[i];
+    if (o.failed) continue;
+    is_read[i] = !o.is_write;
+    // Stable block -> logical-page hash (SplitMix64 finalizer).
+    std::uint64_t z = t.events[i].block + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    modules[o.device]->submit({.id = i,
+                               .page = (z ^ (z >> 31)) % pages,
+                               .is_write = o.is_write,
+                               .submit_time = o.dispatch});
+  }
+
+  Accumulator acc;
+  std::vector<double> read_lat;
+  std::size_t within = 0;
+  for (auto& m : modules) {
+    m->run();
+    out.cache_hits += m->cache_hits();
+    out.gc_erases += m->total_gc_erases();
+    for (const auto& c : m->completions()) {
+      if (!is_read[c.id]) {
+        ++out.writes;
+        continue;
+      }
+      ++out.reads;
+      const double ms = to_ms(c.response_time());
+      read_lat.push_back(ms);
+      acc.add(ms);
+      if (c.response_time() <= deadline) ++within;
+    }
+  }
+  if (out.reads > 0) {
+    out.avg_ms = acc.mean();
+    out.max_ms = acc.max();
+    std::sort(read_lat.begin(), read_lat.end());
+    out.p99_ms = percentile_sorted(read_lat, 0.99);
+    out.within_guarantee = static_cast<double>(within) / static_cast<double>(out.reads);
+  }
+  return out;
+}
+
+}  // namespace flashqos::core

@@ -1,0 +1,40 @@
+// Substrate validation: replay a QoS pipeline's dispatch decisions on the
+// deep SSD-module model.
+//
+// The paper's evaluation (and this repo's QoS pipeline) abstracts a flash
+// module as a fixed-latency unit server. The deep substrate
+// (flashsim::SsdModule) models what is really inside — dies, a shared
+// channel, DRAM cache, garbage collection. replay_on_ssd() takes the
+// pipeline's per-request decisions (device + dispatch instant) and submits
+// them to a bank of SsdModules, measuring how many admitted requests still
+// meet the guarantee when the abstraction is peeled away.
+#pragma once
+
+#include "core/qos_pipeline.hpp"
+#include "flashsim/ssd_module.hpp"
+
+namespace flashqos::core {
+
+struct SubstrateReplayResult {
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  double avg_ms = 0.0;         // read response (finish - dispatch)
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double within_guarantee = 0.0;  // fraction of reads meeting the deadline
+  std::uint64_t cache_hits = 0;
+  std::uint64_t gc_erases = 0;
+};
+
+/// Replay `result`'s dispatch plan (device + dispatch time per request) on
+/// one SsdModule per device. The bucket id hashes to a stable logical page
+/// inside its module. Failed requests are skipped; writes are submitted to
+/// their recorded primary device (the substrate question is contention, not
+/// replication fan-out, which the pipeline already decided).
+[[nodiscard]] SubstrateReplayResult replay_on_ssd(
+    const PipelineResult& result, const trace::Trace& t,
+    const decluster::AllocationScheme& scheme,
+    const flashsim::SsdModuleConfig& module_config,
+    SimTime deadline = kBaseInterval);
+
+}  // namespace flashqos::core

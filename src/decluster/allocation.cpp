@@ -1,0 +1,37 @@
+#include "decluster/allocation.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace flashqos::decluster {
+
+AllocationReport validate(const AllocationScheme& s) {
+  AllocationReport r;
+  r.primary_load.assign(s.devices(), 0);
+  r.total_load.assign(s.devices(), 0);
+  std::unordered_map<std::uint64_t, std::uint32_t> pair_counts;
+  for (BucketId b = 0; b < s.buckets(); ++b) {
+    const auto reps = s.replicas(b);
+    for (std::size_t i = 0; i < reps.size(); ++i) {
+      if (reps[i] >= s.devices()) {
+        r.devices_in_range = false;
+        continue;
+      }
+      ++r.total_load[reps[i]];
+      for (std::size_t j = i + 1; j < reps.size(); ++j) {
+        if (reps[i] == reps[j]) r.replicas_distinct = false;
+        if (reps[j] >= s.devices()) continue;
+        const std::uint64_t lo = std::min(reps[i], reps[j]);
+        const std::uint64_t hi = std::max(reps[i], reps[j]);
+        ++pair_counts[(lo << 32) | hi];
+      }
+    }
+    if (reps[0] < s.devices()) ++r.primary_load[reps[0]];
+  }
+  for (const auto& [pair, count] : pair_counts) {
+    r.max_pair_count = std::max(r.max_pair_count, count);
+  }
+  return r;
+}
+
+}  // namespace flashqos::decluster

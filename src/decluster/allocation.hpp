@@ -1,0 +1,77 @@
+// Replicated declustering: where do the c copies of each bucket live?
+//
+// An AllocationScheme answers replicas(bucket) -> ordered device tuple.
+// Implementations cover the schemes surveyed in the paper (§II-B2): the
+// design-theoretic allocation the framework adopts, the two RAID-1 layouts
+// it is evaluated against (Table III), and random/partitioned/periodic/
+// orthogonal baselines from the declustering literature.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/types.hpp"
+
+namespace flashqos::decluster {
+
+class AllocationScheme {
+ public:
+  virtual ~AllocationScheme() = default;
+
+  AllocationScheme(const AllocationScheme&) = delete;
+  AllocationScheme& operator=(const AllocationScheme&) = delete;
+
+  [[nodiscard]] std::uint32_t devices() const noexcept { return devices_; }
+  [[nodiscard]] std::uint32_t copies() const noexcept { return copies_; }
+  [[nodiscard]] std::size_t buckets() const noexcept {
+    return table_.size() / copies_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+
+  /// Ordered replica tuple of a bucket: element 0 is the primary copy.
+  /// All elements are distinct devices.
+  [[nodiscard]] std::span<const DeviceId> replicas(BucketId b) const {
+    FLASHQOS_EXPECT(b < buckets(), "bucket id out of range");
+    return {table_.data() + static_cast<std::size_t>(b) * copies_, copies_};
+  }
+
+  [[nodiscard]] DeviceId primary(BucketId b) const { return replicas(b)[0]; }
+
+ protected:
+  AllocationScheme(std::string name, std::uint32_t devices, std::uint32_t copies)
+      : name_(std::move(name)), devices_(devices), copies_(copies) {
+    FLASHQOS_EXPECT(devices_ > 0, "allocation needs devices");
+    FLASHQOS_EXPECT(copies_ >= 1 && copies_ <= devices_,
+                    "copies must be in [1, devices]");
+  }
+
+  /// Derived constructors fill the flat replica table (stride = copies).
+  void set_table(std::vector<DeviceId> table) {
+    FLASHQOS_EXPECT(!table.empty() && table.size() % copies_ == 0,
+                    "replica table size must be a multiple of the copy count");
+    table_ = std::move(table);
+  }
+
+ private:
+  std::string name_;
+  std::uint32_t devices_;
+  std::uint32_t copies_;
+  std::vector<DeviceId> table_;
+};
+
+/// Validation report for a scheme; see validate().
+struct AllocationReport {
+  bool replicas_distinct = true;   // every bucket's copies on distinct devices
+  bool devices_in_range = true;    // all device ids < devices()
+  std::uint32_t max_pair_count = 0;  // max times a device pair is shared by buckets
+  std::vector<std::size_t> primary_load;  // buckets whose primary is each device
+  std::vector<std::size_t> total_load;    // replicas stored on each device
+};
+
+[[nodiscard]] AllocationReport validate(const AllocationScheme& s);
+
+}  // namespace flashqos::decluster

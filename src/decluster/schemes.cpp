@@ -1,0 +1,125 @@
+#include "decluster/schemes.hpp"
+
+#include <numeric>
+
+#include "design/bucket_table.hpp"
+#include "util/rng.hpp"
+
+namespace flashqos::decluster {
+
+DesignTheoretic::DesignTheoretic(const design::BlockDesign& d, bool use_rotations)
+    : AllocationScheme("design-theoretic " + d.name(), d.points(), d.block_size()) {
+  const design::BucketTable table(d, use_rotations);
+  std::vector<DeviceId> flat;
+  flat.reserve(table.buckets() * copies());
+  for (BucketId b = 0; b < table.buckets(); ++b) {
+    const auto reps = table.replicas(b);
+    flat.insert(flat.end(), reps.begin(), reps.end());
+  }
+  set_table(std::move(flat));
+}
+
+Raid1Mirrored::Raid1Mirrored(std::uint32_t devices, std::uint32_t copies,
+                             std::size_t buckets)
+    : AllocationScheme("RAID-1 mirrored", devices, copies) {
+  FLASHQOS_EXPECT(devices % copies == 0,
+                  "mirrored layout needs device count divisible by copy count");
+  const std::uint32_t groups = devices / copies;
+  std::vector<DeviceId> flat;
+  flat.reserve(buckets * copies);
+  // Paper Fig. 7: every bucket of group g lists the group's devices in the
+  // same order, so the *primary* copy of the whole group is one device.
+  // (With replica-scheduled retrieval the order is irrelevant; under
+  // primary-only reads it is exactly what makes mirrored collapse.)
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::uint32_t group = static_cast<std::uint32_t>(b % groups);
+    for (std::uint32_t i = 0; i < copies; ++i) {
+      flat.push_back(group * copies + i);
+    }
+  }
+  set_table(std::move(flat));
+}
+
+Raid1Chained::Raid1Chained(std::uint32_t devices, std::uint32_t copies,
+                           std::size_t buckets)
+    : AllocationScheme("RAID-1 chained", devices, copies) {
+  std::vector<DeviceId> flat;
+  flat.reserve(buckets * copies);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    for (std::uint32_t i = 0; i < copies; ++i) {
+      flat.push_back(static_cast<DeviceId>((b + i) % devices));
+    }
+  }
+  set_table(std::move(flat));
+}
+
+RandomDuplicate::RandomDuplicate(std::uint32_t devices, std::uint32_t copies,
+                                 std::size_t buckets, std::uint64_t seed)
+    : AllocationScheme("RDA", devices, copies) {
+  Rng rng(seed);
+  std::vector<DeviceId> flat;
+  flat.reserve(buckets * copies);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const auto picks = rng.sample_without_replacement(devices, copies);
+    for (const auto d : picks) flat.push_back(static_cast<DeviceId>(d));
+  }
+  set_table(std::move(flat));
+}
+
+Partitioned::Partitioned(std::uint32_t devices, std::uint32_t copies,
+                         std::uint32_t group_size, std::size_t buckets)
+    : AllocationScheme("partitioned", devices, copies) {
+  FLASHQOS_EXPECT(group_size >= copies, "group must hold all copies");
+  FLASHQOS_EXPECT(devices % group_size == 0,
+                  "partitioned layout needs device count divisible by group size");
+  const std::uint32_t groups = devices / group_size;
+  std::vector<DeviceId> flat;
+  flat.reserve(buckets * copies);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::uint32_t group = static_cast<std::uint32_t>(b % groups);
+    // Walk the group starting at a bucket-dependent offset so primaries
+    // rotate across the group's devices.
+    const std::uint32_t start = static_cast<std::uint32_t>(b / groups) % group_size;
+    for (std::uint32_t i = 0; i < copies; ++i) {
+      flat.push_back(group * group_size + (start + i) % group_size);
+    }
+  }
+  set_table(std::move(flat));
+}
+
+DependentPeriodic::DependentPeriodic(std::uint32_t devices, std::uint32_t copies,
+                                     std::uint32_t shift, std::size_t buckets)
+    : AllocationScheme("dependent-periodic", devices, copies) {
+  FLASHQOS_EXPECT(shift >= 1, "shift must be positive");
+  // Copies of one bucket sit at b, b+shift, ..., b+(c-1)shift mod N; they
+  // are distinct iff j*shift != 0 mod N for 0 < j < c.
+  for (std::uint32_t j = 1; j < copies; ++j) {
+    FLASHQOS_EXPECT((static_cast<std::uint64_t>(j) * shift) % devices != 0,
+                    "shift collides copies onto one device");
+  }
+  std::vector<DeviceId> flat;
+  flat.reserve(buckets * copies);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    for (std::uint32_t i = 0; i < copies; ++i) {
+      flat.push_back(static_cast<DeviceId>(
+          (b + static_cast<std::uint64_t>(i) * shift) % devices));
+    }
+  }
+  set_table(std::move(flat));
+}
+
+Orthogonal::Orthogonal(std::uint32_t devices)
+    : AllocationScheme("orthogonal", devices, 2) {
+  FLASHQOS_EXPECT(devices >= 2, "orthogonal allocation needs >= 2 devices");
+  std::vector<DeviceId> flat;
+  flat.reserve(static_cast<std::size_t>(devices) * (devices - 1) * 2);
+  for (std::uint32_t r = 0; r < devices; ++r) {
+    for (std::uint32_t d = 1; d < devices; ++d) {
+      flat.push_back(r);
+      flat.push_back((r + d) % devices);
+    }
+  }
+  set_table(std::move(flat));
+}
+
+}  // namespace flashqos::decluster

@@ -1,0 +1,71 @@
+// Concrete replicated declustering schemes.
+#pragma once
+
+#include <cstdint>
+
+#include "decluster/allocation.hpp"
+#include "design/block_design.hpp"
+
+namespace flashqos::decluster {
+
+/// Design-theoretic allocation (paper §II-B3/B4): buckets are the rotated
+/// blocks of an (N, c, 1) design. With rotations the design supports
+/// N(N-1)/(c-1) buckets and guarantees any (c-1)M²+cM of them retrievable
+/// in M accesses.
+class DesignTheoretic final : public AllocationScheme {
+ public:
+  explicit DesignTheoretic(const design::BlockDesign& d, bool use_rotations = true);
+};
+
+/// RAID-1 mirrored (paper Fig. 7 middle): devices form ⌊N/c⌋ mirror groups;
+/// every device in a group stores every bucket of the group. Bucket b lives
+/// in group b mod groups, with the group's devices always listed in the
+/// same order (the paper's layout — so under primary-only reads the whole
+/// group's load lands on its first device).
+class Raid1Mirrored final : public AllocationScheme {
+ public:
+  Raid1Mirrored(std::uint32_t devices, std::uint32_t copies, std::size_t buckets);
+};
+
+/// RAID-1 chained declustering (paper Fig. 7 bottom): copy j of bucket b is
+/// on device (b + j) mod N.
+class Raid1Chained final : public AllocationScheme {
+ public:
+  Raid1Chained(std::uint32_t devices, std::uint32_t copies, std::size_t buckets);
+};
+
+/// Random duplicate allocation (RDA, Sanders et al.): c distinct devices
+/// chosen uniformly at random per bucket. Near-optimal with high
+/// probability, no deterministic guarantee.
+class RandomDuplicate final : public AllocationScheme {
+ public:
+  RandomDuplicate(std::uint32_t devices, std::uint32_t copies, std::size_t buckets,
+                  std::uint64_t seed);
+};
+
+/// Partitioned allocation: devices split into fixed groups of `group_size`;
+/// a bucket's copies all stay inside one group (group chosen round-robin).
+class Partitioned final : public AllocationScheme {
+ public:
+  Partitioned(std::uint32_t devices, std::uint32_t copies, std::uint32_t group_size,
+              std::size_t buckets);
+};
+
+/// Dependent periodic allocation: copy j of bucket b on device
+/// (b + j·shift) mod N. shift and N must make the copies distinct.
+class DependentPeriodic final : public AllocationScheme {
+ public:
+  DependentPeriodic(std::uint32_t devices, std::uint32_t copies, std::uint32_t shift,
+                    std::size_t buckets);
+};
+
+/// Orthogonal allocation (two copies): buckets indexed by (r, d) with
+/// d in [1, N-1] map to the ordered device pair (r, (r+d) mod N); every
+/// ordered pair of distinct devices appears exactly once across the
+/// N(N-1) buckets. Guarantees ⌈√b⌉ accesses for arbitrary queries.
+class Orthogonal final : public AllocationScheme {
+ public:
+  explicit Orthogonal(std::uint32_t devices);
+};
+
+}  // namespace flashqos::decluster

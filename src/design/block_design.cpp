@@ -1,0 +1,74 @@
+#include "design/block_design.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace flashqos::design {
+
+BlockDesign::BlockDesign(std::uint32_t points, std::vector<Block> blocks, std::string name)
+    : points_(points), block_size_(0), blocks_(std::move(blocks)), name_(std::move(name)) {
+  FLASHQOS_EXPECT(points_ > 0, "design needs at least one point");
+  FLASHQOS_EXPECT(!blocks_.empty(), "design needs at least one block");
+  block_size_ = static_cast<std::uint32_t>(blocks_.front().size());
+  FLASHQOS_EXPECT(block_size_ >= 2, "blocks must have at least two points");
+  for (const auto& b : blocks_) {
+    FLASHQOS_EXPECT(b.size() == block_size_, "all blocks must share one size");
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      FLASHQOS_EXPECT(b[i] < points_, "block point out of range");
+      for (std::size_t j = i + 1; j < b.size(); ++j) {
+        FLASHQOS_EXPECT(b[i] != b[j], "block points must be distinct");
+      }
+    }
+  }
+}
+
+BlockDesign::PairCoverage BlockDesign::pair_coverage() const {
+  // Dense N*N counter; designs in this project have small N (tens).
+  std::vector<std::uint32_t> cover(static_cast<std::size_t>(points_) * points_, 0);
+  for (const auto& b : blocks_) {
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      for (std::size_t j = i + 1; j < b.size(); ++j) {
+        const auto lo = std::min(b[i], b[j]);
+        const auto hi = std::max(b[i], b[j]);
+        ++cover[static_cast<std::size_t>(lo) * points_ + hi];
+      }
+    }
+  }
+  PairCoverage pc{.min = UINT32_MAX, .max = 0};
+  for (PointId i = 0; i < points_; ++i) {
+    for (PointId j = i + 1; j < points_; ++j) {
+      const auto c = cover[static_cast<std::size_t>(i) * points_ + j];
+      pc.min = std::min(pc.min, c);
+      pc.max = std::max(pc.max, c);
+    }
+  }
+  if (points_ == 1) pc.min = 0;
+  return pc;
+}
+
+bool BlockDesign::is_steiner() const {
+  const auto pc = pair_coverage();
+  return pc.min == 1 && pc.max == 1;
+}
+
+bool BlockDesign::is_linear_space() const { return pair_coverage().max <= 1; }
+
+std::vector<std::uint32_t> BlockDesign::replication_numbers() const {
+  std::vector<std::uint32_t> r(points_, 0);
+  for (const auto& b : blocks_) {
+    for (const auto p : b) ++r[p];
+  }
+  return r;
+}
+
+std::uint64_t guarantee_accesses(std::uint32_t copies, std::uint64_t buckets) noexcept {
+  if (buckets == 0) return 0;
+  // S(M) is strictly increasing in M; linear scan is fine (M is tiny) but a
+  // closed form keeps this O(1): solve (c-1)M^2 + cM - b >= 0.
+  std::uint64_t m = 1;
+  while (guarantee_buckets(copies, m) < buckets) ++m;
+  return m;
+}
+
+}  // namespace flashqos::design

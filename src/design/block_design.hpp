@@ -1,0 +1,88 @@
+// Combinatorial block designs.
+//
+// An (N, c, λ) design on N points assigns points to blocks of size c such
+// that every unordered pair of points appears together in exactly λ blocks.
+// This project uses λ = 1 designs (Steiner systems S(2, c, N)): when a
+// design block is interpreted as "the set of devices holding the c replicas
+// of a bucket", the λ = 1 property bounds device collisions between any two
+// buckets and yields the paper's retrieval guarantee
+//     any (c-1)·M² + c·M buckets retrievable in M parallel accesses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace flashqos::design {
+
+using PointId = std::uint32_t;
+
+/// One block: an ordered tuple of c distinct points. Order matters once the
+/// block becomes a replica list (first copy, second copy, ...), which is why
+/// blocks are stored as tuples even though the design axioms are set-based.
+using Block = std::vector<PointId>;
+
+class BlockDesign {
+ public:
+  /// Construct from an explicit block list. `points` is N; every block must
+  /// contain distinct points below N and all blocks must share one size.
+  /// Aborts on malformed input (programming error, not data error).
+  BlockDesign(std::uint32_t points, std::vector<Block> blocks, std::string name = {});
+
+  [[nodiscard]] std::uint32_t points() const noexcept { return points_; }
+  [[nodiscard]] std::uint32_t block_size() const noexcept { return block_size_; }
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+  [[nodiscard]] const std::vector<Block>& blocks() const noexcept { return blocks_; }
+  [[nodiscard]] const Block& block(std::size_t i) const { return blocks_.at(i); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Number of blocks each pair of points shares. A Steiner system returns
+  /// exactly-1 coverage; a *partial* design (usable, weaker guarantee)
+  /// returns at-most-1.
+  struct PairCoverage {
+    std::uint32_t min = 0;
+    std::uint32_t max = 0;
+  };
+  [[nodiscard]] PairCoverage pair_coverage() const;
+
+  /// True iff every pair appears in exactly one block (λ = 1 Steiner).
+  [[nodiscard]] bool is_steiner() const;
+
+  /// True iff every pair appears in at most one block. This is the property
+  /// the retrieval guarantee actually needs.
+  [[nodiscard]] bool is_linear_space() const;
+
+  /// Number of blocks containing each point (constant r = (N-1)/(c-1) for a
+  /// Steiner system).
+  [[nodiscard]] std::vector<std::uint32_t> replication_numbers() const;
+
+ private:
+  std::uint32_t points_;
+  std::uint32_t block_size_;
+  std::vector<Block> blocks_;
+  std::string name_;
+};
+
+/// Guarantee bound of design-theoretic allocation: the number of buckets
+/// S = (c-1)·M² + c·M retrievable in M accesses with c copies.
+[[nodiscard]] constexpr std::uint64_t guarantee_buckets(std::uint32_t copies,
+                                                        std::uint64_t accesses) noexcept {
+  const std::uint64_t c = copies;
+  const std::uint64_t m = accesses;
+  return (c - 1) * m * m + c * m;
+}
+
+/// Smallest M such that guarantee_buckets(c, M) >= b; 0 for b == 0.
+[[nodiscard]] std::uint64_t guarantee_accesses(std::uint32_t copies, std::uint64_t buckets) noexcept;
+
+/// Lower bound on parallel accesses for b buckets on N devices: ceil(b/N).
+[[nodiscard]] constexpr std::uint64_t optimal_accesses(std::uint64_t buckets,
+                                                       std::uint32_t devices) noexcept {
+  return devices == 0 ? 0 : (buckets + devices - 1) / devices;
+}
+
+}  // namespace flashqos::design

@@ -1,0 +1,18 @@
+#include "design/bucket_table.hpp"
+
+namespace flashqos::design {
+
+BucketTable::BucketTable(const BlockDesign& d, bool use_rotations)
+    : devices_(d.points()), copies_(d.block_size()) {
+  const std::uint32_t rotations = use_rotations ? copies_ : 1;
+  replicas_.reserve(d.block_count() * rotations * copies_);
+  for (const auto& block : d.blocks()) {
+    for (std::uint32_t r = 0; r < rotations; ++r) {
+      for (std::uint32_t i = 0; i < copies_; ++i) {
+        replicas_.push_back(block[(i + r) % copies_]);
+      }
+    }
+  }
+}
+
+}  // namespace flashqos::design

@@ -1,0 +1,46 @@
+// Expansion of a block design into the bucket table used for allocation.
+//
+// A design block (d0, d1, d2) stores a bucket with its first copy on device
+// d0, second on d1, third on d2. Rotating the tuple — (d1, d2, d0) and
+// (d2, d0, d1) — keeps the device *set* (so the λ = 1 retrieval guarantee is
+// unchanged) while cycling which device holds the primary copy. Using all c
+// rotations, an (N, c, 1) Steiner design supports N(N-1)/(c-1) buckets with
+// primary copies spread evenly across devices (paper §II-B4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "design/block_design.hpp"
+#include "util/expect.hpp"
+#include "util/types.hpp"
+
+namespace flashqos::design {
+
+class BucketTable {
+ public:
+  /// Build from a design; if `use_rotations`, each block contributes c
+  /// buckets (one per rotation), otherwise one bucket per block.
+  explicit BucketTable(const BlockDesign& d, bool use_rotations = true);
+
+  [[nodiscard]] std::uint32_t devices() const noexcept { return devices_; }
+  [[nodiscard]] std::uint32_t copies() const noexcept { return copies_; }
+  [[nodiscard]] std::size_t buckets() const noexcept {
+    return replicas_.size() / copies_;
+  }
+
+  /// Ordered replica devices of a bucket: [primary, secondary, ...].
+  [[nodiscard]] std::span<const DeviceId> replicas(BucketId b) const {
+    FLASHQOS_EXPECT(b < buckets(), "bucket id out of range");
+    return {replicas_.data() + static_cast<std::size_t>(b) * copies_, copies_};
+  }
+
+  [[nodiscard]] DeviceId primary(BucketId b) const { return replicas(b)[0]; }
+
+ private:
+  std::uint32_t devices_;
+  std::uint32_t copies_;
+  std::vector<DeviceId> replicas_;  // flat, stride = copies_
+};
+
+}  // namespace flashqos::design

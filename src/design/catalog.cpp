@@ -1,0 +1,69 @@
+#include "design/catalog.hpp"
+
+#include <algorithm>
+
+#include "design/constructions.hpp"
+#include "design/galois.hpp"
+#include "design/resolution.hpp"
+
+namespace flashqos::design {
+namespace {
+
+CatalogEntry entry(std::string name, std::uint32_t devices, std::uint32_t copies,
+                   std::function<BlockDesign()> make) {
+  const std::size_t buckets =
+      static_cast<std::size_t>(devices) * (devices - 1) / (copies - 1);
+  return CatalogEntry{std::move(name), devices, copies, buckets, std::move(make)};
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& catalog() {
+  static const std::vector<CatalogEntry> entries = [] {
+    std::vector<CatalogEntry> v;
+    v.push_back(entry("(7,3,1)", 7, 3, [] { return fano(); }));
+    v.push_back(entry("(9,3,1)", 9, 3, [] { return make_9_3_1(); }));
+    v.push_back(entry("(13,3,1)", 13, 3, [] { return make_13_3_1(); }));
+    v.push_back(entry("(13,4,1)", 13, 4, [] { return projective_plane(3); }));
+    v.push_back(entry("(16,4,1)", 16, 4, [] { return affine_plane_gf(4); }));
+    v.push_back(entry("(21,5,1)", 21, 5, [] { return projective_plane_gf(4); }));
+    v.push_back(entry("(15,3,1)", 15, 3, [] { return bose_sts(15); }));
+    v.push_back(entry("KTS(15)", 15, 3, [] { return kirkman_15(); }));
+    v.push_back(entry("(19,3,1)", 19, 3, [] { return skolem_sts(19); }));
+    v.push_back(entry("(21,3,1)", 21, 3, [] { return bose_sts(21); }));
+    v.push_back(entry("(25,3,1)", 25, 3, [] { return skolem_sts(25); }));
+    v.push_back(entry("(25,5,1)", 25, 5, [] { return affine_plane(5); }));
+    v.push_back(entry("(27,3,1)", 27, 3, [] { return bose_sts(27); }));
+    v.push_back(entry("(31,3,1)", 31, 3, [] { return skolem_sts(31); }));
+    v.push_back(entry("(31,6,1)", 31, 6, [] { return projective_plane(5); }));
+    v.push_back(entry("(33,3,1)", 33, 3, [] { return bose_sts(33); }));
+    v.push_back(entry("(37,3,1)", 37, 3, [] { return skolem_sts(37); }));
+    v.push_back(entry("(39,3,1)", 39, 3, [] { return bose_sts(39); }));
+    v.push_back(entry("(43,3,1)", 43, 3, [] { return skolem_sts(43); }));
+    v.push_back(entry("(45,3,1)", 45, 3, [] { return bose_sts(45); }));
+    v.push_back(entry("(49,7,1)", 49, 7, [] { return affine_plane(7); }));
+    v.push_back(entry("(57,8,1)", 57, 8, [] { return projective_plane(7); }));
+    v.push_back(entry("(64,8,1)", 64, 8, [] { return affine_plane_gf(8); }));
+    v.push_back(entry("(73,9,1)", 73, 9, [] { return projective_plane_gf(8); }));
+    v.push_back(entry("(81,9,1)", 81, 9, [] { return affine_plane_gf(9); }));
+    std::sort(v.begin(), v.end(), [](const CatalogEntry& a, const CatalogEntry& b) {
+      return a.devices != b.devices ? a.devices < b.devices : a.copies < b.copies;
+    });
+    return v;
+  }();
+  return entries;
+}
+
+std::optional<CatalogEntry> choose_design(const QosRequirement& req) {
+  for (const auto& e : catalog()) {
+    if (req.max_devices != 0 && e.devices > req.max_devices) continue;
+    if (req.max_copies != 0 && e.copies > req.max_copies) continue;
+    if (guarantee_buckets(e.copies, req.access_budget) >=
+        req.max_requests_per_interval) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace flashqos::design

@@ -1,0 +1,48 @@
+// Catalog of ready-made designs and QoS-driven design selection.
+//
+// The paper's pitch for the design-theoretic scheme is that "a suitable
+// design providing the requested guarantees can be chosen easily by changing
+// the copy and the device count". The catalog makes that operational: given
+// a required batch size per interval and an access budget M, pick the
+// cheapest design whose guarantee covers it.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "design/block_design.hpp"
+
+namespace flashqos::design {
+
+struct CatalogEntry {
+  std::string name;          // e.g. "(9,3,1)"
+  std::uint32_t devices;     // N
+  std::uint32_t copies;      // c
+  std::size_t buckets;       // supported buckets with rotations: N(N-1)/(c-1)
+  std::function<BlockDesign()> make;
+};
+
+/// All designs this library can construct out of the box, ordered by device
+/// count then copies.
+[[nodiscard]] const std::vector<CatalogEntry>& catalog();
+
+struct QosRequirement {
+  /// Largest batch of bucket requests that must finish within one interval.
+  std::uint64_t max_requests_per_interval = 1;
+  /// How many sequential device accesses fit in the interval
+  /// (interval / single-read latency, floored).
+  std::uint64_t access_budget = 1;
+  /// Upper limit on devices the deployment can afford (0 = unlimited).
+  std::uint32_t max_devices = 0;
+  /// Upper limit on replication factor (0 = unlimited). More copies cost
+  /// capacity; fewer copies need more devices for the same guarantee.
+  std::uint32_t max_copies = 0;
+};
+
+/// Smallest-device-count catalog design whose deterministic guarantee
+/// S = (c-1)M² + cM covers the requirement; nullopt if none qualifies.
+[[nodiscard]] std::optional<CatalogEntry> choose_design(const QosRequirement& req);
+
+}  // namespace flashqos::design

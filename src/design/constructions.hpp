@@ -1,0 +1,55 @@
+// Constructions of (N, c, 1) designs (Steiner systems S(2, c, N)).
+//
+// Steiner triple systems exist exactly for N ≡ 1 or 3 (mod 6); sts()
+// dispatches to the Bose construction (N = 6t+3) or the Skolem construction
+// (N = 6t+1). Larger block sizes come from affine/projective planes over
+// prime fields. Every constructor's output is verified by the BlockDesign
+// validator in tests (pair coverage exactly 1).
+#pragma once
+
+#include <cstdint>
+
+#include "design/block_design.hpp"
+
+namespace flashqos::design {
+
+/// The paper's Figure 2 design, block for block: 12 triples on 9 points.
+/// Equivalent to the affine plane AG(2,3) / the unique STS(9).
+[[nodiscard]] BlockDesign make_9_3_1();
+
+/// STS(13) from the cyclic difference family {0,1,4}, {0,2,7} mod 13 — the
+/// "(13,3,1) design that supports 13 devices" the paper uses for TPC-E.
+[[nodiscard]] BlockDesign make_13_3_1();
+
+/// The Fano plane: STS(7) from the difference set {0,1,3} mod 7.
+[[nodiscard]] BlockDesign fano();
+
+/// Bose construction: STS(v) for v ≡ 3 (mod 6), v >= 9.
+[[nodiscard]] BlockDesign bose_sts(std::uint32_t v);
+
+/// Skolem construction: STS(v) for v ≡ 1 (mod 6), v >= 7.
+[[nodiscard]] BlockDesign skolem_sts(std::uint32_t v);
+
+/// Steiner triple system of any admissible order (v ≡ 1, 3 mod 6, v >= 7).
+[[nodiscard]] BlockDesign sts(std::uint32_t v);
+
+/// Cyclic design from a difference family over Z_v: each base block B
+/// produces the v translates {b + i mod v}. Caller must supply a valid
+/// (v, k, 1) difference family; the result is validated in debug builds.
+[[nodiscard]] BlockDesign cyclic_design(std::uint32_t v,
+                                        const std::vector<Block>& base_blocks,
+                                        std::string name = {});
+
+/// Affine plane AG(2, q) for prime q: a (q^2, q, 1) design with q(q+1) lines.
+[[nodiscard]] BlockDesign affine_plane(std::uint32_t q);
+
+/// Projective plane PG(2, q) for prime q: a (q^2+q+1, q+1, 1) design.
+[[nodiscard]] BlockDesign projective_plane(std::uint32_t q);
+
+/// True iff a (v, 3, 1) design exists (v ≡ 1 or 3 mod 6, v >= 7; also the
+/// degenerate v = 3 single-triple system).
+[[nodiscard]] constexpr bool sts_exists(std::uint32_t v) noexcept {
+  return v >= 3 && (v % 6 == 1 || v % 6 == 3);
+}
+
+}  // namespace flashqos::design

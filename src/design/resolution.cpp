@@ -1,0 +1,145 @@
+#include "design/resolution.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace flashqos::design {
+namespace {
+
+struct Search {
+  const BlockDesign& d;
+  std::vector<std::vector<std::size_t>> blocks_with;  // point -> block ids
+  std::vector<bool> used;
+  std::vector<bool> covered;  // points covered in the class being built
+  std::vector<std::vector<std::size_t>> classes;
+  std::vector<std::size_t> current;
+
+  explicit Search(const BlockDesign& design) : d(design) {
+    blocks_with.resize(d.points());
+    used.assign(d.block_count(), false);
+    covered.assign(d.points(), false);
+    for (std::size_t b = 0; b < d.block_count(); ++b) {
+      for (const auto p : d.block(b)) blocks_with[p].push_back(b);
+    }
+  }
+
+  /// The uncovered point with the fewest usable blocks (most-constrained
+  /// first); d.points() when the class is complete.
+  [[nodiscard]] PointId pick_point() const {
+    PointId best = d.points();
+    std::size_t best_options = SIZE_MAX;
+    for (PointId p = 0; p < d.points(); ++p) {
+      if (covered[p]) continue;
+      std::size_t options = 0;
+      for (const auto b : blocks_with[p]) {
+        if (!used[b] && block_fits(b)) ++options;
+      }
+      if (options < best_options) {
+        best_options = options;
+        best = p;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] bool block_fits(std::size_t b) const {
+    for (const auto p : d.block(b)) {
+      if (covered[p]) return false;
+    }
+    return true;
+  }
+
+  bool extend_class() {
+    const PointId point = pick_point();
+    if (point == d.points()) {
+      // Class complete: recurse into the next one.
+      classes.push_back(current);
+      current.clear();
+      if (classes.size() * classes.front().size() == d.block_count()) return true;
+      const bool ok = solve();
+      if (!ok) {
+        current = classes.back();
+        classes.pop_back();
+      }
+      return ok;
+    }
+    for (const auto b : blocks_with[point]) {
+      if (used[b] || !block_fits(b)) continue;
+      used[b] = true;
+      for (const auto p : d.block(b)) covered[p] = true;
+      current.push_back(b);
+      if (extend_class()) return true;
+      current.pop_back();
+      for (const auto p : d.block(b)) covered[p] = false;
+      used[b] = false;
+    }
+    return false;
+  }
+
+  bool solve() {
+    std::fill(covered.begin(), covered.end(), false);
+    return extend_class();
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<std::vector<std::size_t>>> find_resolution(
+    const BlockDesign& d) {
+  // A parallel class needs exactly points/block_size blocks; both the class
+  // size and the class count must divide out.
+  if (d.points() % d.block_size() != 0) return std::nullopt;
+  const std::size_t class_size = d.points() / d.block_size();
+  if (d.block_count() % class_size != 0) return std::nullopt;
+  Search s(d);
+  if (!s.solve()) return std::nullopt;
+  FLASHQOS_ASSERT(valid_resolution(d, s.classes), "search produced a bad resolution");
+  return s.classes;
+}
+
+bool valid_resolution(const BlockDesign& d,
+                      const std::vector<std::vector<std::size_t>>& r) {
+  std::vector<bool> used(d.block_count(), false);
+  std::size_t total = 0;
+  for (const auto& cls : r) {
+    std::vector<std::uint32_t> cover(d.points(), 0);
+    for (const auto b : cls) {
+      if (b >= d.block_count() || used[b]) return false;
+      used[b] = true;
+      ++total;
+      for (const auto p : d.block(b)) ++cover[p];
+    }
+    for (const auto c : cover) {
+      if (c != 1) return false;
+    }
+  }
+  return total == d.block_count();
+}
+
+BlockDesign kirkman_15() {
+  // A classical solution of Kirkman's schoolgirl problem (girls 0-14,
+  // seven days, five rows of three): every pair walks together exactly
+  // once and each day is a parallel class. This is the standard published
+  // arrangement with girl 0 paired with (2k, 2k+1) on day k; validated by
+  // the design axioms and valid_resolution() in tests.
+  std::vector<Block> blocks = {
+      // Day 1
+      {0, 1, 2}, {3, 7, 11}, {4, 9, 14}, {5, 10, 12}, {6, 8, 13},
+      // Day 2
+      {0, 3, 4}, {1, 7, 9}, {2, 12, 13}, {5, 8, 14}, {6, 10, 11},
+      // Day 3
+      {0, 5, 6}, {1, 8, 10}, {2, 11, 14}, {3, 9, 13}, {4, 7, 12},
+      // Day 4
+      {0, 7, 8}, {1, 11, 13}, {2, 4, 5}, {3, 10, 14}, {6, 9, 12},
+      // Day 5
+      {0, 9, 10}, {1, 12, 14}, {2, 3, 6}, {4, 8, 11}, {5, 7, 13},
+      // Day 6
+      {0, 11, 12}, {1, 3, 5}, {2, 8, 9}, {4, 10, 13}, {6, 7, 14},
+      // Day 7
+      {0, 13, 14}, {1, 4, 6}, {2, 7, 10}, {3, 8, 12}, {5, 9, 11},
+  };
+  return BlockDesign(15, std::move(blocks), "KTS(15)");
+}
+
+}  // namespace flashqos::design

@@ -1,0 +1,34 @@
+// Resolvability: partitioning a design's blocks into parallel classes.
+//
+// A parallel class covers every point exactly once; a design is *resolvable*
+// when its blocks partition into parallel classes (affine planes are, the
+// Fano plane is not; resolvable STS are Kirkman triple systems). For the
+// QoS framework a resolution is an operational gift: the buckets of one
+// parallel class occupy every device exactly once, so a class is a
+// ready-made single-access retrieval round — no scheduling needed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "design/block_design.hpp"
+
+namespace flashqos::design {
+
+/// Blocks grouped into parallel classes (indices into d.blocks()), or
+/// nullopt if the design is not resolvable. Exact backtracking search with
+/// a most-constrained-point heuristic — intended for the catalog's small
+/// designs (tens of blocks).
+[[nodiscard]] std::optional<std::vector<std::vector<std::size_t>>> find_resolution(
+    const BlockDesign& d);
+
+/// Check a claimed resolution: every block used exactly once, every class
+/// covers every point exactly once.
+[[nodiscard]] bool valid_resolution(const BlockDesign& d,
+                                    const std::vector<std::vector<std::size_t>>& r);
+
+/// The Kirkman triple system of order 15 — the 1850 "fifteen schoolgirls"
+/// arrangement: a resolvable (15,3,1) design with 7 parallel classes.
+[[nodiscard]] BlockDesign kirkman_15();
+
+}  // namespace flashqos::design

@@ -1,0 +1,35 @@
+// Transversal designs TD(k, n): rack-aware replicated declustering.
+//
+// A TD(k, n) has k groups ("racks") of n points ("devices") and n² blocks,
+// each picking exactly one point from every group; two points from
+// different groups co-occur in exactly one block, two points in the same
+// group never do. Built from k-2 mutually orthogonal Latin squares (for
+// prime n: L_m(i, j) = m·i + j mod n, m = 1..n-1, so k can reach n+1).
+//
+// As an allocation this is the datacenter layout the Steiner catalog
+// cannot express: the c = k replicas of every bucket land in k *distinct
+// racks*, so losing an entire rack (its n devices at once — a switch or
+// PDU failure) still leaves k-1 live replicas of everything, while the
+// across-rack λ = 1 property keeps the paper's retrieval guarantee.
+#pragma once
+
+#include "design/block_design.hpp"
+
+namespace flashqos::design {
+
+/// TD(k, n) for prime n and 2 <= k <= n+1. Point encoding: device v of
+/// rack g is point g·n + v. Block order: for cell (i, j) the block is
+/// (rack0: i, rack1: j, rack m+1: m·i + j mod n).
+[[nodiscard]] BlockDesign transversal_design(std::uint32_t k, std::uint32_t n);
+
+/// Rack of a device under the TD point encoding.
+[[nodiscard]] constexpr std::uint32_t rack_of(std::uint32_t device,
+                                              std::uint32_t n) noexcept {
+  return device / n;
+}
+
+/// Every device of rack `rack` (for building failure scenarios).
+[[nodiscard]] std::vector<std::uint32_t> rack_devices(std::uint32_t rack,
+                                                      std::uint32_t n);
+
+}  // namespace flashqos::design

@@ -1,0 +1,44 @@
+// Frequent-pair mining.
+//
+// The QoS framework mines set-size-2 itemsets only (paper §IV-A), so the
+// miners here are specialized pair miners rather than general k-itemset
+// engines. Two algorithms with identical output:
+//
+//  * apriori  — the paper's fim_apriori-lowmem stand-in: pass 1 counts item
+//    supports and prunes infrequent items (the apriori property: a pair can
+//    only be frequent if both items are); pass 2 counts surviving pairs in
+//    a hash table.
+//  * eclat    — vertical layout: per-item transaction-id lists, pair support
+//    by list intersection.
+//
+// Both return pairs sorted by (a, b) with a < b, support >= min_support.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fim/transaction.hpp"
+
+namespace flashqos::fim {
+
+struct MiningResult {
+  std::vector<FrequentPair> pairs;
+  double elapsed_seconds = 0.0;
+  std::size_t peak_memory_bytes = 0;   // process VmHWM after the run
+  std::size_t transactions = 0;
+  std::size_t total_items = 0;
+  std::size_t frequent_items = 0;      // items surviving pass 1
+};
+
+[[nodiscard]] MiningResult mine_pairs_apriori(const TransactionDb& db,
+                                              std::uint64_t min_support);
+
+[[nodiscard]] MiningResult mine_pairs_eclat(const TransactionDb& db,
+                                            std::uint64_t min_support);
+
+/// Reference implementation: O(items²) dense counting per transaction with
+/// no pruning. For tests and tiny inputs.
+[[nodiscard]] std::vector<FrequentPair> mine_pairs_naive(const TransactionDb& db,
+                                                         std::uint64_t min_support);
+
+}  // namespace flashqos::fim

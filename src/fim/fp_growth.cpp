@@ -1,0 +1,227 @@
+#include "fim/fp_growth.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "util/expect.hpp"
+#include "util/memory.hpp"
+
+namespace flashqos::fim {
+namespace {
+
+// The FP-tree works on dense item ids ordered by descending support (the
+// classic heuristic: frequent items near the root maximize path sharing).
+struct FpNode {
+  std::uint32_t item = UINT32_MAX;  // dense id; UINT32_MAX at the root
+  std::uint64_t count = 0;
+  FpNode* parent = nullptr;
+  FpNode* sibling = nullptr;  // header-table chain
+  std::map<std::uint32_t, std::unique_ptr<FpNode>> children;
+};
+
+class FpTree {
+ public:
+  explicit FpTree(std::size_t items) : header_(items, nullptr) {}
+
+  /// Insert a transaction (dense ids, ascending == descending support
+  /// order) with multiplicity `count`.
+  void insert(std::span<const std::uint32_t> txn, std::uint64_t count) {
+    FpNode* node = &root_;
+    for (const auto item : txn) {
+      auto it = node->children.find(item);
+      if (it == node->children.end()) {
+        auto child = std::make_unique<FpNode>();
+        child->item = item;
+        child->parent = node;
+        child->sibling = header_[item];
+        header_[item] = child.get();
+        it = node->children.emplace(item, std::move(child)).first;
+      }
+      it->second->count += count;
+      node = it->second.get();
+    }
+  }
+
+  [[nodiscard]] const FpNode* header(std::uint32_t item) const { return header_[item]; }
+  [[nodiscard]] std::size_t items() const noexcept { return header_.size(); }
+
+ private:
+  FpNode root_;
+  std::vector<FpNode*> header_;
+};
+
+/// Recursive FP-growth over a (conditional) tree. `suffix` holds the dense
+/// ids already fixed, in *descending* dense-id order (deepest first).
+void grow(const FpTree& tree, std::uint64_t min_support, std::size_t max_size,
+          std::vector<std::uint32_t>& suffix,
+          std::vector<std::pair<std::vector<std::uint32_t>, std::uint64_t>>& out) {
+  if (suffix.size() >= max_size) return;
+  // Walk items from the deepest (largest dense id = least frequent) up, the
+  // standard bottom-up order.
+  for (std::uint32_t item = static_cast<std::uint32_t>(tree.items()); item-- > 0;) {
+    std::uint64_t support = 0;
+    for (const FpNode* n = tree.header(item); n != nullptr; n = n->sibling) {
+      support += n->count;
+    }
+    if (support < min_support) continue;
+
+    suffix.push_back(item);
+    out.emplace_back(suffix, support);
+
+    if (suffix.size() < max_size) {
+      // Conditional tree: prefix paths of every `item` node, weighted by
+      // the node's count, with items below the conditional support pruned.
+      std::vector<std::uint64_t> cond_support(tree.items(), 0);
+      for (const FpNode* n = tree.header(item); n != nullptr; n = n->sibling) {
+        for (const FpNode* p = n->parent; p != nullptr && p->item != UINT32_MAX;
+             p = p->parent) {
+          cond_support[p->item] += n->count;
+        }
+      }
+      FpTree cond(tree.items());
+      bool any = false;
+      for (const FpNode* n = tree.header(item); n != nullptr; n = n->sibling) {
+        std::vector<std::uint32_t> path;
+        for (const FpNode* p = n->parent; p != nullptr && p->item != UINT32_MAX;
+             p = p->parent) {
+          if (cond_support[p->item] >= min_support) path.push_back(p->item);
+        }
+        if (path.empty()) continue;
+        std::reverse(path.begin(), path.end());  // root-to-leaf order
+        cond.insert(path, n->count);
+        any = true;
+      }
+      if (any) grow(cond, min_support, max_size, suffix, out);
+    }
+    suffix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Itemset> mine_itemsets_fpgrowth(const TransactionDb& db,
+                                            std::uint64_t min_support,
+                                            std::size_t max_size) {
+  FLASHQOS_EXPECT(max_size >= 1, "itemsets have at least one item");
+  if (min_support == 0) min_support = 1;
+  std::vector<Itemset> result;
+  if (db.empty()) return result;
+
+  // Pass 1: item supports; dense ids by descending support (ties: item id).
+  std::unordered_map<Item, std::uint64_t> support;
+  for (const auto& t : db.transactions()) {
+    for (const auto item : t) ++support[item];
+  }
+  std::vector<std::pair<Item, std::uint64_t>> frequent;
+  for (const auto& [item, count] : support) {
+    if (count >= min_support) frequent.emplace_back(item, count);
+  }
+  std::sort(frequent.begin(), frequent.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::unordered_map<Item, std::uint32_t> dense;
+  std::vector<Item> undense(frequent.size());
+  for (std::uint32_t i = 0; i < frequent.size(); ++i) {
+    dense.emplace(frequent[i].first, i);
+    undense[i] = frequent[i].first;
+  }
+  if (frequent.empty()) return result;
+
+  // Pass 2: build the tree.
+  FpTree tree(frequent.size());
+  std::vector<std::uint32_t> txn;
+  for (const auto& t : db.transactions()) {
+    txn.clear();
+    for (const auto item : t) {
+      if (const auto it = dense.find(item); it != dense.end()) {
+        txn.push_back(it->second);
+      }
+    }
+    std::sort(txn.begin(), txn.end());  // ascending dense == descending support
+    if (!txn.empty()) tree.insert(txn, 1);
+  }
+
+  // Mine.
+  std::vector<std::uint32_t> suffix;
+  std::vector<std::pair<std::vector<std::uint32_t>, std::uint64_t>> raw;
+  grow(tree, min_support, max_size, suffix, raw);
+
+  result.reserve(raw.size());
+  for (auto& [ids, sup] : raw) {
+    Itemset is;
+    is.support = sup;
+    is.items.reserve(ids.size());
+    for (const auto id : ids) is.items.push_back(undense[id]);
+    std::sort(is.items.begin(), is.items.end());
+    result.push_back(std::move(is));
+  }
+  std::sort(result.begin(), result.end(), [](const Itemset& a, const Itemset& b) {
+    return a.items.size() != b.items.size() ? a.items.size() < b.items.size()
+                                            : a.items < b.items;
+  });
+  return result;
+}
+
+MiningResult mine_pairs_fpgrowth(const TransactionDb& db, std::uint64_t min_support) {
+  const auto t0 = std::chrono::steady_clock::now();
+  MiningResult res;
+  res.transactions = db.size();
+  res.total_items = db.total_items();
+  const auto sets = mine_itemsets_fpgrowth(db, min_support, 2);
+  for (const auto& s : sets) {
+    if (s.items.size() == 1) ++res.frequent_items;
+    if (s.items.size() == 2) {
+      res.pairs.push_back(FrequentPair{s.items[0], s.items[1], s.support});
+    }
+  }
+  std::sort(res.pairs.begin(), res.pairs.end(),
+            [](const FrequentPair& a, const FrequentPair& b) {
+              return a.a != b.a ? a.a < b.a : a.b < b.b;
+            });
+  res.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  res.peak_memory_bytes = peak_rss_bytes();
+  return res;
+}
+
+std::vector<Itemset> mine_itemsets_naive(const TransactionDb& db,
+                                         std::uint64_t min_support,
+                                         std::size_t max_size) {
+  if (min_support == 0) min_support = 1;
+  std::map<std::vector<Item>, std::uint64_t> counts;
+  // Enumerate every subset of size <= max_size of every transaction.
+  for (const auto& t : db.transactions()) {
+    const std::size_t n = t.size();
+    std::vector<std::size_t> pick;
+    // Iterative subset enumeration bounded by max_size.
+    const auto recurse = [&](auto&& self, std::size_t from) -> void {
+      if (!pick.empty()) {
+        std::vector<Item> key;
+        key.reserve(pick.size());
+        for (const auto i : pick) key.push_back(t[i]);
+        ++counts[key];
+      }
+      if (pick.size() == max_size) return;
+      for (std::size_t i = from; i < n; ++i) {
+        pick.push_back(i);
+        self(self, i + 1);
+        pick.pop_back();
+      }
+    };
+    recurse(recurse, 0);
+  }
+  std::vector<Itemset> out;
+  for (const auto& [items, count] : counts) {
+    if (count >= min_support) out.push_back(Itemset{items, count});
+  }
+  std::sort(out.begin(), out.end(), [](const Itemset& a, const Itemset& b) {
+    return a.items.size() != b.items.size() ? a.items.size() < b.items.size()
+                                            : a.items < b.items;
+  });
+  return out;
+}
+
+}  // namespace flashqos::fim

@@ -1,0 +1,41 @@
+// FP-growth — the third base FIM algorithm family the paper names
+// (Apriori, Eclat, FP-growth; Han et al. 2000) — and, through it, general
+// k-itemset mining. The QoS framework itself only consumes pairs, but the
+// paper's §IV-A motivates size-3 association rules ("customers who bought
+// item1 and item2 together also bought item3"), which need a real itemset
+// miner.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fim/apriori.hpp"
+#include "fim/transaction.hpp"
+
+namespace flashqos::fim {
+
+struct Itemset {
+  std::vector<Item> items;  // sorted ascending
+  std::uint64_t support = 0;
+
+  friend bool operator==(const Itemset&, const Itemset&) = default;
+};
+
+/// All frequent itemsets of size in [1, max_size] with support >=
+/// min_support, mined with an FP-tree (no candidate generation). Sorted by
+/// (size, lexicographic items).
+[[nodiscard]] std::vector<Itemset> mine_itemsets_fpgrowth(const TransactionDb& db,
+                                                          std::uint64_t min_support,
+                                                          std::size_t max_size);
+
+/// Pair-only front-end with the same MiningResult contract as the other
+/// two miners (identical result sets; see fim_test).
+[[nodiscard]] MiningResult mine_pairs_fpgrowth(const TransactionDb& db,
+                                               std::uint64_t min_support);
+
+/// Exponential reference miner for tests and tiny inputs.
+[[nodiscard]] std::vector<Itemset> mine_itemsets_naive(const TransactionDb& db,
+                                                       std::uint64_t min_support,
+                                                       std::size_t max_size);
+
+}  // namespace flashqos::fim

@@ -1,0 +1,58 @@
+// Transaction databases for frequent itemset mining.
+//
+// In this project a "transaction" is the set of data blocks requested
+// within one QoS interval T (paper §IV-A); mining frequent pairs over the
+// previous interval's transactions tells the block mapper which data blocks
+// tend to be requested together.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace flashqos::fim {
+
+using Item = DataBlockId;
+
+class TransactionDb {
+ public:
+  TransactionDb() = default;
+
+  /// Add one transaction; duplicates within it are collapsed and items
+  /// sorted (canonical form required by the miners).
+  void add(std::vector<Item> items) {
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    if (!items.empty()) transactions_.push_back(std::move(items));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return transactions_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return transactions_.empty(); }
+  [[nodiscard]] std::span<const std::vector<Item>> transactions() const noexcept {
+    return transactions_;
+  }
+
+  /// Total item occurrences across transactions (the "requests size" the
+  /// paper quotes for FIM inputs in Table IV).
+  [[nodiscard]] std::size_t total_items() const noexcept {
+    std::size_t n = 0;
+    for (const auto& t : transactions_) n += t.size();
+    return n;
+  }
+
+ private:
+  std::vector<std::vector<Item>> transactions_;
+};
+
+struct FrequentPair {
+  Item a = 0;  // a < b
+  Item b = 0;
+  std::uint64_t support = 0;
+
+  friend bool operator==(const FrequentPair&, const FrequentPair&) = default;
+};
+
+}  // namespace flashqos::fim

@@ -1,0 +1,140 @@
+#include "flashsim/ftl.hpp"
+
+#include <algorithm>
+
+namespace flashqos::flashsim {
+
+Ftl::Ftl(FtlConfig cfg) : cfg_(cfg) {
+  FLASHQOS_EXPECT(cfg_.blocks >= 2, "need at least two blocks");
+  FLASHQOS_EXPECT(cfg_.pages_per_block >= 1, "blocks hold at least one page");
+  FLASHQOS_EXPECT(cfg_.overprovision_blocks >= 1 &&
+                      cfg_.overprovision_blocks < cfg_.blocks,
+                  "over-provisioning must leave logical capacity");
+  // Progress argument: GC terminates because every collection reclaims at
+  // least one invalid page. A state where all full blocks are 100% valid
+  // can only have free >= OP-1 blocks, so a trigger of at most OP-2 never
+  // fires there — with trigger == OP-1 a fully-valid victim would move a
+  // whole block for zero gain and livelock.
+  FLASHQOS_EXPECT(cfg_.gc_trigger_blocks >= 1 &&
+                      cfg_.gc_trigger_blocks + 1 < cfg_.overprovision_blocks,
+                  "GC trigger must be at most overprovision - 2");
+  map_.assign(logical_pages(), PhysicalPage{});
+  mapped_.assign(logical_pages(), false);
+  owner_.assign(cfg_.blocks,
+                std::vector<LogicalPage>(cfg_.pages_per_block, kUnmapped));
+  valid_in_block_.assign(cfg_.blocks, 0);
+  next_page_.assign(cfg_.blocks, 0);
+  is_free_.assign(cfg_.blocks, true);
+  erases_.assign(cfg_.blocks, 0);
+  // Block 0 starts as the open (log head) block; the rest are free.
+  open_block_ = 0;
+  is_free_[0] = false;
+  free_blocks_ = cfg_.blocks - 1;
+}
+
+std::optional<PhysicalPage> Ftl::lookup(LogicalPage lp) const {
+  FLASHQOS_EXPECT(lp < logical_pages(), "logical page out of range");
+  if (!mapped_[lp]) return std::nullopt;
+  return map_[lp];
+}
+
+std::uint32_t Ftl::pick_victim() {
+  // Usually greedy — the fully-written, non-open block with the fewest
+  // valid pages. Every wear_leveling_period-th collection instead targets
+  // the least-erased full block (static wear leveling: data that is never
+  // overwritten would otherwise pin its block out of the erase cycle).
+  ++victim_picks_;
+  const bool leveling = cfg_.wear_leveling_period != 0 &&
+                        victim_picks_ % cfg_.wear_leveling_period == 0;
+  std::uint32_t best = cfg_.blocks;
+  std::uint64_t best_key = UINT64_MAX;
+  for (std::uint32_t b = 0; b < cfg_.blocks; ++b) {
+    if (is_free_[b] || b == open_block_) continue;
+    if (next_page_[b] < cfg_.pages_per_block) continue;
+    const std::uint64_t key = leveling ? erases_[b] : valid_in_block_[b];
+    if (key < best_key) {
+      best_key = key;
+      best = b;
+    }
+  }
+  FLASHQOS_ASSERT(best < cfg_.blocks, "GC must always find a victim");
+  return best;
+}
+
+void Ftl::open_fresh_block() {
+  // Allocate from the least-worn free block — this is the other half of
+  // wear leveling: a fixed scan order would park some blocks in the free
+  // list forever and burn the rest.
+  std::uint32_t best = cfg_.blocks;
+  std::uint64_t best_erases = UINT64_MAX;
+  for (std::uint32_t b = 0; b < cfg_.blocks; ++b) {
+    if (is_free_[b] && erases_[b] < best_erases) {
+      best_erases = erases_[b];
+      best = b;
+    }
+  }
+  FLASHQOS_ASSERT(best < cfg_.blocks, "no free block to open; GC invariant broken");
+  is_free_[best] = false;
+  --free_blocks_;
+  open_block_ = best;
+}
+
+PhysicalPage Ftl::program_into_open_block(LogicalPage lp) {
+  if (next_page_[open_block_] == cfg_.pages_per_block) open_fresh_block();
+  const PhysicalPage loc{open_block_, next_page_[open_block_]++};
+  owner_[loc.block][loc.page] = lp;
+  ++valid_in_block_[loc.block];
+  map_[lp] = loc;
+  ++physical_programs_;
+  return loc;
+}
+
+GcWork Ftl::collect_one() {
+  const std::uint32_t victim = pick_victim();
+  GcWork work{victim, 0};
+  for (std::uint32_t p = 0; p < cfg_.pages_per_block; ++p) {
+    const LogicalPage lp = owner_[victim][p];
+    if (lp == kUnmapped) continue;
+    // Still-valid page: move it to the open block. (The mapping check
+    // guards against stale owner entries for overwritten pages.)
+    if (mapped_[lp] && map_[lp] == PhysicalPage{victim, p}) {
+      owner_[victim][p] = kUnmapped;
+      --valid_in_block_[victim];
+      program_into_open_block(lp);
+      ++work.moved_pages;
+    } else {
+      owner_[victim][p] = kUnmapped;
+    }
+  }
+  FLASHQOS_ASSERT(valid_in_block_[victim] == 0, "victim must be fully drained");
+  next_page_[victim] = 0;
+  is_free_[victim] = true;
+  ++free_blocks_;
+  ++erases_[victim];
+  ++total_erases_;
+  return work;
+}
+
+Ftl::WriteResult Ftl::write(LogicalPage lp) {
+  FLASHQOS_EXPECT(lp < logical_pages(), "logical page out of range");
+  ++host_writes_;
+  WriteResult result;
+  // Keep free-block headroom before consuming a page.
+  while (free_blocks_ <= cfg_.gc_trigger_blocks) {
+    result.gc.push_back(collect_one());
+  }
+  // Invalidate the previous location.
+  if (mapped_[lp]) {
+    const auto old = map_[lp];
+    FLASHQOS_ASSERT(owner_[old.block][old.page] == lp, "mapping table corrupt");
+    owner_[old.block][old.page] = kUnmapped;
+    --valid_in_block_[old.block];
+    --valid_count_;
+  }
+  result.location = program_into_open_block(lp);
+  mapped_[lp] = true;
+  ++valid_count_;
+  return result;
+}
+
+}  // namespace flashqos::flashsim

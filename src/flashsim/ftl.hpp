@@ -1,0 +1,125 @@
+// Page-level flash translation layer (FTL) for one flash package.
+//
+// The paper's Fig. 1 module contains an FMC with its own DRAM and flash
+// packages; the FMC's core job is logical→physical page mapping with
+// log-structured allocation and garbage collection. This FTL is pure
+// bookkeeping (no timing): the SsdModule simulator asks it what physical
+// work a host operation implies (which page to read, whether a program
+// must first garbage-collect) and charges time for the returned ops.
+//
+// Invariants (tested): every written logical page maps to exactly one
+// valid physical page; valid + invalid + free page counts partition the
+// package; GC never runs out of headroom as long as the logical space
+// leaves the configured over-provisioning untouched.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace flashqos::flashsim {
+
+using LogicalPage = std::uint64_t;
+
+struct PhysicalPage {
+  std::uint32_t block = 0;
+  std::uint32_t page = 0;
+
+  friend bool operator==(const PhysicalPage&, const PhysicalPage&) = default;
+};
+
+struct FtlConfig {
+  std::uint32_t blocks = 64;
+  std::uint32_t pages_per_block = 64;
+  /// Blocks kept out of the logical capacity as GC headroom.
+  std::uint32_t overprovision_blocks = 4;
+  /// Start GC when free blocks drop to this count (>= 1, strictly less
+  /// than the over-provisioning or GC can livelock).
+  std::uint32_t gc_trigger_blocks = 2;
+  /// Static wear leveling: every Nth collection picks the least-erased
+  /// full block instead of the emptiest one, so blocks pinned under
+  /// never-overwritten data still cycle. 0 disables.
+  std::uint32_t wear_leveling_period = 16;
+};
+
+/// One garbage-collection step the simulator must charge time for.
+struct GcWork {
+  std::uint32_t victim_block = 0;
+  std::uint32_t moved_pages = 0;  // valid pages copied (read + program each)
+};
+
+class Ftl {
+ public:
+  explicit Ftl(FtlConfig cfg);
+
+  /// Logical pages the package exposes (capacity minus over-provisioning).
+  [[nodiscard]] std::uint64_t logical_pages() const noexcept {
+    return static_cast<std::uint64_t>(cfg_.blocks - cfg_.overprovision_blocks) *
+           cfg_.pages_per_block;
+  }
+
+  /// Physical location of a logical page, if it has ever been written.
+  [[nodiscard]] std::optional<PhysicalPage> lookup(LogicalPage lp) const;
+
+  /// Write (or overwrite) a logical page: allocates the next free page,
+  /// invalidates the previous mapping, and returns any GC work that had to
+  /// run first to keep free-block headroom. The caller charges erase +
+  /// move costs for each GcWork entry.
+  struct WriteResult {
+    PhysicalPage location;
+    std::vector<GcWork> gc;  // performed before the program, oldest first
+  };
+  [[nodiscard]] WriteResult write(LogicalPage lp);
+
+  // Accounting (for invariants and wear reporting).
+  [[nodiscard]] std::uint32_t free_blocks() const noexcept { return free_blocks_; }
+  [[nodiscard]] std::uint64_t valid_pages() const noexcept { return valid_count_; }
+  [[nodiscard]] std::uint64_t erase_count(std::uint32_t block) const {
+    FLASHQOS_EXPECT(block < cfg_.blocks, "block out of range");
+    return erases_[block];
+  }
+  [[nodiscard]] std::uint64_t total_erases() const noexcept { return total_erases_; }
+  [[nodiscard]] std::uint64_t host_writes() const noexcept { return host_writes_; }
+  [[nodiscard]] std::uint64_t physical_programs() const noexcept {
+    return physical_programs_;
+  }
+  [[nodiscard]] const FtlConfig& config() const noexcept { return cfg_; }
+
+  /// Write amplification so far: physical programs / host writes (1.0 until
+  /// GC starts moving pages).
+  [[nodiscard]] double write_amplification() const noexcept {
+    return host_writes_ == 0
+               ? 1.0
+               : static_cast<double>(physical_programs_) /
+                     static_cast<double>(host_writes_);
+  }
+
+ private:
+  static constexpr LogicalPage kUnmapped = static_cast<LogicalPage>(-1);
+
+  [[nodiscard]] std::uint32_t pick_victim();
+  void open_fresh_block();
+  /// Reclaim one victim block; returns the GC record.
+  GcWork collect_one();
+  PhysicalPage program_into_open_block(LogicalPage lp);
+
+  FtlConfig cfg_;
+  std::vector<PhysicalPage> map_;          // logical -> physical
+  std::vector<bool> mapped_;               // logical page ever written
+  std::vector<std::vector<LogicalPage>> owner_;  // [block][page] -> logical or kUnmapped
+  std::vector<std::uint32_t> valid_in_block_;
+  std::vector<std::uint32_t> next_page_;   // per block: next unwritten page
+  std::vector<bool> is_free_;              // fully erased, not the open block
+  std::vector<std::uint64_t> erases_;
+  std::uint32_t open_block_ = 0;
+  std::uint32_t free_blocks_ = 0;
+  std::uint64_t valid_count_ = 0;
+  std::uint64_t host_writes_ = 0;
+  std::uint64_t physical_programs_ = 0;
+  std::uint64_t total_erases_ = 0;
+  std::uint64_t victim_picks_ = 0;
+};
+
+}  // namespace flashqos::flashsim

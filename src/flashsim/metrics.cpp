@@ -1,0 +1,24 @@
+#include "flashsim/metrics.hpp"
+
+namespace flashqos::flashsim {
+
+ResponseTimeSummary summarize(std::span<const IoCompletion> completions) {
+  Accumulator acc;
+  for (const auto& c : completions) acc.add(to_ms(c.response_time()));
+  return ResponseTimeSummary{.count = acc.count(),
+                             .avg_ms = acc.mean(),
+                             .std_ms = acc.stddev(),
+                             .max_ms = acc.max(),
+                             .min_ms = acc.min()};
+}
+
+double violation_rate(std::span<const IoCompletion> completions, SimTime deadline) {
+  if (completions.empty()) return 0.0;
+  std::size_t violated = 0;
+  for (const auto& c : completions) {
+    if (c.response_time() > deadline) ++violated;
+  }
+  return static_cast<double>(violated) / static_cast<double>(completions.size());
+}
+
+}  // namespace flashqos::flashsim

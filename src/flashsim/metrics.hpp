@@ -1,0 +1,26 @@
+// Response-time metrics over completion records.
+#pragma once
+
+#include <span>
+
+#include "flashsim/request.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace flashqos::flashsim {
+
+struct ResponseTimeSummary {
+  std::size_t count = 0;
+  double avg_ms = 0.0;
+  double std_ms = 0.0;
+  double max_ms = 0.0;
+  double min_ms = 0.0;
+};
+
+[[nodiscard]] ResponseTimeSummary summarize(std::span<const IoCompletion> completions);
+
+/// Fraction of completions whose response time exceeds `deadline`.
+[[nodiscard]] double violation_rate(std::span<const IoCompletion> completions,
+                                    SimTime deadline);
+
+}  // namespace flashqos::flashsim

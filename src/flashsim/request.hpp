@@ -1,0 +1,30 @@
+// I/O records exchanged with the flash array simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace flashqos::flashsim {
+
+struct IoRequest {
+  std::uint64_t id = 0;       // caller-chosen correlation id
+  DeviceId device = 0;        // target flash module
+  SimTime submit_time = 0;    // when the I/O driver issues the request
+  std::uint32_t pages = 1;    // 8 KB pages to read or program
+  bool is_write = false;      // flash page program instead of read
+};
+
+struct IoCompletion {
+  std::uint64_t id = 0;
+  DeviceId device = 0;
+  SimTime submit_time = 0;
+  SimTime start = 0;          // service start on the module
+  SimTime finish = 0;         // data delivered
+
+  /// The paper's metric: "I/O driver response time ... time between sending
+  /// the I/O request and receiving the corresponding response".
+  [[nodiscard]] SimTime response_time() const noexcept { return finish - submit_time; }
+};
+
+}  // namespace flashqos::flashsim

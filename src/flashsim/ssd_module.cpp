@@ -1,0 +1,206 @@
+#include "flashsim/ssd_module.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace flashqos::flashsim {
+
+SsdModule::SsdModule(SsdModuleConfig cfg) : cfg_(cfg) {
+  FLASHQOS_EXPECT(cfg_.packages >= 1, "module needs at least one package");
+  FLASHQOS_EXPECT(cfg_.cell_read > 0 && cfg_.cell_program > 0 &&
+                      cfg_.channel_transfer > 0,
+                  "timing parameters must be positive");
+  dies_.reserve(cfg_.packages);
+  for (std::uint32_t p = 0; p < cfg_.packages; ++p) dies_.emplace_back(cfg_.ftl);
+  per_package_pages_ = dies_.front().ftl.logical_pages();
+}
+
+void SsdModule::push_event(SimTime time, EventType type, std::size_t job) {
+  events_.push(Event{time, next_seq_++, type, job});
+}
+
+bool SsdModule::cache_probe(LogicalPage page) {
+  if (cfg_.cache_pages == 0) return false;
+  const auto it = cache_.find(page);
+  if (it == cache_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return true;
+}
+
+void SsdModule::cache_touch(LogicalPage page) {
+  if (cfg_.cache_pages == 0) return;
+  if (const auto it = cache_.find(page); it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(page);
+  cache_.emplace(page, lru_.begin());
+  if (cache_.size() > cfg_.cache_pages) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void SsdModule::submit(const HostOp& op) {
+  FLASHQOS_EXPECT(op.page < logical_pages(), "logical page out of range");
+  FLASHQOS_EXPECT(op.submit_time >= now_, "cannot submit into the simulated past");
+  jobs_.push_back(Job{.op = op});
+  ++in_flight_;
+  push_event(op.submit_time, EventType::kSubmit, jobs_.size() - 1);
+}
+
+void SsdModule::run_until(SimTime t) {
+  while (!events_.empty() && events_.top().time <= t) {
+    const Event e = events_.top();
+    events_.pop();
+    FLASHQOS_ASSERT(e.time >= now_, "event time regression");
+    now_ = e.time;
+    process(e);
+  }
+  now_ = std::max(now_, t);
+}
+
+void SsdModule::run() {
+  // Drain every pending event but leave the clock at the last completion —
+  // jumping to +infinity would forbid any further submissions.
+  while (!events_.empty()) {
+    const Event e = events_.top();
+    events_.pop();
+    FLASHQOS_ASSERT(e.time >= now_, "event time regression");
+    now_ = e.time;
+    process(e);
+  }
+}
+
+void SsdModule::complete(const Job& job, SimTime at) {
+  completions_.push_back(HostCompletion{.id = job.op.id,
+                                        .submit_time = job.op.submit_time,
+                                        .finish = at,
+                                        .cache_hit = false,
+                                        .gc_pages_moved = job.gc_pages_moved});
+  --in_flight_;
+}
+
+void SsdModule::kick_die(std::uint32_t die_id, SimTime at) {
+  Die& die = dies_[die_id];
+  if (die.busy || die.queue.empty()) return;
+  const std::size_t job_idx = die.queue.front();
+  die.queue.pop_front();
+  die.busy = true;
+  const SimTime work = jobs_[job_idx].die_work;
+  die.busy_ns += work;
+  push_event(at + work, EventType::kDieDone, job_idx);
+}
+
+void SsdModule::kick_channel(SimTime at) {
+  if (channel_busy_flag_ || channel_queue_.empty()) return;
+  const std::size_t job_idx = channel_queue_.front();
+  channel_queue_.pop_front();
+  channel_busy_flag_ = true;
+  channel_busy_ += cfg_.channel_transfer;
+  push_event(at + cfg_.channel_transfer, EventType::kChannelDone, job_idx);
+}
+
+void SsdModule::process(const Event& e) {
+  Job& job = jobs_[e.job];
+  switch (e.type) {
+    case EventType::kSubmit: {
+      job.die = static_cast<std::uint32_t>(job.op.page % packages());
+      if (!job.op.is_write) {
+        if (cache_probe(job.op.page)) {
+          ++cache_hits_;
+          completions_.push_back(
+              HostCompletion{.id = job.op.id,
+                             .submit_time = job.op.submit_time,
+                             .finish = now_ + cfg_.cache_hit_latency,
+                             .cache_hit = true,
+                             .gc_pages_moved = 0});
+          --in_flight_;
+          return;
+        }
+        ++cache_misses_;
+        job.phase = Phase::kDieRead;
+        job.die_work = cfg_.cell_read;
+        dies_[job.die].queue.push_back(e.job);
+        kick_die(job.die, now_);
+        return;
+      }
+      // Write: host data crosses the channel first.
+      job.phase = Phase::kHostTransfer;
+      channel_queue_.push_back(e.job);
+      kick_channel(now_);
+      return;
+    }
+    case EventType::kDieDone: {
+      Die& die = dies_[job.die];
+      die.busy = false;
+      kick_die(job.die, now_);
+      if (job.phase == Phase::kDieRead) {
+        job.phase = Phase::kReadTransfer;
+        channel_queue_.push_back(e.job);
+        kick_channel(now_);
+      } else {
+        FLASHQOS_ASSERT(job.phase == Phase::kDieProgram, "unexpected die phase");
+        cache_touch(job.op.page);
+        complete(job, now_);
+      }
+      return;
+    }
+    case EventType::kChannelDone: {
+      channel_busy_flag_ = false;
+      kick_channel(now_);
+      if (job.phase == Phase::kReadTransfer) {
+        cache_touch(job.op.page);
+        complete(job, now_);
+        return;
+      }
+      FLASHQOS_ASSERT(job.phase == Phase::kHostTransfer, "unexpected channel phase");
+      // Data has landed in the FMC: run the FTL write and charge the die
+      // for any garbage collection it implied, lumped ahead of the program.
+      Die& die = dies_[job.die];
+      const LogicalPage local = job.op.page / packages();
+      const auto write = die.ftl.write(local);
+      SimTime gc_cost = 0;
+      for (const auto& gc : write.gc) {
+        job.gc_pages_moved += gc.moved_pages;
+        gc_cost += cfg_.block_erase +
+                   static_cast<SimTime>(gc.moved_pages) *
+                       (cfg_.cell_read + cfg_.cell_program);
+      }
+      job.phase = Phase::kDieProgram;
+      job.die_work = gc_cost + cfg_.cell_program;
+      die.queue.push_back(e.job);
+      kick_die(job.die, now_);
+      return;
+    }
+  }
+}
+
+std::vector<HostCompletion> SsdModule::take_completions() {
+  std::vector<HostCompletion> out;
+  out.swap(completions_);
+  return out;
+}
+
+std::uint64_t SsdModule::total_gc_erases() const {
+  std::uint64_t total = 0;
+  for (const auto& d : dies_) total += d.ftl.total_erases();
+  return total;
+}
+
+double SsdModule::write_amplification() const {
+  std::uint64_t programs = 0, hosts = 0;
+  for (const auto& d : dies_) {
+    programs += d.ftl.physical_programs();
+    hosts += d.ftl.host_writes();
+  }
+  return hosts == 0 ? 1.0
+                    : static_cast<double>(programs) / static_cast<double>(hosts);
+}
+
+SimTime SsdModule::die_busy_time(std::uint32_t die) const {
+  FLASHQOS_EXPECT(die < dies_.size(), "die index out of range");
+  return dies_[die].busy_ns;
+}
+
+}  // namespace flashqos::flashsim

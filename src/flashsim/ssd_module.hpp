@@ -1,0 +1,157 @@
+// Event-driven simulator of one flash module's internals (paper Fig. 1):
+// a flash module controller (FMC) with DRAM, multiple flash packages
+// (dies), and a shared module channel.
+//
+// Resource model:
+//   * each package die executes one operation at a time (cell read, page
+//     program, or a lumped garbage-collection pass), FIFO;
+//   * the module channel moves one 8 KB page at a time (die→FMC for reads,
+//     FMC→die direction is folded into the host transfer for writes), FIFO;
+//   * the FMC's DRAM acts as an LRU read cache — hits bypass both die and
+//     channel.
+//
+// With the default parameters a cache-miss read costs
+// cell_read + channel_transfer = 25.000 + 107.507 = 132.507 µs — exactly
+// the MSR SSD-extension figure the paper's evaluation is built on, tying
+// this substrate to the simple FixedLatencyModel the QoS experiments use.
+#pragma once
+
+#include <deque>
+#include <list>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "flashsim/ftl.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace flashqos::flashsim {
+
+struct SsdModuleConfig {
+  std::uint32_t packages = 4;
+  FtlConfig ftl;  // per package
+  SimTime cell_read = 25 * kMicrosecond;
+  SimTime cell_program = 200 * kMicrosecond;
+  SimTime block_erase = 1500 * kMicrosecond;
+  SimTime channel_transfer = 107507 * kNanosecond;  // 8 KB over the channel
+  std::size_t cache_pages = 0;                      // FMC DRAM read cache
+  SimTime cache_hit_latency = 5 * kMicrosecond;
+};
+
+struct HostOp {
+  std::uint64_t id = 0;
+  LogicalPage page = 0;
+  bool is_write = false;
+  SimTime submit_time = 0;
+};
+
+struct HostCompletion {
+  std::uint64_t id = 0;
+  SimTime submit_time = 0;
+  SimTime finish = 0;
+  bool cache_hit = false;
+  std::uint32_t gc_pages_moved = 0;  // GC work this write had to pay for
+
+  [[nodiscard]] SimTime response_time() const noexcept {
+    return finish - submit_time;
+  }
+};
+
+class SsdModule {
+ public:
+  explicit SsdModule(SsdModuleConfig cfg);
+
+  /// Logical pages exposed by the module (striped over its packages).
+  [[nodiscard]] std::uint64_t logical_pages() const noexcept {
+    return per_package_pages_ * packages();
+  }
+  [[nodiscard]] std::uint32_t packages() const noexcept {
+    return static_cast<std::uint32_t>(dies_.size());
+  }
+
+  void submit(const HostOp& op);
+  void run_until(SimTime t);
+  void run();
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  [[nodiscard]] const std::vector<HostCompletion>& completions() const noexcept {
+    return completions_;
+  }
+  [[nodiscard]] std::vector<HostCompletion> take_completions();
+
+  // Introspection for tests and benches.
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const noexcept { return cache_misses_; }
+  [[nodiscard]] std::uint64_t total_gc_erases() const;
+  [[nodiscard]] double write_amplification() const;
+  [[nodiscard]] SimTime die_busy_time(std::uint32_t die) const;
+  [[nodiscard]] SimTime channel_busy_time() const noexcept { return channel_busy_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kDieRead,       // cell read in progress / queued
+    kReadTransfer,  // die -> FMC over the channel
+    kHostTransfer,  // host data inbound over the channel (write)
+    kDieProgram,    // GC (lumped) + page program
+  };
+
+  struct Job {
+    HostOp op;
+    Phase phase = Phase::kDieRead;
+    std::uint32_t die = 0;
+    SimTime die_work = 0;            // duration of the pending die op
+    std::uint32_t gc_pages_moved = 0;
+  };
+
+  enum class EventType : std::uint8_t { kSubmit, kDieDone, kChannelDone };
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventType type;
+    std::size_t job;  // index into jobs_
+
+    bool operator>(const Event& other) const noexcept {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  struct Die {
+    Ftl ftl;
+    std::deque<std::size_t> queue;
+    bool busy = false;
+    SimTime busy_ns = 0;
+
+    explicit Die(const FtlConfig& cfg) : ftl(cfg) {}
+  };
+
+  void process(const Event& e);
+  void complete(const Job& job, SimTime at);
+  void kick_die(std::uint32_t die, SimTime at);
+  void kick_channel(SimTime at);
+  void push_event(SimTime time, EventType type, std::size_t job);
+  void cache_touch(LogicalPage page);
+  [[nodiscard]] bool cache_probe(LogicalPage page);
+
+  SsdModuleConfig cfg_;
+  std::vector<Die> dies_;
+  std::uint64_t per_package_pages_ = 0;
+  std::deque<std::size_t> channel_queue_;
+  bool channel_busy_flag_ = false;
+  SimTime channel_busy_ = 0;
+  std::vector<Job> jobs_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<HostCompletion> completions_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t in_flight_ = 0;
+
+  // LRU read cache: list front = most recent; map -> list iterator.
+  std::list<LogicalPage> lru_;
+  std::unordered_map<LogicalPage, std::list<LogicalPage>::iterator> cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace flashqos::flashsim

@@ -1,0 +1,104 @@
+#include "retrieval/dtr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "design/block_design.hpp"
+#include "retrieval/maxflow.hpp"
+#include "util/expect.hpp"
+
+namespace flashqos::retrieval {
+namespace {
+
+/// Pack per-device request lists into round numbers: the i-th request served
+/// by a device runs in round i.
+void assign_rounds(Schedule& s, std::uint32_t devices) {
+  std::vector<std::uint32_t> next_round(devices, 0);
+  std::uint32_t max_rounds = 0;
+  for (auto& a : s.assignments) {
+    a.round = next_round[a.device]++;
+    max_rounds = std::max(max_rounds, a.round + 1);
+  }
+  s.rounds = s.assignments.empty() ? 0 : max_rounds;
+}
+
+}  // namespace
+
+Schedule dtr_schedule(std::span<const BucketId> batch,
+                      const decluster::AllocationScheme& scheme,
+                      const DtrOptions& opts) {
+  Schedule s;
+  s.assignments.resize(batch.size());
+  if (batch.empty()) return s;
+
+  const std::uint32_t n = scheme.devices();
+  std::vector<std::uint32_t> load(n, 0);
+
+  // Initial mapping.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto reps = scheme.replicas(batch[i]);
+    DeviceId pick = reps[0];
+    if (!opts.primary_first) {
+      for (const auto d : reps) {
+        if (load[d] < load[pick]) pick = d;
+      }
+    }
+    s.assignments[i].device = pick;
+    ++load[pick];
+  }
+
+  // Remapping sweeps: pull requests off the currently most-loaded devices
+  // onto replicas whose load is at least two lower (a move that cannot
+  // increase the makespan and strictly reduces the mover's device load).
+  for (std::uint32_t pass = 0; pass < opts.max_passes; ++pass) {
+    bool moved = false;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto& a = s.assignments[i];
+      const auto reps = scheme.replicas(batch[i]);
+      DeviceId best = a.device;
+      for (const auto d : reps) {
+        if (load[d] + 1 < load[a.device] && (best == a.device || load[d] < load[best])) {
+          best = d;
+        }
+      }
+      if (best != a.device) {
+        --load[a.device];
+        ++load[best];
+        a.device = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  assign_rounds(s, n);
+  FLASHQOS_ASSERT(valid_schedule(batch, scheme, s), "DTR produced invalid schedule");
+  return s;
+}
+
+Schedule retrieve(std::span<const BucketId> batch,
+                  const decluster::AllocationScheme& scheme,
+                  const DtrOptions& opts) {
+  Schedule fast = dtr_schedule(batch, scheme, opts);
+  const auto lower = static_cast<std::uint32_t>(
+      design::optimal_accesses(batch.size(), scheme.devices()));
+  if (fast.rounds <= lower) return fast;
+  Schedule exact = optimal_schedule(batch, scheme);
+  // Max-flow is optimal by construction; DTR can only tie or lose.
+  return exact.rounds < fast.rounds ? exact : fast;
+}
+
+std::optional<Schedule> retrieve(std::span<const BucketId> batch,
+                                 const decluster::AllocationScheme& scheme,
+                                 const std::vector<bool>& available,
+                                 const DtrOptions& opts) {
+  if (available.empty()) return retrieve(batch, scheme, opts);
+  // Degraded mode goes straight to the exact solver: the DTR fast path's
+  // primary-first heuristic has no meaning when the primary may be down,
+  // and degraded batches are the rare case where latency of the scheduler
+  // itself is not the bottleneck.
+  (void)opts;
+  return optimal_schedule(batch, scheme, available);
+}
+
+}  // namespace flashqos::retrieval

@@ -1,0 +1,47 @@
+// Design-theoretic retrieval (DTR) — the paper's fast path (§III-C).
+//
+// Each request starts on the device holding its first copy; remapping
+// passes then move requests off overloaded devices onto less-loaded
+// replicas. DTR is O(b·c·passes) and, on design-theoretic allocations,
+// almost always lands on the optimal round count; when it does not, the
+// caller escalates to the max-flow solver (retrieve() below does both, in
+// the order the paper prescribes: check DTR's result against ⌈b/N⌉, solve
+// flow only when the fast path is off-optimal).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "retrieval/schedule.hpp"
+
+namespace flashqos::retrieval {
+
+struct DtrOptions {
+  /// Start from the primary copy (paper's formulation). When false, the
+  /// initial map is greedy least-loaded, which converges in fewer passes
+  /// but is no longer the textbook algorithm.
+  bool primary_first = true;
+  /// Maximum remapping sweeps before giving up improvement.
+  std::uint32_t max_passes = 16;
+};
+
+/// The fast design-theoretic retrieval schedule (may be suboptimal).
+[[nodiscard]] Schedule dtr_schedule(std::span<const BucketId> batch,
+                                    const decluster::AllocationScheme& scheme,
+                                    const DtrOptions& opts = {});
+
+/// The paper's combined retrieval: DTR first; if its round count exceeds
+/// the optimum lower bound ⌈b/N⌉, solve max-flow for the true optimum.
+/// The result is always a minimum-round schedule.
+[[nodiscard]] Schedule retrieve(std::span<const BucketId> batch,
+                                const decluster::AllocationScheme& scheme,
+                                const DtrOptions& opts = {});
+
+/// Degraded-mode combined retrieval: only devices with available[d] may
+/// serve (empty mask = all up). nullopt iff some request has no live
+/// replica — the caller decides between waiting for recovery and failing.
+[[nodiscard]] std::optional<Schedule> retrieve(
+    std::span<const BucketId> batch, const decluster::AllocationScheme& scheme,
+    const std::vector<bool>& available, const DtrOptions& opts);
+
+}  // namespace flashqos::retrieval

@@ -1,0 +1,47 @@
+// Generalized optimal response-time retrieval on heterogeneous devices.
+//
+// The paper's retrieval model assumes identical flash modules (one round =
+// one service time everywhere). Its companion work ("Generalized optimal
+// response time retrieval of replicated data from storage arrays",
+// Altiparmak & Tosun 2012, ref [14]) drops that assumption: device d takes
+// service[d] per request, and the goal is the schedule minimizing the
+// *makespan* — the time the slowest device finishes its assigned requests.
+//
+// Solved exactly: for a candidate makespan t, device d can serve
+// floor(t / service[d]) requests; feasibility is a max-flow; the optimal
+// t is found by searching over the finite set of candidate makespans
+// {k · service[d]} — only device-multiple instants can be optimal.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "retrieval/schedule.hpp"
+#include "util/time.hpp"
+
+namespace flashqos::retrieval {
+
+struct HeterogeneousSchedule {
+  /// Per request: the serving device and the start offset from dispatch.
+  struct Assignment {
+    DeviceId device = kInvalidDevice;
+    SimTime start_offset = 0;
+  };
+  std::vector<Assignment> assignments;
+  SimTime makespan = 0;
+};
+
+/// Minimum-makespan schedule of `batch` where device d serves one request
+/// in `service[d]` time (all positive). Requests on one device run back to
+/// back from offset 0.
+[[nodiscard]] HeterogeneousSchedule optimal_makespan_schedule(
+    std::span<const BucketId> batch, const decluster::AllocationScheme& scheme,
+    std::span<const SimTime> service);
+
+/// Validity check: every request on one of its replicas, per-device
+/// sequences consistent with the device's service time, makespan correct.
+[[nodiscard]] bool valid_heterogeneous_schedule(
+    std::span<const BucketId> batch, const decluster::AllocationScheme& scheme,
+    std::span<const SimTime> service, const HeterogeneousSchedule& s);
+
+}  // namespace flashqos::retrieval

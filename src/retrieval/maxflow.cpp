@@ -1,0 +1,241 @@
+#include "retrieval/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "design/block_design.hpp"
+#include "util/expect.hpp"
+
+namespace flashqos::retrieval {
+
+MaxFlow::MaxFlow(std::uint32_t nodes) : adj_(nodes), level_(nodes), iter_(nodes) {}
+
+std::uint32_t MaxFlow::add_edge(std::uint32_t from, std::uint32_t to,
+                                std::int64_t capacity) {
+  FLASHQOS_EXPECT(from < adj_.size() && to < adj_.size(), "edge endpoint out of range");
+  FLASHQOS_EXPECT(capacity >= 0, "capacity must be non-negative");
+  const auto id = static_cast<std::uint32_t>(edge_index_.size());
+  adj_[from].push_back(
+      {to, static_cast<std::uint32_t>(adj_[to].size()), capacity, capacity});
+  adj_[to].push_back(
+      {from, static_cast<std::uint32_t>(adj_[from].size() - 1), 0, 0});
+  edge_index_.emplace_back(from, static_cast<std::uint32_t>(adj_[from].size() - 1));
+  return id;
+}
+
+bool MaxFlow::bfs(std::uint32_t s, std::uint32_t t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(adj_.size());
+  level_[s] = 0;
+  queue.push_back(s);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const auto v = queue[head];
+    for (const auto& e : adj_[v]) {
+      if (e.cap > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t MaxFlow::dfs(std::uint32_t v, std::uint32_t t, std::int64_t pushed) {
+  if (v == t) return pushed;
+  for (auto& i = iter_[v]; i < adj_[v].size(); ++i) {
+    Edge& e = adj_[v][i];
+    if (e.cap > 0 && level_[v] < level_[e.to]) {
+      const std::int64_t d = dfs(e.to, t, std::min(pushed, e.cap));
+      if (d > 0) {
+        e.cap -= d;
+        adj_[e.to][e.rev].cap += d;
+        return d;
+      }
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::run(std::uint32_t s, std::uint32_t t) {
+  FLASHQOS_EXPECT(s != t, "source and sink must differ");
+  std::int64_t flow = 0;
+  while (bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0U);
+    while (const std::int64_t f = dfs(s, t, std::numeric_limits<std::int64_t>::max())) {
+      flow += f;
+    }
+  }
+  return flow;
+}
+
+std::int64_t MaxFlow::raise_capacity_and_rerun(std::uint32_t id, std::int64_t delta,
+                                               std::uint32_t s, std::uint32_t t) {
+  FLASHQOS_EXPECT(id < edge_index_.size(), "edge id out of range");
+  FLASHQOS_EXPECT(delta >= 0, "capacity can only grow incrementally");
+  const auto [node, pos] = edge_index_[id];
+  Edge& e = adj_[node][pos];
+  e.cap += delta;
+  e.initial_cap += delta;
+  // Existing flow stays valid; only the new headroom needs augmenting.
+  std::int64_t extra = 0;
+  while (bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0U);
+    while (const std::int64_t f = dfs(s, t, std::numeric_limits<std::int64_t>::max())) {
+      extra += f;
+    }
+  }
+  return extra;
+}
+
+std::int64_t MaxFlow::flow_on(std::uint32_t id) const {
+  FLASHQOS_EXPECT(id < edge_index_.size(), "edge id out of range");
+  const auto [node, pos] = edge_index_[id];
+  const Edge& e = adj_[node][pos];
+  return e.initial_cap - e.cap;
+}
+
+std::optional<Schedule> feasible_in_rounds(std::span<const BucketId> batch,
+                                           const decluster::AllocationScheme& scheme,
+                                           std::uint32_t rounds,
+                                           const std::vector<bool>& available) {
+  if (batch.empty()) return Schedule{};
+  FLASHQOS_EXPECT(available.empty() || available.size() == scheme.devices(),
+                  "availability mask must cover every device");
+  const auto up = [&](DeviceId d) { return available.empty() || available[d]; };
+  const auto b = static_cast<std::uint32_t>(batch.size());
+  const std::uint32_t n = scheme.devices();
+  // Node layout: 0 = source, 1..b = requests, b+1..b+n = devices, b+n+1 = sink.
+  const std::uint32_t source = 0;
+  const std::uint32_t sink = b + n + 1;
+  MaxFlow mf(sink + 1);
+  std::vector<std::vector<std::uint32_t>> replica_edges(b);
+  for (std::uint32_t i = 0; i < b; ++i) {
+    mf.add_edge(source, 1 + i, 1);
+    for (const auto dev : scheme.replicas(batch[i])) {
+      // A failed replica simply contributes no edge; the request is only
+      // servable through live devices.
+      replica_edges[i].push_back(
+          mf.add_edge(1 + i, b + 1 + dev, up(dev) ? 1 : 0));
+    }
+  }
+  for (std::uint32_t d = 0; d < n; ++d) {
+    mf.add_edge(b + 1 + d, sink, up(d) ? rounds : 0);
+  }
+  if (mf.run(source, sink) != b) return std::nullopt;
+
+  Schedule s;
+  s.assignments.resize(b);
+  std::vector<std::uint32_t> next_round(n, 0);
+  for (std::uint32_t i = 0; i < b; ++i) {
+    const auto reps = scheme.replicas(batch[i]);
+    for (std::size_t j = 0; j < reps.size(); ++j) {
+      if (mf.flow_on(replica_edges[i][j]) > 0) {
+        s.assignments[i].device = reps[j];
+        s.assignments[i].round = next_round[reps[j]]++;
+        break;
+      }
+    }
+    FLASHQOS_ASSERT(s.assignments[i].device != kInvalidDevice,
+                    "saturated request must have a chosen replica");
+  }
+  s.rounds = *std::max_element(next_round.begin(), next_round.end());
+  return s;
+}
+
+std::optional<Schedule> feasible_in_rounds(std::span<const BucketId> batch,
+                                           const decluster::AllocationScheme& scheme,
+                                           std::uint32_t rounds) {
+  return feasible_in_rounds(batch, scheme, rounds, {});
+}
+
+std::optional<Schedule> optimal_schedule(std::span<const BucketId> batch,
+                                         const decluster::AllocationScheme& scheme,
+                                         const std::vector<bool>& available) {
+  if (batch.empty()) return Schedule{};
+  // A request whose replicas are all down can never be scheduled.
+  if (!available.empty()) {
+    for (const auto bucket : batch) {
+      const auto reps = scheme.replicas(bucket);
+      if (std::none_of(reps.begin(), reps.end(),
+                       [&](DeviceId d) { return available[d]; })) {
+        return std::nullopt;
+      }
+    }
+  }
+  auto m = static_cast<std::uint32_t>(
+      design::optimal_accesses(batch.size(), scheme.devices()));
+  for (;; ++m) {
+    if (auto s = feasible_in_rounds(batch, scheme, m, available)) {
+      return std::move(*s);
+    }
+    FLASHQOS_ASSERT(m <= batch.size(),
+                    "b rounds always suffice; feasibility search ran away");
+  }
+}
+
+Schedule optimal_schedule(std::span<const BucketId> batch,
+                          const decluster::AllocationScheme& scheme) {
+  auto s = optimal_schedule(batch, scheme, {});
+  FLASHQOS_ASSERT(s.has_value(), "all-devices-up scheduling cannot fail");
+  return std::move(*s);
+}
+
+std::uint32_t optimal_rounds(std::span<const BucketId> batch,
+                             const decluster::AllocationScheme& scheme) {
+  return optimal_schedule(batch, scheme).rounds;
+}
+
+Schedule integrated_optimal_schedule(std::span<const BucketId> batch,
+                                     const decluster::AllocationScheme& scheme) {
+  if (batch.empty()) return Schedule{};
+  const auto b = static_cast<std::uint32_t>(batch.size());
+  const std::uint32_t n = scheme.devices();
+  const std::uint32_t source = 0;
+  const std::uint32_t sink = b + n + 1;
+  MaxFlow mf(sink + 1);
+  std::vector<std::vector<std::uint32_t>> replica_edges(b);
+  for (std::uint32_t i = 0; i < b; ++i) {
+    mf.add_edge(source, 1 + i, 1);
+    for (const auto dev : scheme.replicas(batch[i])) {
+      replica_edges[i].push_back(mf.add_edge(1 + i, b + 1 + dev, 1));
+    }
+  }
+  // Device→sink capacities start at the lower bound ⌈b/N⌉ and grow one
+  // round at a time; flow routed in earlier iterations is never discarded.
+  const auto lower = static_cast<std::uint32_t>(design::optimal_accesses(b, n));
+  std::vector<std::uint32_t> device_edges(n);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    device_edges[d] = mf.add_edge(b + 1 + d, sink, lower);
+  }
+  std::int64_t flow = mf.run(source, sink);
+  std::uint32_t rounds = lower;
+  while (flow < b) {
+    ++rounds;
+    FLASHQOS_ASSERT(rounds <= b, "b rounds always suffice");
+    for (std::uint32_t d = 0; d < n; ++d) {
+      flow += mf.raise_capacity_and_rerun(device_edges[d], 1, source, sink);
+      if (flow == b) break;
+    }
+  }
+
+  Schedule s;
+  s.assignments.resize(b);
+  std::vector<std::uint32_t> next_round(n, 0);
+  for (std::uint32_t i = 0; i < b; ++i) {
+    const auto reps = scheme.replicas(batch[i]);
+    for (std::size_t j = 0; j < reps.size(); ++j) {
+      if (mf.flow_on(replica_edges[i][j]) > 0) {
+        s.assignments[i].device = reps[j];
+        s.assignments[i].round = next_round[reps[j]]++;
+        break;
+      }
+    }
+    FLASHQOS_ASSERT(s.assignments[i].device != kInvalidDevice,
+                    "saturated request must have a chosen replica");
+  }
+  s.rounds = *std::max_element(next_round.begin(), next_round.end());
+  return s;
+}
+
+}  // namespace flashqos::retrieval

@@ -1,0 +1,63 @@
+// Online retrieval (paper §IV-B).
+//
+// Instead of deferring requests to the next interval boundary, the online
+// retriever serves them the moment they arrive, FCFS. A single arriving
+// request goes to the replica device that can *finish* it earliest (an idle
+// replica if one exists). Requests arriving at exactly the same instant are
+// scheduled together like an interval batch: DTR with remapping, max-flow
+// when DTR is off-optimal, then dispatched round by round.
+//
+// The retriever tracks each device's next-free time itself, so it can run
+// standalone (for the theory benches) or feed its decisions into the
+// flashsim event simulator (for the trace experiments).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "retrieval/dtr.hpp"
+#include "retrieval/schedule.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace flashqos::retrieval {
+
+struct Decision {
+  DeviceId device = kInvalidDevice;
+  SimTime start = 0;
+  SimTime finish = 0;
+};
+
+class OnlineRetriever {
+ public:
+  /// `service_time` is the fixed per-request device busy time (one 8 KB
+  /// flash read in the paper's setup).
+  OnlineRetriever(const decluster::AllocationScheme& scheme, SimTime service_time);
+
+  /// Serve one request arriving at `arrival`. Chooses the replica with the
+  /// earliest finish time (equivalently earliest start, as service is
+  /// fixed); prefers the primary on ties. Updates device state.
+  Decision submit(BucketId bucket, SimTime arrival);
+
+  /// Serve a set of simultaneous requests: schedule as a batch (DTR +
+  /// max-flow remapping), then dispatch each device's requests back to
+  /// back starting at max(arrival, device free time).
+  std::vector<Decision> submit_batch(std::span<const BucketId> batch, SimTime arrival);
+
+  [[nodiscard]] SimTime device_free_at(DeviceId d) const {
+    FLASHQOS_EXPECT(d < free_at_.size(), "device id out of range");
+    return free_at_[d];
+  }
+
+  /// Latest finish time across all devices (makespan so far).
+  [[nodiscard]] SimTime horizon() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  const decluster::AllocationScheme& scheme_;
+  SimTime service_time_;
+  std::vector<SimTime> free_at_;
+};
+
+}  // namespace flashqos::retrieval

@@ -1,0 +1,62 @@
+#include "trace/disksim_format.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flashqos::trace {
+namespace {
+
+constexpr std::uint32_t kSectorsPerBlock = 16;  // 8 KB / 512 B
+constexpr unsigned kReadFlag = 0x1;
+
+}  // namespace
+
+void write_disksim_ascii(const Trace& t, std::ostream& out) {
+  for (const auto& e : t.events) {
+    out << to_ms(e.time) << ' ' << e.device << ' ' << e.block << ' '
+        << e.size_blocks * kSectorsPerBlock << ' ' << (e.is_read ? kReadFlag : 0U)
+        << '\n';
+  }
+}
+
+Trace read_disksim_ascii(std::istream& in, std::string name, std::uint32_t volumes,
+                         SimTime report_interval) {
+  Trace t;
+  t.name = std::move(name);
+  t.volumes = volumes;
+  t.report_interval = report_interval;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream ls(line);
+    double time_ms = 0.0;
+    std::uint64_t device = 0;
+    std::uint64_t block = 0;
+    std::uint64_t sectors = 0;
+    unsigned flags = 0;
+    if (!(ls >> time_ms >> device >> block >> sectors >> flags)) {
+      throw std::runtime_error("disksim trace: malformed line " +
+                               std::to_string(line_no));
+    }
+    if (sectors == 0 || sectors % kSectorsPerBlock != 0) {
+      throw std::runtime_error("disksim trace: size not 8KB-aligned at line " +
+                               std::to_string(line_no));
+    }
+    t.events.push_back(TraceEvent{
+        .time = from_ms(time_ms),
+        .block = block,
+        .device = static_cast<DeviceId>(device),
+        .size_blocks = static_cast<std::uint32_t>(sectors / kSectorsPerBlock),
+        .is_read = (flags & kReadFlag) != 0});
+  }
+  if (!valid_trace(t)) {
+    throw std::runtime_error("disksim trace: events not sorted or out of range");
+  }
+  return t;
+}
+
+}  // namespace flashqos::trace

@@ -1,0 +1,28 @@
+// DiskSim ASCII trace format I/O.
+//
+// The paper's synthetic generator "produces ASCII format input trace for
+// DiskSim". The classic DiskSim input line is
+//     <arrival-time-ms> <device-number> <block-number> <request-size> <flags>
+// with flags bit 0 set for reads. We read and write that format so traces
+// interchange with real DiskSim deployments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/event.hpp"
+
+namespace flashqos::trace {
+
+/// Serialize to DiskSim ASCII. Sizes are written in 512-byte sectors as
+/// DiskSim expects (one 8 KB block = 16 sectors).
+void write_disksim_ascii(const Trace& t, std::ostream& out);
+
+/// Parse DiskSim ASCII; returns the trace with metadata fields
+/// (name/volumes/report_interval) taken from the arguments. Throws
+/// std::runtime_error on malformed lines.
+[[nodiscard]] Trace read_disksim_ascii(std::istream& in, std::string name,
+                                       std::uint32_t volumes,
+                                       SimTime report_interval);
+
+}  // namespace flashqos::trace

@@ -1,0 +1,96 @@
+#include "trace/msr_format.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace flashqos::trace {
+namespace {
+
+constexpr SimTime kFiletimeTick = 100;  // 100 ns per Windows filetime tick
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) out.push_back(cell);
+  return out;
+}
+
+}  // namespace
+
+Trace read_msr_csv(std::istream& in, std::string name, const MsrReadOptions& opts) {
+  FLASHQOS_EXPECT(opts.block_bytes > 0, "block size must be positive");
+  Trace t;
+  t.name = std::move(name);
+  t.report_interval = opts.report_interval;
+
+  std::string line;
+  std::size_t line_no = 0;
+  std::int64_t first_ts = -1;
+  std::uint32_t max_disk = 0;
+  struct Row {
+    std::int64_t ts;
+    std::uint32_t disk;
+    DataBlockId block;
+    std::uint32_t blocks;
+    bool is_read;
+  };
+  std::vector<Row> rows;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    const auto cells = split_csv(line);
+    if (cells.size() < 6) {
+      throw std::runtime_error("msr csv: too few columns at line " +
+                               std::to_string(line_no));
+    }
+    try {
+      const std::int64_t ts = std::stoll(cells[0]);
+      const auto disk = static_cast<std::uint32_t>(std::stoul(cells[2]));
+      const bool is_read =
+          cells[3] == "Read" || cells[3] == "read" || cells[3] == "R";
+      if (opts.reads_only && !is_read) continue;
+      const std::uint64_t offset = std::stoull(cells[4]);
+      const std::uint64_t size = std::stoull(cells[5]);
+      const DataBlockId first_block = offset / opts.block_bytes;
+      const auto nblocks = static_cast<std::uint32_t>(
+          std::max<std::uint64_t>(1, (size + opts.block_bytes - 1) / opts.block_bytes));
+      if (first_ts < 0) first_ts = ts;
+      max_disk = std::max(max_disk, disk);
+      rows.push_back({ts, disk, first_block, nblocks, is_read});
+    } catch (const std::exception&) {
+      throw std::runtime_error("msr csv: malformed row at line " +
+                               std::to_string(line_no));
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.ts < b.ts; });
+  t.volumes = opts.volumes != 0 ? opts.volumes : max_disk + 1;
+  t.events.reserve(rows.size());
+  for (const auto& r : rows) {
+    t.events.push_back(TraceEvent{
+        .time = (r.ts - first_ts) * kFiletimeTick,
+        .block = r.block,
+        .device = static_cast<DeviceId>(r.disk % t.volumes),
+        .size_blocks = r.blocks,
+        .is_read = r.is_read});
+  }
+  FLASHQOS_ASSERT(valid_trace(t), "parsed MSR trace must be valid");
+  return t;
+}
+
+void write_msr_csv(const Trace& t, std::ostream& out) {
+  for (const auto& e : t.events) {
+    out << e.time / kFiletimeTick << ',' << t.name << ',' << e.device << ','
+        << (e.is_read ? "Read" : "Write") << ',' << e.block * 8192 << ','
+        << e.size_blocks * 8192 << ",0\n";
+  }
+}
+
+}  // namespace flashqos::trace

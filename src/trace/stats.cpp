@@ -1,0 +1,44 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace flashqos::trace {
+
+std::vector<IntervalStats> interval_stats(const Trace& t, SimTime rate_window) {
+  FLASHQOS_EXPECT(rate_window > 0, "rate window must be positive");
+  std::vector<IntervalStats> out;
+  const auto slices = report_slices(t);
+  out.reserve(slices.size());
+  for (std::size_t s = 0; s < slices.size(); ++s) {
+    const auto [begin, end] = slices[s];
+    IntervalStats st;
+    const SimTime interval_start = static_cast<SimTime>(s) * t.report_interval;
+    std::size_t window_count = 0;
+    std::int64_t current_window = -1;
+    std::size_t max_window = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!t.events[i].is_read) continue;
+      ++st.total_reads;
+      const std::int64_t w = (t.events[i].time - interval_start) / rate_window;
+      if (w != current_window) {
+        max_window = std::max(max_window, window_count);
+        window_count = 0;
+        current_window = w;
+      }
+      ++window_count;
+    }
+    max_window = std::max(max_window, window_count);
+    const double interval_sec = to_sec(t.report_interval);
+    const double window_sec = to_sec(rate_window);
+    st.avg_reads_per_sec =
+        interval_sec > 0 ? static_cast<double>(st.total_reads) / interval_sec : 0.0;
+    st.max_reads_per_sec =
+        window_sec > 0 ? static_cast<double>(max_window) / window_sec : 0.0;
+    out.push_back(st);
+  }
+  return out;
+}
+
+}  // namespace flashqos::trace

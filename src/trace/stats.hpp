@@ -1,0 +1,23 @@
+// Trace statistics (paper Fig. 6): per reporting interval, the total read
+// count plus the maximum and average read rate.
+#pragma once
+
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace flashqos::trace {
+
+struct IntervalStats {
+  std::size_t total_reads = 0;
+  double avg_reads_per_sec = 0.0;
+  double max_reads_per_sec = 0.0;  // max over fixed sub-windows, rate-scaled
+};
+
+/// Compute per-reporting-interval statistics. `rate_window` is the width of
+/// the sub-window used for the max rate (the paper uses 1 s on the real
+/// traces; scaled traces should pass something like interval/20).
+[[nodiscard]] std::vector<IntervalStats> interval_stats(const Trace& t,
+                                                        SimTime rate_window);
+
+}  // namespace flashqos::trace

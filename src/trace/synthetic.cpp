@@ -1,0 +1,42 @@
+#include "trace/synthetic.hpp"
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace flashqos::trace {
+
+Trace generate_synthetic(const SyntheticParams& p) {
+  FLASHQOS_EXPECT(p.bucket_pool > 0, "need a non-empty bucket pool");
+  FLASHQOS_EXPECT(p.requests_per_interval > 0, "need at least one request per interval");
+  FLASHQOS_EXPECT(p.with_replacement || p.requests_per_interval <= p.bucket_pool,
+                  "distinct sampling needs a pool at least the batch size");
+  Rng rng(p.seed);
+  Trace t;
+  t.name = "synthetic";
+  t.volumes = 0;
+  t.report_interval = p.interval;
+  t.events.reserve(p.total_requests);
+  SimTime now = 0;
+  while (t.events.size() < p.total_requests) {
+    const std::size_t batch = std::min<std::size_t>(
+        p.requests_per_interval, p.total_requests - t.events.size());
+    const auto push = [&](DataBlockId block) {
+      t.events.push_back(TraceEvent{.time = now,
+                                    .block = block,
+                                    .device = 0,
+                                    .size_blocks = 1,
+                                    .is_read = true});
+    };
+    if (p.with_replacement) {
+      for (std::size_t i = 0; i < batch; ++i) push(rng.below(p.bucket_pool));
+    } else {
+      for (const auto b : rng.sample_without_replacement(p.bucket_pool, batch)) {
+        push(b);
+      }
+    }
+    now += p.interval;
+  }
+  return t;
+}
+
+}  // namespace flashqos::trace

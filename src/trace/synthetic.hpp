@@ -1,0 +1,38 @@
+// Synthetic workload generation (paper §V-B1).
+//
+// The paper's tool "requires the number of devices, interval duration, and
+// the number of blocks to be requested for each interval, and produces the
+// trace by randomly selecting the blocks to be requested from the available
+// design blocks". Requests are placed at the beginning of each interval.
+// Block ids in the generated trace are *bucket* ids (the synthetic
+// experiments operate directly in the design-bucket domain).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/event.hpp"
+
+namespace flashqos::trace {
+
+struct SyntheticParams {
+  std::size_t bucket_pool = 36;          // available design buckets
+  SimTime interval = 133 * kMicrosecond; // batch period T
+  std::uint32_t requests_per_interval = 5;
+  std::size_t total_requests = 10000;
+  std::uint64_t seed = 1;
+  /// Sample each interval's buckets with replacement. The deterministic
+  /// guarantee "any S buckets in M accesses" is a statement about *sets* —
+  /// a bucket drawn c·M+1 times cannot fit in M rounds on its c replicas —
+  /// so the default draws distinct buckets per interval (which is also the
+  /// only reading consistent with the paper's Table III maxima). Enable for
+  /// multiset studies like the Fig. 4 sampler.
+  bool with_replacement = false;
+};
+
+/// Uniform random buckets, `requests_per_interval` of them at the start of
+/// every interval, until `total_requests` have been generated. The trace's
+/// `device` field is unused (0) — synthetic experiments always go through an
+/// allocation scheme.
+[[nodiscard]] Trace generate_synthetic(const SyntheticParams& p);
+
+}  // namespace flashqos::trace

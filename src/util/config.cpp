@@ -1,0 +1,116 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flashqos {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Config Config::parse(std::istream& in) {
+  Config cfg;
+  std::string line;
+  std::string section;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments (not inside values — values never contain # here).
+    const auto comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line.erase(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        throw std::runtime_error("config: unterminated section at line " +
+                                 std::to_string(line_no));
+      }
+      section = trim(line.substr(1, line.size() - 2));
+      if (std::find(cfg.section_order_.begin(), cfg.section_order_.end(),
+                    section) == cfg.section_order_.end()) {
+        cfg.section_order_.push_back(section);
+      }
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config: expected key = value at line " +
+                               std::to_string(line_no));
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("config: empty key at line " +
+                               std::to_string(line_no));
+    }
+    cfg.values_[{section, key}].push_back(value);
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("config: cannot open " + path);
+  return parse(in);
+}
+
+bool Config::has(const std::string& section, const std::string& key) const {
+  return values_.count({section, key}) > 0;
+}
+
+std::vector<std::string> Config::all(const std::string& section,
+                                     const std::string& key) const {
+  const auto it = values_.find({section, key});
+  return it == values_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::string Config::get(const std::string& section, const std::string& key,
+                        const std::string& fallback) const {
+  const auto it = values_.find({section, key});
+  return it == values_.end() ? fallback : it->second.back();
+}
+
+double Config::get_double(const std::string& section, const std::string& key,
+                          double fallback) const {
+  const auto s = get(section, key);
+  if (s.empty()) return fallback;
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw std::runtime_error("config: [" + section + "] " + key +
+                             " is not a number: " + s);
+  }
+}
+
+std::int64_t Config::get_int(const std::string& section, const std::string& key,
+                             std::int64_t fallback) const {
+  const auto s = get(section, key);
+  if (s.empty()) return fallback;
+  try {
+    return std::stoll(s);
+  } catch (const std::exception&) {
+    throw std::runtime_error("config: [" + section + "] " + key +
+                             " is not an integer: " + s);
+  }
+}
+
+bool Config::get_bool(const std::string& section, const std::string& key,
+                      bool fallback) const {
+  const auto s = get(section, key);
+  if (s.empty()) return fallback;
+  if (s == "true" || s == "yes" || s == "1" || s == "on") return true;
+  if (s == "false" || s == "no" || s == "0" || s == "off") return false;
+  throw std::runtime_error("config: [" + section + "] " + key +
+                           " is not a boolean: " + s);
+}
+
+}  // namespace flashqos

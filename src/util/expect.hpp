@@ -1,0 +1,43 @@
+// Lightweight contract checking.
+//
+// FLASHQOS_EXPECT is an always-on precondition check (these guard API misuse
+// and cost nothing measurable next to simulation work); FLASHQOS_ASSERT is
+// a debug-only internal invariant check.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flashqos::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const char* msg, const char* file,
+                                          int line) noexcept {
+  std::fprintf(stderr, "flashqos %s failed: %s\n  %s\n  at %s:%d\n", kind, cond,
+               msg, file, line);
+  std::abort();
+}
+
+}  // namespace flashqos::detail
+
+#define FLASHQOS_EXPECT(cond, msg)                                              \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::flashqos::detail::contract_failure("precondition", #cond, (msg),        \
+                                           __FILE__, __LINE__);                 \
+    }                                                                           \
+  } while (false)
+
+#ifdef NDEBUG
+#define FLASHQOS_ASSERT(cond, msg) \
+  do {                             \
+  } while (false)
+#else
+#define FLASHQOS_ASSERT(cond, msg)                                              \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::flashqos::detail::contract_failure("invariant", #cond, (msg), __FILE__, \
+                                           __LINE__);                           \
+    }                                                                           \
+  } while (false)
+#endif

@@ -1,0 +1,32 @@
+#include "util/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace flashqos {
+namespace {
+
+std::size_t read_status_field(const char* key) noexcept {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kib = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + key_len, " %llu", &v) == 1) kib = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+}  // namespace
+
+std::size_t peak_rss_bytes() noexcept { return read_status_field("VmHWM:"); }
+
+std::size_t current_rss_bytes() noexcept { return read_status_field("VmRSS:"); }
+
+}  // namespace flashqos

@@ -1,0 +1,17 @@
+// Process memory probes, used by the FIM performance bench (Table IV) to
+// report peak-resident-set deltas the way the paper reports fim_apriori's
+// peak memory.
+#pragma once
+
+#include <cstddef>
+
+namespace flashqos {
+
+/// Peak resident set size of the current process, in bytes. Reads
+/// /proc/self/status (VmHWM); returns 0 if unavailable.
+[[nodiscard]] std::size_t peak_rss_bytes() noexcept;
+
+/// Current resident set size in bytes (VmRSS); 0 if unavailable.
+[[nodiscard]] std::size_t current_rss_bytes() noexcept;
+
+}  // namespace flashqos

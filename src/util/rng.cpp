@@ -1,0 +1,74 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+namespace flashqos {
+namespace {
+
+// Bounded Zipf is sampled by inverse CDF over a cached table. Domains in
+// this project are at most a few million ranks and the (n, s) pairs per run
+// are few, so an exact table beats rejection methods on both simplicity and
+// accuracy. thread_local: workload generation may run in parallel benches.
+const std::vector<double>& zipf_cdf(std::size_t n, double s) {
+  thread_local std::map<std::pair<std::size_t, double>, std::vector<double>> cache;
+  auto [it, inserted] = cache.try_emplace({n, s});
+  if (inserted) {
+    auto& cdf = it->second;
+    cdf.resize(n);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      sum += std::pow(static_cast<double>(k + 1), -s);
+      cdf[k] = sum;
+    }
+    for (auto& v : cdf) v /= sum;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+double Rng::exponential(double mean) noexcept {
+  FLASHQOS_EXPECT(mean > 0.0, "exponential mean must be positive");
+  // uniform() is in [0,1); use 1-u in (0,1] so log never sees zero.
+  return -mean * std::log(1.0 - uniform());
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) noexcept {
+  FLASHQOS_EXPECT(n > 0, "zipf needs a non-empty domain");
+  if (n == 1) return 0;
+  if (s <= 0.0) return static_cast<std::size_t>(below(n));
+  const auto& cdf = zipf_cdf(n, s);
+  const double u = uniform();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<std::size_t>(it - cdf.begin());
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  FLASHQOS_EXPECT(k <= n, "cannot sample more elements than the domain holds");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over the full domain.
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(below(n - i));
+      std::swap(pool[i], pool[j]);
+      out.push_back(pool[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection with a hash set.
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const auto v = static_cast<std::size_t>(below(n));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace flashqos

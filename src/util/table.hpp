@@ -1,0 +1,39 @@
+// Console table printer used by the bench harnesses to emit paper-style
+// tables and figure series in a readable, diffable fixed-width format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace flashqos {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; cells beyond the header count are dropped, missing
+  /// cells render empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header separator, column-aligned. Writes to `out`
+  /// (defaults to stdout).
+  void print(std::FILE* out = stdout) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Formatting helpers for common cell types.
+  [[nodiscard]] static std::string num(double v, int precision = 3);
+  [[nodiscard]] static std::string ms(double v_ms, int precision = 3);
+  [[nodiscard]] static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner ("== Table III: ... ==") so bench output reads as
+/// a sequence of reproduced artifacts.
+void print_banner(const std::string& title, std::FILE* out = stdout);
+
+}  // namespace flashqos

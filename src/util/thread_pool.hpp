@@ -1,0 +1,52 @@
+// Minimal fixed-size thread pool for embarrassingly parallel work.
+//
+// Used by the Monte-Carlo P_k sampler, whose per-size estimates are
+// independent. Tasks are closures; parallel_for covers the common indexed
+// pattern. Results must not depend on execution order — callers seed any
+// randomness per index (see core::sample_optimal_probabilities).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace flashqos {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; runs as soon as a worker frees up.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across the pool and wait for completion.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace flashqos

@@ -1,0 +1,25 @@
+// Fundamental identifier and time types shared across all flashqos modules.
+#pragma once
+
+#include <cstdint>
+
+namespace flashqos {
+
+/// Identifier of a *design bucket*: one replicated unit placed on c devices.
+/// Bucket ids index the rotated block table of a combinatorial design.
+using BucketId = std::uint32_t;
+
+/// Identifier of a flash module (device) in the array.
+using DeviceId = std::uint32_t;
+
+/// Identifier of a *data block* of the storage system. There are far more
+/// data blocks than design buckets; core::BlockMapper maps one to the other.
+using DataBlockId = std::uint64_t;
+
+/// Simulated time in nanoseconds. Signed so that differences are safe.
+using SimTime = std::int64_t;
+
+inline constexpr BucketId kInvalidBucket = static_cast<BucketId>(-1);
+inline constexpr DeviceId kInvalidDevice = static_cast<DeviceId>(-1);
+
+}  // namespace flashqos

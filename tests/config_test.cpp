@@ -1,0 +1,191 @@
+// Config parsing, the MSR-Cambridge CSV trace reader, and the
+// config-driven experiment builder.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "trace/msr_format.hpp"
+#include "util/config.hpp"
+
+namespace flashqos {
+namespace {
+
+TEST(Config, ParsesSectionsAndTypes) {
+  std::istringstream in(R"(
+# comment
+[alpha]
+name = hello world   ; trailing comment
+count = 42
+ratio = 0.5
+flag = true
+
+[beta]
+fail = 1 2 3
+fail = 4 5 6
+)");
+  const auto cfg = Config::parse(in);
+  EXPECT_EQ(cfg.get("alpha", "name"), "hello world");
+  EXPECT_EQ(cfg.get_int("alpha", "count", 0), 42);
+  EXPECT_DOUBLE_EQ(cfg.get_double("alpha", "ratio", 0.0), 0.5);
+  EXPECT_TRUE(cfg.get_bool("alpha", "flag", false));
+  EXPECT_EQ(cfg.all("beta", "fail").size(), 2u);
+  EXPECT_EQ(cfg.all("beta", "fail")[1], "4 5 6");
+  EXPECT_EQ(cfg.sections(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(Config, DefaultsWhenMissing) {
+  std::istringstream in("[s]\nk = v\n");
+  const auto cfg = Config::parse(in);
+  EXPECT_FALSE(cfg.has("s", "absent"));
+  EXPECT_EQ(cfg.get("s", "absent", "dflt"), "dflt");
+  EXPECT_EQ(cfg.get_int("other", "x", -7), -7);
+  EXPECT_FALSE(cfg.get_bool("s", "absent", false));
+}
+
+TEST(Config, RejectsMalformedInput) {
+  std::istringstream bad1("[unterminated\n");
+  EXPECT_THROW(Config::parse(bad1), std::runtime_error);
+  std::istringstream bad2("[s]\nno-equals-sign\n");
+  EXPECT_THROW(Config::parse(bad2), std::runtime_error);
+  std::istringstream bad3("[s]\nx = notanumber\n");
+  const auto cfg = Config::parse(bad3);
+  EXPECT_THROW((void)cfg.get_int("s", "x", 0), std::runtime_error);
+  EXPECT_THROW((void)cfg.get_bool("s", "x", false), std::runtime_error);
+}
+
+TEST(MsrFormat, ParsesAndRebasesTimestamps) {
+  std::istringstream in(
+      "128166372003061629,web,0,Read,8192,8192,151\n"
+      "128166372016382155,web,1,Write,16384,16384,303\n"
+      "128166372004001000,web,0,Read,0,4096,100\n");
+  const auto t = trace::read_msr_csv(in, "msr");
+  ASSERT_EQ(t.events.size(), 3u);
+  EXPECT_TRUE(trace::valid_trace(t));
+  EXPECT_EQ(t.events[0].time, 0) << "rebased to zero";
+  EXPECT_EQ(t.events[0].block, 1u) << "offset 8192 / 8 KB";
+  EXPECT_TRUE(t.events[0].is_read);
+  EXPECT_EQ(t.events[1].block, 0u);
+  EXPECT_EQ(t.events[1].size_blocks, 1u) << "4 KB rounds up to one block";
+  EXPECT_FALSE(t.events[2].is_read);
+  EXPECT_EQ(t.events[2].size_blocks, 2u);
+  EXPECT_EQ(t.volumes, 2u);
+}
+
+TEST(MsrFormat, ReadsOnlyFilterAndVolumeOverride) {
+  std::istringstream in(
+      "100,h,5,Read,0,8192,0\n"
+      "200,h,6,Write,8192,8192,0\n");
+  trace::MsrReadOptions opts;
+  opts.reads_only = true;
+  opts.volumes = 3;
+  const auto t = trace::read_msr_csv(in, "x", opts);
+  ASSERT_EQ(t.events.size(), 1u);
+  EXPECT_EQ(t.events[0].device, 5u % 3u);
+}
+
+TEST(MsrFormat, RoundTripsThroughWriter) {
+  trace::Trace t;
+  t.name = "rt";
+  t.volumes = 2;
+  t.report_interval = kSecond;
+  t.events = {{.time = 0, .block = 3, .device = 0, .size_blocks = 1, .is_read = true},
+              {.time = kMillisecond, .block = 7, .device = 1, .size_blocks = 2,
+               .is_read = false}};
+  std::stringstream ss;
+  trace::write_msr_csv(t, ss);
+  const auto back = trace::read_msr_csv(ss, "rt");
+  ASSERT_EQ(back.events.size(), 2u);
+  EXPECT_EQ(back.events[0].block, 3u);
+  EXPECT_EQ(back.events[1].block, 7u);
+  EXPECT_EQ(back.events[1].size_blocks, 2u);
+  EXPECT_FALSE(back.events[1].is_read);
+}
+
+TEST(MsrFormat, RejectsMalformedRows) {
+  std::istringstream in("not,enough\n");
+  EXPECT_THROW(trace::read_msr_csv(in, "x"), std::runtime_error);
+  std::istringstream in2("abc,h,0,Read,0,8192,0\n");
+  EXPECT_THROW(trace::read_msr_csv(in2, "x"), std::runtime_error);
+}
+
+Config config_from(const std::string& text) {
+  std::istringstream in(text);
+  return Config::parse(in);
+}
+
+TEST(Experiment, BuildsDefaultNineThreeOne) {
+  const auto cfg = config_from("[workload]\nkind = synthetic\ntotal_requests = 50\n");
+  const auto e = core::build_experiment(cfg);
+  EXPECT_EQ(e.design->name(), "(9,3,1)");
+  EXPECT_EQ(e.scheme->buckets(), 36u);
+  EXPECT_EQ(e.workload.events.size(), 50u);
+}
+
+TEST(Experiment, DesignShorthands) {
+  for (const auto& [spec, points] :
+       std::vector<std::pair<std::string, std::uint32_t>>{
+           {"sts:15", 15}, {"ag:4", 16}, {"pg:4", 21}, {"td:3,5", 15},
+           {"kts:15", 15}, {"(13,3,1)", 13}}) {
+    const auto cfg = config_from("[design]\nname = " + spec +
+                                 "\n[workload]\nkind = synthetic\n"
+                                 "total_requests = 10\n");
+    const auto e = core::build_experiment(cfg);
+    EXPECT_EQ(e.design->points(), points) << spec;
+  }
+}
+
+TEST(Experiment, RejectsUnknownNames) {
+  EXPECT_THROW(core::build_experiment(config_from("[design]\nname = bogus\n")),
+               std::runtime_error);
+  EXPECT_THROW(core::build_experiment(
+                   config_from("[pipeline]\nretrieval = sideways\n")),
+               std::runtime_error);
+  EXPECT_THROW(
+      core::build_experiment(config_from("[workload]\nkind = mystery\n")),
+      std::runtime_error);
+}
+
+TEST(Experiment, ParsesFailures) {
+  const auto cfg = config_from(
+      "[workload]\nkind = synthetic\ntotal_requests = 10\n"
+      "[failures]\nfail = 3 10.0 50.0\nfail = 4 0.0\n");
+  const auto e = core::build_experiment(cfg);
+  ASSERT_EQ(e.pipeline.failures.size(), 2u);
+  EXPECT_EQ(e.pipeline.failures[0].device, 3u);
+  EXPECT_EQ(e.pipeline.failures[0].fail_at, 10 * kMillisecond);
+  EXPECT_EQ(e.pipeline.failures[0].recover_at, 50 * kMillisecond);
+  EXPECT_EQ(e.pipeline.failures[1].recover_at,
+            core::DeviceFailure::kNeverRecovers);
+}
+
+TEST(Experiment, StatisticalAdmissionSamplesPkTable) {
+  const auto cfg = config_from(
+      "[pipeline]\nadmission = statistical\nepsilon = 0.01\nsamples = 100\n"
+      "p_table_max_k = 12\n[workload]\nkind = synthetic\ntotal_requests = 10\n");
+  const auto e = core::build_experiment(cfg);
+  EXPECT_EQ(e.pipeline.p_table.size(), 13u);
+  EXPECT_DOUBLE_EQ(e.pipeline.epsilon, 0.01);
+}
+
+TEST(Experiment, RunsEndToEnd) {
+  const auto cfg = config_from(
+      "[workload]\nkind = synthetic\nrequests_per_interval = 5\n"
+      "total_requests = 500\n");
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.outcomes.size(), 500u);
+  EXPECT_EQ(r.deadline_violations, 0u);
+}
+
+TEST(Experiment, TemplateParsesAndRuns) {
+  auto text = core::experiment_template();
+  // Shrink the template's workload so the test stays fast.
+  text += "\n[workload]\nkind = synthetic\ntotal_requests = 100\n";
+  std::istringstream in(text);
+  const auto cfg = Config::parse(in);
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.outcomes.size(), 100u);
+}
+
+}  // namespace
+}  // namespace flashqos

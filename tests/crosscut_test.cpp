@@ -1,0 +1,221 @@
+// Cross-cutting behaviours not owned by a single module: mode
+// equivalences, combined statistical+failure operation, stepping
+// equivalence of the simulators, substrate replay exactness, and
+// generator determinism.
+#include <gtest/gtest.h>
+
+#include "core/qos_pipeline.hpp"
+#include "core/sampler.hpp"
+#include "core/substrate_replay.hpp"
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+#include "flashsim/ssd_module.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/workload.hpp"
+#include "util/rng.hpp"
+
+namespace flashqos {
+namespace {
+
+using core::AdmissionMode;
+using core::MappingMode;
+using core::PipelineConfig;
+using core::QosPipeline;
+using core::RetrievalMode;
+using decluster::DesignTheoretic;
+
+const DesignTheoretic& scheme931() {
+  static const auto d = design::make_9_3_1();
+  static const DesignTheoretic s(d, true);
+  return s;
+}
+
+TEST(ModeEquivalence, BoundaryTracesDispatchIdenticallyInBothModes) {
+  // When every arrival sits exactly on an interval boundary, the aligned
+  // mode's "defer to boundary" is a no-op and the two retrieval modes
+  // must produce identical dispatch times and per-request finishes.
+  const auto t = trace::generate_synthetic({.bucket_pool = 36,
+                                            .requests_per_interval = 5,
+                                            .total_requests = 2000,
+                                            .seed = 77});
+  PipelineConfig cfg;
+  cfg.admission = AdmissionMode::kDeterministic;
+  cfg.mapping = MappingMode::kModulo;
+  cfg.retrieval = RetrievalMode::kOnline;
+  const auto online = QosPipeline(scheme931(), cfg).run(t);
+  cfg.retrieval = RetrievalMode::kIntervalAligned;
+  const auto aligned = QosPipeline(scheme931(), cfg).run(t);
+  ASSERT_EQ(online.outcomes.size(), aligned.outcomes.size());
+  for (std::size_t i = 0; i < online.outcomes.size(); ++i) {
+    EXPECT_EQ(online.outcomes[i].dispatch, aligned.outcomes[i].dispatch) << i;
+    EXPECT_EQ(online.outcomes[i].finish, aligned.outcomes[i].finish) << i;
+  }
+}
+
+TEST(StatisticalWithFailures, SurplusNeverRoutesToDownDevices) {
+  const auto p_table =
+      core::sample_optimal_probabilities(scheme931(), 16, {.samples_per_size = 400});
+  PipelineConfig cfg;
+  cfg.retrieval = RetrievalMode::kOnline;
+  cfg.admission = AdmissionMode::kStatistical;
+  cfg.mapping = MappingMode::kModulo;
+  cfg.epsilon = 0.5;  // generous: force the surplus path to exercise
+  cfg.p_table = p_table;
+  cfg.failures = {{.device = 2, .fail_at = 0}};
+  const auto t = trace::generate_synthetic({.bucket_pool = 36,
+                                            .requests_per_interval = 8,
+                                            .total_requests = 8000,
+                                            .seed = 5});
+  const auto r = QosPipeline(scheme931(), cfg).run(t);
+  EXPECT_EQ(r.overall.failed, 0u);
+  bool surplus_queued = false;
+  for (const auto& o : r.outcomes) {
+    EXPECT_NE(o.device, 2u);
+    surplus_queued |= o.start > o.dispatch;
+  }
+  EXPECT_TRUE(surplus_queued) << "ε = 0.5 must exercise the queueing surplus path";
+  // Statistical admission defers strictly less than deterministic on the
+  // same degraded, over-budget workload (8 req/interval vs 8 live devices
+  // is critical load, so deferral stays substantial in both).
+  cfg.admission = AdmissionMode::kDeterministic;
+  const auto det = QosPipeline(scheme931(), cfg).run(t);
+  EXPECT_LT(r.overall.pct_deferred, det.overall.pct_deferred);
+}
+
+TEST(SsdStepping, RunUntilIncrementsMatchOneShotRun) {
+  flashsim::SsdModuleConfig cfg;
+  cfg.packages = 2;
+  cfg.ftl = {.blocks = 16,
+             .pages_per_block = 8,
+             .overprovision_blocks = 4,
+             .gc_trigger_blocks = 2};
+  cfg.cache_pages = 8;
+
+  const auto drive = [&](bool stepped) {
+    flashsim::SsdModule m(cfg);
+    Rng rng(3);
+    SimTime t = 0;
+    for (int i = 0; i < 500; ++i) {
+      t += static_cast<SimTime>(rng.below(80 * kMicrosecond));
+      m.submit({.id = static_cast<std::uint64_t>(i),
+                .page = rng.below(m.logical_pages()),
+                .is_write = rng.chance(0.25),
+                .submit_time = t});
+    }
+    if (stepped) {
+      for (SimTime step = 0; step < t + kSecond; step += 3 * kMillisecond) {
+        m.run_until(step);
+      }
+    }
+    m.run();
+    return m.take_completions();
+  };
+  const auto once = drive(false);
+  const auto stepped = drive(true);
+  ASSERT_EQ(once.size(), stepped.size());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once[i].id, stepped[i].id);
+    EXPECT_EQ(once[i].finish, stepped[i].finish);
+  }
+}
+
+TEST(SubstrateReplay, ReadOnlyPlanIsExactlyTheConstant) {
+  const auto t = trace::generate_synthetic({.bucket_pool = 36,
+                                            .requests_per_interval = 4,
+                                            .total_requests = 2000,
+                                            .seed = 31});
+  PipelineConfig cfg;
+  cfg.retrieval = RetrievalMode::kOnline;
+  cfg.admission = AdmissionMode::kDeterministic;
+  cfg.mapping = MappingMode::kModulo;
+  const auto plan = QosPipeline(scheme931(), cfg).run(t);
+
+  flashsim::SsdModuleConfig module;
+  module.packages = 4;
+  module.ftl = {.blocks = 64,
+                .pages_per_block = 64,
+                .overprovision_blocks = 8,
+                .gc_trigger_blocks = 3};
+  const auto replay = core::replay_on_ssd(plan, t, scheme931(), module);
+  EXPECT_EQ(replay.reads, 2000u);
+  EXPECT_EQ(replay.writes, 0u);
+  EXPECT_DOUBLE_EQ(replay.within_guarantee, 1.0);
+  EXPECT_DOUBLE_EQ(replay.max_ms, to_ms(kPageReadLatency))
+      << "an admitted read-only plan is the substrate's calibration point";
+}
+
+TEST(SubstrateReplay, EmptyPlan) {
+  core::PipelineResult empty;
+  trace::Trace t;
+  flashsim::SsdModuleConfig module;
+  module.ftl = {.blocks = 16,
+                .pages_per_block = 8,
+                .overprovision_blocks = 4,
+                .gc_trigger_blocks = 2};
+  const auto r = core::replay_on_ssd(empty, t, scheme931(), module);
+  EXPECT_EQ(r.reads, 0u);
+  EXPECT_DOUBLE_EQ(r.within_guarantee, 0.0);
+}
+
+TEST(WorkloadDeterminism, SameSeedSameTrace) {
+  const auto a = trace::generate_workload(trace::exchange_params(0.1, 123));
+  const auto b = trace::generate_workload(trace::exchange_params(0.1, 123));
+  const auto c = trace::generate_workload(trace::exchange_params(0.1, 124));
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].block, b.events[i].block);
+  }
+  EXPECT_NE(a.events.size(), c.events.size());
+}
+
+TEST(PrimaryOnlyWithAdmission, BudgetStillCapsThroughput) {
+  // The baseline scheduler composed with deterministic admission: at most
+  // S requests dispatch per interval even though the baseline never remaps.
+  PipelineConfig cfg;
+  cfg.retrieval = RetrievalMode::kOnline;
+  cfg.admission = AdmissionMode::kDeterministic;
+  cfg.mapping = MappingMode::kModulo;
+  cfg.scheduler = core::SchedulerMode::kPrimaryOnly;
+  const auto t = trace::generate_synthetic({.bucket_pool = 36,
+                                            .requests_per_interval = 9,
+                                            .total_requests = 900,
+                                            .seed = 41});
+  const auto r = QosPipeline(scheme931(), cfg).run(t);
+  // Count dispatches per QoS interval.
+  std::map<SimTime, int> per_interval;
+  for (const auto& o : r.outcomes) {
+    ++per_interval[o.dispatch / kBaseInterval];
+  }
+  for (const auto& [interval, n] : per_interval) {
+    EXPECT_LE(n, 5) << "interval " << interval;
+  }
+}
+
+TEST(FimMinSupport, HigherSupportShrinksTheMappingTable) {
+  auto p = trace::tpce_params(0.1, 71);
+  const auto t = trace::generate_workload(p);
+  PipelineConfig cfg;
+  cfg.retrieval = RetrievalMode::kOnline;
+  cfg.admission = AdmissionMode::kDeterministic;
+  cfg.mapping = MappingMode::kFim;
+  double match_s1 = 0.0, match_s4 = 0.0;
+  for (const std::uint64_t support : {1u, 4u}) {
+    cfg.fim_min_support = support;
+    const auto r = QosPipeline(scheme931(), cfg).run(t);
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 1; i < r.intervals.size(); ++i) {
+      if (r.intervals[i].requests == 0) continue;
+      sum += r.intervals[i].fim_match_rate;
+      ++n;
+    }
+    (support == 1 ? match_s1 : match_s4) = n ? sum / n : 0.0;
+  }
+  EXPECT_GT(match_s1, match_s4)
+      << "raising the support prunes pairs and lowers the match rate";
+  EXPECT_GT(match_s4, 0.0);
+}
+
+}  // namespace
+}  // namespace flashqos

@@ -1,0 +1,163 @@
+// Unit tests for src/decluster: each allocation scheme's layout invariants
+// and the paper's Figure 7 layouts verified cell by cell.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+
+namespace flashqos::decluster {
+namespace {
+
+void expect_valid(const AllocationScheme& s) {
+  const auto r = validate(s);
+  EXPECT_TRUE(r.replicas_distinct) << s.name();
+  EXPECT_TRUE(r.devices_in_range) << s.name();
+}
+
+TEST(DesignTheoretic, MatchesPaperFigure7) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic s(d, true);
+  EXPECT_EQ(s.devices(), 9u);
+  EXPECT_EQ(s.copies(), 3u);
+  EXPECT_EQ(s.buckets(), 36u);
+  expect_valid(s);
+  // Figure 7 top-left: b0 -> (d0,d1,d2), b1 -> (d0,d3,d6), b2 -> (d0,d4,d8).
+  // Our bucket table interleaves rotations, so the figure's bN is bucket 3N.
+  const auto b0 = s.replicas(0);
+  EXPECT_EQ(b0[0], 0u);
+  EXPECT_EQ(b0[1], 1u);
+  EXPECT_EQ(b0[2], 2u);
+  const auto b1 = s.replicas(3);
+  EXPECT_EQ(b1[0], 0u);
+  EXPECT_EQ(b1[1], 3u);
+  EXPECT_EQ(b1[2], 6u);
+}
+
+TEST(DesignTheoretic, EveryDevicePairAtMostOnceAmongBaseBlocks) {
+  const auto d = design::make_13_3_1();
+  const DesignTheoretic s(d, false);  // base blocks only, no rotations
+  const auto r = validate(s);
+  EXPECT_EQ(r.max_pair_count, 1u);
+}
+
+TEST(Raid1Mirrored, GroupsAreMirrors) {
+  const Raid1Mirrored s(9, 3, 36);
+  EXPECT_EQ(s.buckets(), 36u);
+  expect_valid(s);
+  // Figure 7 middle: b0 -> (d0,d1,d2), b1 -> (d3,d4,d5), b2 -> (d6,d7,d8),
+  // repeating — the primary of a group is always its first device.
+  for (BucketId b = 0; b < s.buckets(); ++b) {
+    const auto reps = s.replicas(b);
+    const DeviceId group = (b % 3) * 3;
+    EXPECT_EQ(reps[0], group);
+    for (std::uint32_t i = 0; i < 3; ++i) EXPECT_EQ(reps[i], group + i);
+  }
+}
+
+TEST(Raid1Mirrored, RejectsIndivisibleLayout) {
+  EXPECT_DEATH(Raid1Mirrored(10, 3, 12), "divisible");
+}
+
+TEST(Raid1Chained, CopiesAreConsecutive) {
+  const Raid1Chained s(9, 3, 36);
+  expect_valid(s);
+  // Figure 7 bottom: copy j of block b on device (b + j) mod 9.
+  for (BucketId b = 0; b < s.buckets(); ++b) {
+    const auto reps = s.replicas(b);
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(reps[j], (b + j) % 9);
+    }
+  }
+}
+
+TEST(RandomDuplicate, DistinctAndDeterministic) {
+  const RandomDuplicate a(9, 3, 100, 77);
+  const RandomDuplicate b(9, 3, 100, 77);
+  const RandomDuplicate c(9, 3, 100, 78);
+  expect_valid(a);
+  bool any_difference = false;
+  for (BucketId i = 0; i < 100; ++i) {
+    const auto ra = a.replicas(i);
+    const auto rb = b.replicas(i);
+    const auto rc = c.replicas(i);
+    EXPECT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin()));
+    if (!std::equal(ra.begin(), ra.end(), rc.begin())) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);  // different seed, different layout
+}
+
+TEST(Partitioned, CopiesStayInGroup) {
+  const Partitioned s(12, 3, 4, 48);
+  expect_valid(s);
+  for (BucketId b = 0; b < s.buckets(); ++b) {
+    const auto reps = s.replicas(b);
+    const DeviceId group = reps[0] / 4;
+    for (const auto dev : reps) EXPECT_EQ(dev / 4, group);
+  }
+}
+
+TEST(DependentPeriodic, ShiftedCopies) {
+  const DependentPeriodic s(9, 3, 4, 36);
+  expect_valid(s);
+  for (BucketId b = 0; b < s.buckets(); ++b) {
+    const auto reps = s.replicas(b);
+    EXPECT_EQ(reps[1], (reps[0] + 4) % 9);
+    EXPECT_EQ(reps[2], (reps[0] + 8) % 9);
+  }
+}
+
+TEST(DependentPeriodic, RejectsCollidingShift) {
+  // shift 3 on 9 devices with 4 copies: copy 3 lands back on the primary.
+  EXPECT_DEATH(DependentPeriodic(9, 4, 3, 36), "collides");
+}
+
+TEST(Orthogonal, EveryOrderedPairOnce) {
+  const Orthogonal s(5);
+  EXPECT_EQ(s.buckets(), 20u);  // 5 * 4
+  expect_valid(s);
+  std::set<std::pair<DeviceId, DeviceId>> seen;
+  for (BucketId b = 0; b < s.buckets(); ++b) {
+    const auto reps = s.replicas(b);
+    EXPECT_TRUE(seen.emplace(reps[0], reps[1]).second);
+  }
+}
+
+TEST(Validate, ReportsPrimaryAndTotalLoad) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic s(d, true);
+  const auto r = validate(s);
+  // 36 buckets, primaries rotate: each device is primary for 4 buckets and
+  // stores 12 replicas (36*3/9).
+  for (const auto l : r.primary_load) EXPECT_EQ(l, 4u);
+  for (const auto l : r.total_load) EXPECT_EQ(l, 12u);
+}
+
+// Property sweep: all schemes validate across a range of shapes.
+struct SchemeShape {
+  std::uint32_t devices;
+  std::uint32_t copies;
+  std::size_t buckets;
+};
+
+class SchemeSweep : public ::testing::TestWithParam<SchemeShape> {};
+
+TEST_P(SchemeSweep, AllSchemesProduceValidLayouts) {
+  const auto [n, c, buckets] = GetParam();
+  expect_valid(Raid1Chained(n, c, buckets));
+  expect_valid(RandomDuplicate(n, c, buckets, 1));
+  expect_valid(DependentPeriodic(n, c, 1, buckets));
+  if (n % c == 0) expect_valid(Raid1Mirrored(n, c, buckets));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SchemeSweep,
+    ::testing::Values(SchemeShape{9, 3, 36}, SchemeShape{13, 3, 78},
+                      SchemeShape{9, 2, 72}, SchemeShape{12, 4, 50},
+                      SchemeShape{6, 3, 10}, SchemeShape{16, 2, 240}));
+
+}  // namespace
+}  // namespace flashqos::decluster

@@ -1,0 +1,133 @@
+// Unit + property tests for FP-growth and general k-itemset mining.
+#include <gtest/gtest.h>
+
+#include "fim/fp_growth.hpp"
+#include "util/rng.hpp"
+
+namespace flashqos::fim {
+namespace {
+
+TransactionDb classic_db() {
+  // The Han et al. FP-growth paper's running example (items renamed to
+  // integers: f=1 c=2 a=3 b=4 m=5 p=6 and the infrequent extras 10+).
+  TransactionDb db;
+  db.add({1, 3, 2, 10, 11, 6, 5});    // f a c d g i m p
+  db.add({3, 4, 2, 1, 12, 5, 13});    // a b c f l m o
+  db.add({4, 1, 14, 15, 16});         // b f h j o
+  db.add({4, 2, 17, 18, 6});          // b c k s p
+  db.add({3, 1, 2, 19, 12, 6, 5, 20});// a f c e l p m n
+  return db;
+}
+
+TEST(FpGrowth, ClassicExampleFrequentItems) {
+  const auto sets = mine_itemsets_fpgrowth(classic_db(), 3, 1);
+  // min_support 3: f(4) c(4) a(3) b(3) m(3) p(3).
+  ASSERT_EQ(sets.size(), 6u);
+  for (const auto& s : sets) {
+    EXPECT_EQ(s.items.size(), 1u);
+    EXPECT_GE(s.support, 3u);
+  }
+}
+
+TEST(FpGrowth, ClassicExampleTriples) {
+  const auto sets = mine_itemsets_fpgrowth(classic_db(), 3, 3);
+  // The famous result: {f,c,a,m,p} patterns; at size 3 with support 3 the
+  // sets include {f,c,a} and {c,a,m} etc. Cross-check with naive below;
+  // here just assert a known member: {1,2,3} (f,c,a) has support 3.
+  const Itemset expected{{1, 2, 3}, 3};
+  EXPECT_NE(std::find(sets.begin(), sets.end(), expected), sets.end());
+}
+
+TEST(FpGrowth, MatchesNaiveOnClassicExample) {
+  for (const std::uint64_t support : {1u, 2u, 3u, 4u}) {
+    for (const std::size_t size : {1u, 2u, 3u, 4u}) {
+      EXPECT_EQ(mine_itemsets_fpgrowth(classic_db(), support, size),
+                mine_itemsets_naive(classic_db(), support, size))
+          << "support=" << support << " size=" << size;
+    }
+  }
+}
+
+TEST(FpGrowth, PairsMatchApriori) {
+  const auto db = classic_db();
+  for (const std::uint64_t support : {1u, 2u, 3u}) {
+    const auto fp = mine_pairs_fpgrowth(db, support);
+    const auto ap = mine_pairs_apriori(db, support);
+    EXPECT_EQ(fp.pairs, ap.pairs) << "support=" << support;
+  }
+}
+
+TEST(FpGrowth, EmptyDb) {
+  EXPECT_TRUE(mine_itemsets_fpgrowth(TransactionDb{}, 1, 3).empty());
+}
+
+TEST(FpGrowth, SingleTransaction) {
+  TransactionDb db;
+  db.add({7, 8, 9});
+  const auto sets = mine_itemsets_fpgrowth(db, 1, 3);
+  // 3 singletons + 3 pairs + 1 triple.
+  EXPECT_EQ(sets.size(), 7u);
+  EXPECT_EQ(sets.back().items, (std::vector<Item>{7, 8, 9}));
+  EXPECT_EQ(sets.back().support, 1u);
+}
+
+TEST(FpGrowth, MaxSizeOneIsItemSupports) {
+  const auto sets = mine_itemsets_fpgrowth(classic_db(), 1, 1);
+  for (const auto& s : sets) EXPECT_EQ(s.items.size(), 1u);
+  // 17 distinct items appear in the db.
+  EXPECT_EQ(sets.size(), 17u);
+}
+
+// Property: FP-growth == naive on random databases across supports and
+// itemset sizes.
+class FpGrowthAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FpGrowthAgreement, MatchesNaiveOnRandomDbs) {
+  Rng rng(GetParam());
+  TransactionDb db;
+  const std::size_t txs = 15 + rng.below(40);
+  for (std::size_t t = 0; t < txs; ++t) {
+    std::vector<Item> items;
+    const std::size_t len = 1 + rng.below(7);
+    for (std::size_t i = 0; i < len; ++i) items.push_back(rng.below(15));
+    db.add(std::move(items));
+  }
+  for (const std::uint64_t support : {1u, 2u, 4u}) {
+    for (const std::size_t size : {2u, 3u, 4u}) {
+      EXPECT_EQ(mine_itemsets_fpgrowth(db, support, size),
+                mine_itemsets_naive(db, support, size))
+          << "seed=" << GetParam() << " support=" << support << " size=" << size;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDbs, FpGrowthAgreement,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u, 16u));
+
+TEST(FpGrowth, SupportsAreAntimonotone) {
+  // Every superset's support <= every subset's support (the apriori
+  // property FP-growth must respect).
+  Rng rng(21);
+  TransactionDb db;
+  for (int t = 0; t < 60; ++t) {
+    std::vector<Item> items;
+    for (int i = 0; i < 5; ++i) items.push_back(rng.below(10));
+    db.add(std::move(items));
+  }
+  const auto sets = mine_itemsets_fpgrowth(db, 1, 3);
+  std::map<std::vector<Item>, std::uint64_t> by_items;
+  for (const auto& s : sets) by_items[s.items] = s.support;
+  for (const auto& s : sets) {
+    if (s.items.size() < 2) continue;
+    for (std::size_t drop = 0; drop < s.items.size(); ++drop) {
+      auto sub = s.items;
+      sub.erase(sub.begin() + static_cast<std::ptrdiff_t>(drop));
+      const auto it = by_items.find(sub);
+      ASSERT_NE(it, by_items.end()) << "subset of a frequent set must be frequent";
+      EXPECT_GE(it->second, s.support);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flashqos::fim

@@ -1,0 +1,163 @@
+// Unit + property tests for heterogeneous (min-makespan) retrieval.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+#include "retrieval/heterogeneous.hpp"
+#include "retrieval/maxflow.hpp"
+#include "util/rng.hpp"
+
+namespace flashqos::retrieval {
+namespace {
+
+using decluster::DesignTheoretic;
+
+const DesignTheoretic& scheme931() {
+  static const auto d = design::make_9_3_1();
+  static const DesignTheoretic s(d, true);
+  return s;
+}
+
+/// Exhaustive minimum makespan over every replica choice (exponential).
+SimTime brute_force_makespan(std::span<const BucketId> batch,
+                             const decluster::AllocationScheme& scheme,
+                             std::span<const SimTime> service) {
+  const std::size_t b = batch.size();
+  const std::uint32_t c = scheme.copies();
+  SimTime best = INT64_MAX;
+  std::vector<std::uint32_t> choice(b, 0);
+  std::vector<SimTime> load(scheme.devices());
+  for (;;) {
+    std::fill(load.begin(), load.end(), SimTime{0});
+    for (std::size_t i = 0; i < b; ++i) {
+      const DeviceId d = scheme.replicas(batch[i])[choice[i]];
+      load[d] += service[d];
+    }
+    best = std::min(best, *std::max_element(load.begin(), load.end()));
+    std::size_t pos = 0;
+    while (pos < b && ++choice[pos] == c) {
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == b) break;
+  }
+  return best;
+}
+
+TEST(Heterogeneous, HomogeneousReducesToRounds) {
+  const auto& scheme = scheme931();
+  const std::vector<SimTime> service(9, kPageReadLatency);
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t k = 1 + rng.below(15);
+    std::vector<BucketId> batch;
+    for (const auto b : rng.sample_without_replacement(scheme.buckets(), k)) {
+      batch.push_back(static_cast<BucketId>(b));
+    }
+    const auto het = optimal_makespan_schedule(batch, scheme, service);
+    const auto rounds = optimal_schedule(batch, scheme).rounds;
+    EXPECT_EQ(het.makespan, static_cast<SimTime>(rounds) * kPageReadLatency);
+    EXPECT_TRUE(valid_heterogeneous_schedule(batch, scheme, service, het));
+  }
+}
+
+TEST(Heterogeneous, PrefersFasterDevices) {
+  const auto& scheme = scheme931();
+  // Device 0 is 10x slower; a single request for bucket 0 ((0,1,2)) must
+  // go to device 1 or 2.
+  std::vector<SimTime> service(9, 100);
+  service[0] = 1000;
+  const std::vector<BucketId> batch{0};
+  const auto s = optimal_makespan_schedule(batch, scheme, service);
+  EXPECT_NE(s.assignments[0].device, 0u);
+  EXPECT_EQ(s.makespan, 100);
+}
+
+TEST(Heterogeneous, SlowDeviceTakesFewerRequests) {
+  const auto& scheme = scheme931();
+  std::vector<SimTime> service(9, 100);
+  service[0] = 300;  // three times slower
+  Rng rng(7);
+  std::vector<BucketId> batch;
+  for (const auto b : rng.sample_without_replacement(scheme.buckets(), 18)) {
+    batch.push_back(static_cast<BucketId>(b));
+  }
+  const auto s = optimal_makespan_schedule(batch, scheme, service);
+  EXPECT_TRUE(valid_heterogeneous_schedule(batch, scheme, service, s));
+  std::size_t on_slow = 0;
+  for (const auto& a : s.assignments) {
+    if (a.device == 0) ++on_slow;
+  }
+  // Makespan-optimal placement gives the slow device at most
+  // makespan/300 requests; the fast ones take makespan/100 each.
+  EXPECT_LE(static_cast<SimTime>(on_slow) * 300, s.makespan);
+}
+
+TEST(Heterogeneous, MatchesBruteForceOnSmallBatches) {
+  const auto& scheme = scheme931();
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<SimTime> service(9);
+    for (auto& s : service) s = 50 + static_cast<SimTime>(rng.below(200));
+    const std::size_t k = 1 + rng.below(7);
+    std::vector<BucketId> batch;
+    for (std::size_t i = 0; i < k; ++i) {
+      batch.push_back(static_cast<BucketId>(rng.below(scheme.buckets())));
+    }
+    const auto s = optimal_makespan_schedule(batch, scheme, service);
+    EXPECT_TRUE(valid_heterogeneous_schedule(batch, scheme, service, s));
+    EXPECT_EQ(s.makespan, brute_force_makespan(batch, scheme, service))
+        << "trial " << trial;
+  }
+}
+
+TEST(Heterogeneous, EmptyBatch) {
+  const std::vector<SimTime> service(9, 100);
+  const auto s = optimal_makespan_schedule({}, scheme931(), service);
+  EXPECT_EQ(s.makespan, 0);
+  EXPECT_TRUE(s.assignments.empty());
+}
+
+TEST(Heterogeneous, ValidatorCatchesWrongDevice) {
+  const auto& scheme = scheme931();
+  const std::vector<SimTime> service(9, 100);
+  const std::vector<BucketId> batch{0};
+  HeterogeneousSchedule s;
+  s.assignments = {{8, 0}};  // not a replica of bucket 0
+  s.makespan = 100;
+  EXPECT_FALSE(valid_heterogeneous_schedule(batch, scheme, service, s));
+}
+
+TEST(Heterogeneous, ValidatorCatchesGappedStarts) {
+  const auto& scheme = scheme931();
+  const std::vector<SimTime> service(9, 100);
+  const std::vector<BucketId> batch{0, 3};  // both can use device 0
+  HeterogeneousSchedule s;
+  s.assignments = {{0, 0}, {0, 150}};  // second start not back-to-back
+  s.makespan = 250;
+  EXPECT_FALSE(valid_heterogeneous_schedule(batch, scheme, service, s));
+}
+
+// Property: makespan is monotone — making any device faster can only help.
+TEST(Heterogeneous, MakespanMonotoneInDeviceSpeed) {
+  const auto& scheme = scheme931();
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<SimTime> service(9);
+    for (auto& s : service) s = 100 + static_cast<SimTime>(rng.below(300));
+    std::vector<BucketId> batch;
+    for (const auto b : rng.sample_without_replacement(scheme.buckets(), 12)) {
+      batch.push_back(static_cast<BucketId>(b));
+    }
+    const auto base = optimal_makespan_schedule(batch, scheme, service);
+    auto faster = service;
+    faster[rng.below(9)] /= 2;
+    const auto improved = optimal_makespan_schedule(batch, scheme, faster);
+    EXPECT_LE(improved.makespan, base.makespan);
+  }
+}
+
+}  // namespace
+}  // namespace flashqos::retrieval

@@ -1,0 +1,127 @@
+// Unit tests for core::BlockMapper: modulo fallback, FIM-driven placement,
+// device-set separation of frequent partners, rebuild semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/block_mapper.hpp"
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+
+namespace flashqos::core {
+namespace {
+
+using decluster::DesignTheoretic;
+
+std::set<DeviceId> device_set(const decluster::AllocationScheme& s, BucketId b) {
+  const auto reps = s.replicas(b);
+  return {reps.begin(), reps.end()};
+}
+
+TEST(BlockMapper, ModuloFallbackWithoutTable) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  const BlockMapper m(scheme);
+  for (const DataBlockId block : {0ULL, 35ULL, 36ULL, 100ULL, 1234567ULL}) {
+    const auto r = m.map(block);
+    EXPECT_EQ(r.bucket, block % 36);
+    EXPECT_FALSE(r.matched);
+  }
+}
+
+TEST(BlockMapper, FimPairsGetTableEntries) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  BlockMapper m(scheme);
+  const std::vector<fim::FrequentPair> pairs = {{1000, 2000, 5}, {3000, 4000, 3}};
+  m.rebuild(pairs);
+  EXPECT_EQ(m.table_size(), 4u);
+  EXPECT_TRUE(m.map(1000).matched);
+  EXPECT_TRUE(m.map(2000).matched);
+  EXPECT_TRUE(m.map(3000).matched);
+  EXPECT_TRUE(m.map(4000).matched);
+  EXPECT_FALSE(m.map(5000).matched);
+}
+
+TEST(BlockMapper, FrequentPartnersLandOnDisjointDevices) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  BlockMapper m(scheme);
+  std::vector<fim::FrequentPair> pairs;
+  for (DataBlockId b = 0; b < 10; ++b) {
+    pairs.push_back({100 + 2 * b, 101 + 2 * b, 10 - b});
+  }
+  m.rebuild(pairs);
+  for (const auto& p : pairs) {
+    const auto ba = m.map(p.a).bucket;
+    const auto bb = m.map(p.b).bucket;
+    EXPECT_NE(ba, bb);
+    const auto da = device_set(scheme, ba);
+    const auto db = device_set(scheme, bb);
+    std::set<DeviceId> inter;
+    std::set_intersection(da.begin(), da.end(), db.begin(), db.end(),
+                          std::inserter(inter, inter.begin()));
+    // With 9 devices and 3 copies a disjoint partner always exists in a
+    // window of 7 candidate buckets; the mapper must find one.
+    EXPECT_TRUE(inter.empty())
+        << "pair (" << p.a << "," << p.b << ") shares devices";
+  }
+}
+
+TEST(BlockMapper, HigherSupportPairsPlacedFirst) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  BlockMapper m(scheme);
+  // The same block appears in two pairs; the higher-support pair's
+  // placement decision must win (assignments are first-write).
+  const std::vector<fim::FrequentPair> pairs = {{1, 2, 1}, {1, 3, 100}};
+  m.rebuild(pairs);
+  // (1,3) processed first: both get fresh buckets; then (1,2): 1 is taken,
+  // 2 placed relative to 1.
+  EXPECT_EQ(m.table_size(), 3u);
+  EXPECT_NE(m.map(1).bucket, m.map(3).bucket);
+  EXPECT_NE(m.map(1).bucket, m.map(2).bucket);
+}
+
+TEST(BlockMapper, RebuildReplacesTable) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  BlockMapper m(scheme);
+  m.rebuild(std::vector<fim::FrequentPair>{{1, 2, 5}});
+  EXPECT_TRUE(m.map(1).matched);
+  m.rebuild(std::vector<fim::FrequentPair>{{7, 8, 5}});
+  EXPECT_FALSE(m.map(1).matched);
+  EXPECT_TRUE(m.map(7).matched);
+  EXPECT_EQ(m.table_size(), 2u);
+}
+
+TEST(BlockMapper, EmptyRebuildKeepsFallback) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  BlockMapper m(scheme);
+  m.rebuild({});
+  EXPECT_EQ(m.table_size(), 0u);
+  EXPECT_EQ(m.map(77).bucket, 77 % 36);
+}
+
+TEST(BlockMapper, ManyPairsCycleThroughAllBuckets) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  BlockMapper m(scheme);
+  std::vector<fim::FrequentPair> pairs;
+  for (DataBlockId b = 0; b < 100; ++b) {
+    pairs.push_back({1000 + 2 * b, 1001 + 2 * b, 1});
+  }
+  m.rebuild(pairs);
+  EXPECT_EQ(m.table_size(), 200u);
+  std::set<BucketId> used;
+  for (const auto& p : pairs) {
+    used.insert(m.map(p.a).bucket);
+    used.insert(m.map(p.b).bucket);
+  }
+  // 200 blocks over 36 buckets: the round-robin cursor must have wrapped.
+  EXPECT_EQ(used.size(), 36u);
+}
+
+}  // namespace
+}  // namespace flashqos::core

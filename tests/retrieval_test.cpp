@@ -1,0 +1,439 @@
+// Unit + property tests for src/retrieval: max-flow correctness against
+// brute force, DTR validity and optimality on guaranteed sizes, schedule
+// validation, and the online retriever's FCFS/earliest-finish semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+#include "retrieval/dtr.hpp"
+#include "retrieval/maxflow.hpp"
+#include "retrieval/online.hpp"
+#include "util/rng.hpp"
+
+namespace flashqos::retrieval {
+namespace {
+
+using decluster::DesignTheoretic;
+
+/// Exhaustive minimum rounds by trying every replica choice (exponential;
+/// only for tiny batches).
+std::uint32_t brute_force_min_rounds(std::span<const BucketId> batch,
+                                     const decluster::AllocationScheme& scheme) {
+  const std::size_t b = batch.size();
+  if (b == 0) return 0;
+  const std::uint32_t c = scheme.copies();
+  std::uint32_t best = static_cast<std::uint32_t>(b);
+  std::vector<std::uint32_t> choice(b, 0);
+  std::vector<std::uint32_t> load(scheme.devices());
+  for (;;) {
+    std::fill(load.begin(), load.end(), 0U);
+    for (std::size_t i = 0; i < b; ++i) {
+      ++load[scheme.replicas(batch[i])[choice[i]]];
+    }
+    best = std::min(best, *std::max_element(load.begin(), load.end()));
+    // Odometer increment over the choice vector.
+    std::size_t pos = 0;
+    while (pos < b && ++choice[pos] == c) {
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == b) break;
+  }
+  return best;
+}
+
+TEST(MaxFlow, SimpleNetwork) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 3);
+  mf.add_edge(0, 2, 2);
+  mf.add_edge(1, 2, 1);
+  mf.add_edge(1, 3, 2);
+  mf.add_edge(2, 3, 4);
+  EXPECT_EQ(mf.run(0, 3), 5);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 5);
+  mf.add_edge(2, 3, 5);
+  EXPECT_EQ(mf.run(0, 3), 0);
+}
+
+TEST(MaxFlow, FlowOnEdgesIsConsistent) {
+  MaxFlow mf(3);
+  const auto e1 = mf.add_edge(0, 1, 7);
+  const auto e2 = mf.add_edge(1, 2, 4);
+  EXPECT_EQ(mf.run(0, 2), 4);
+  EXPECT_EQ(mf.flow_on(e1), 4);
+  EXPECT_EQ(mf.flow_on(e2), 4);
+}
+
+TEST(OptimalSchedule, EmptyBatch) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d);
+  const auto s = optimal_schedule({}, scheme);
+  EXPECT_EQ(s.rounds, 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(OptimalSchedule, PaperNineBucketExample) {
+  // Paper §III-B Fig. 3: these 9 requests on the (9,3,1) design are
+  // non-conflicting and retrieve in a single access.
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  // The figure lists replica triples; find the bucket ids whose tuples match.
+  const std::vector<std::array<DeviceId, 3>> triples = {
+      {0, 1, 2}, {1, 2, 0}, {2, 0, 1}, {3, 8, 1}, {4, 8, 0},
+      {5, 7, 0}, {6, 0, 3}, {7, 0, 5}, {8, 1, 3}};
+  std::vector<BucketId> batch;
+  for (const auto& t : triples) {
+    for (BucketId b = 0; b < scheme.buckets(); ++b) {
+      const auto reps = scheme.replicas(b);
+      if (reps[0] == t[0] && reps[1] == t[1] && reps[2] == t[2]) {
+        batch.push_back(b);
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(batch.size(), 9u) << "paper's triples must all exist in the table";
+  const auto s = optimal_schedule(batch, scheme);
+  EXPECT_EQ(s.rounds, 1u);
+  EXPECT_TRUE(valid_schedule(batch, scheme, s));
+}
+
+TEST(OptimalSchedule, SerializesUnreplicatedConflicts) {
+  // Mirrored groups: 4 requests to buckets of the same group need 2 rounds
+  // on a 3-way group.
+  const decluster::Raid1Mirrored scheme(9, 3, 36);
+  const std::vector<BucketId> batch{0, 3, 6, 9};  // all group 0
+  const auto s = optimal_schedule(batch, scheme);
+  EXPECT_EQ(s.rounds, 2u);
+  EXPECT_TRUE(valid_schedule(batch, scheme, s));
+}
+
+TEST(OptimalSchedule, MatchesBruteForceOnRandomBatches) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t k = 1 + rng.below(7);  // brute force is c^k
+    std::vector<BucketId> batch;
+    for (std::size_t i = 0; i < k; ++i) {
+      batch.push_back(static_cast<BucketId>(rng.below(scheme.buckets())));
+    }
+    const auto s = optimal_schedule(batch, scheme);
+    EXPECT_TRUE(valid_schedule(batch, scheme, s));
+    EXPECT_EQ(s.rounds, brute_force_min_rounds(batch, scheme))
+        << "trial " << trial;
+  }
+}
+
+TEST(OptimalSchedule, MatchesBruteForceOnChained) {
+  const decluster::Raid1Chained scheme(9, 3, 36);
+  Rng rng(101);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t k = 1 + rng.below(7);
+    std::vector<BucketId> batch;
+    for (std::size_t i = 0; i < k; ++i) {
+      batch.push_back(static_cast<BucketId>(rng.below(scheme.buckets())));
+    }
+    const auto s = optimal_schedule(batch, scheme);
+    EXPECT_EQ(s.rounds, brute_force_min_rounds(batch, scheme));
+  }
+}
+
+TEST(Dtr, ValidOnRandomBatches) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t k = 1 + rng.below(30);
+    std::vector<BucketId> batch;
+    for (std::size_t i = 0; i < k; ++i) {
+      batch.push_back(static_cast<BucketId>(rng.below(scheme.buckets())));
+    }
+    const auto s = dtr_schedule(batch, scheme);
+    EXPECT_TRUE(valid_schedule(batch, scheme, s));
+    // DTR can never beat the optimum.
+    EXPECT_GE(s.rounds, design::optimal_accesses(k, scheme.devices()));
+  }
+}
+
+TEST(Dtr, PrimaryFirstInitialMapping) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  // A single request with no conflicts stays on its primary.
+  const std::vector<BucketId> batch{7};
+  const auto s = dtr_schedule(batch, scheme);
+  EXPECT_EQ(s.assignments[0].device, scheme.primary(7));
+  EXPECT_EQ(s.rounds, 1u);
+}
+
+TEST(Retrieve, AlwaysOptimalRounds) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  Rng rng(15);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t k = 1 + rng.below(20);
+    std::vector<BucketId> batch;
+    for (std::size_t i = 0; i < k; ++i) {
+      batch.push_back(static_cast<BucketId>(rng.below(scheme.buckets())));
+    }
+    const auto combined = retrieve(batch, scheme);
+    const auto exact = optimal_schedule(batch, scheme);
+    EXPECT_TRUE(valid_schedule(batch, scheme, combined));
+    EXPECT_EQ(combined.rounds, exact.rounds) << "trial " << trial;
+  }
+}
+
+// The paper's deterministic guarantee, as a property: any batch of size
+// <= S = (c-1)M² + cM schedules in <= M rounds on the rotated design.
+class GuaranteeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GuaranteeSweep, AnyBatchWithinLimitMeetsAccessBound) {
+  // The guarantee quantifies over *sets* of buckets (a bucket requested
+  // more than c·M times trivially cannot fit), hence distinct sampling.
+  const std::uint32_t m = GetParam();
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  const auto s_limit = design::guarantee_buckets(scheme.copies(), m);
+  Rng rng(1000 + m);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t k = 1 + rng.below(s_limit);
+    std::vector<BucketId> batch;
+    for (const auto b : rng.sample_without_replacement(scheme.buckets(), k)) {
+      batch.push_back(static_cast<BucketId>(b));
+    }
+    const auto s = retrieve(batch, scheme);
+    EXPECT_LE(s.rounds, m) << "k=" << k << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AccessBudgets, GuaranteeSweep, ::testing::Values(1u, 2u, 3u));
+
+TEST(GuaranteeSweep, HoldsFor1331Design) {
+  const auto d = design::make_13_3_1();
+  const DesignTheoretic scheme(d, true);
+  Rng rng(2024);
+  for (std::uint32_t m = 1; m <= 2; ++m) {
+    const auto s_limit = design::guarantee_buckets(3, m);
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::size_t k = 1 + rng.below(s_limit);
+      std::vector<BucketId> batch;
+      for (const auto b : rng.sample_without_replacement(scheme.buckets(), k)) {
+        batch.push_back(static_cast<BucketId>(b));
+      }
+      EXPECT_LE(retrieve(batch, scheme).rounds, m);
+    }
+  }
+}
+
+TEST(ValidSchedule, RejectsWrongDevice) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  const std::vector<BucketId> batch{0};
+  Schedule s;
+  s.assignments = {{8, 0}};  // device 8 does not hold bucket 0
+  s.rounds = 1;
+  EXPECT_FALSE(valid_schedule(batch, scheme, s));
+}
+
+TEST(ValidSchedule, RejectsSlotCollision) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  const std::vector<BucketId> batch{0, 36 / 36};  // two buckets sharing device 0? use 0 and 3
+  const std::vector<BucketId> b2{0, 3};           // (0,1,2) and (0,3,6): share device 0
+  Schedule s;
+  s.assignments = {{0, 0}, {0, 0}};
+  s.rounds = 1;
+  EXPECT_FALSE(valid_schedule(b2, scheme, s));
+}
+
+TEST(OnlineRetriever, IdleDeviceServesImmediately) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  OnlineRetriever r(scheme, kPageReadLatency);
+  const auto dec = r.submit(0, 1000);
+  EXPECT_EQ(dec.start, 1000);
+  EXPECT_EQ(dec.finish, 1000 + kPageReadLatency);
+}
+
+TEST(OnlineRetriever, PrefersEarliestFinishReplica) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  OnlineRetriever r(scheme, kPageReadLatency);
+  // Bucket 0 lives on (0,1,2). Occupy devices 0 and 1 with direct requests.
+  (void)r.submit(0, 0);  // goes to device 0
+  (void)r.submit(1, 0);  // bucket 1 = rotation (1,2,0) -> device 1
+  const auto dec = r.submit(0, 1);
+  EXPECT_EQ(dec.device, 2u);  // only idle replica of (0,1,2)
+  EXPECT_EQ(dec.start, 1);
+}
+
+TEST(OnlineRetriever, QueuesWhenAllReplicasBusy) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  OnlineRetriever r(scheme, kPageReadLatency);
+  (void)r.submit(0, 0);
+  (void)r.submit(1, 0);
+  (void)r.submit(2, 0);  // (2,0,1) -> device 2
+  const auto dec = r.submit(0, 1);
+  EXPECT_EQ(dec.start, kPageReadLatency);  // earliest finishing replica
+  EXPECT_EQ(dec.finish, 2 * kPageReadLatency);
+}
+
+TEST(OnlineRetriever, BatchOfFiveFitsOneAccess) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  OnlineRetriever r(scheme, kPageReadLatency);
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    r.reset();
+    std::vector<BucketId> batch;
+    for (const auto b : rng.sample_without_replacement(scheme.buckets(), 5)) {
+      batch.push_back(static_cast<BucketId>(b));
+    }
+    const auto decisions = r.submit_batch(batch, 0);
+    for (const auto& dec : decisions) {
+      EXPECT_EQ(dec.start, 0) << "guaranteed batch must start immediately";
+      EXPECT_EQ(dec.finish, kPageReadLatency);
+    }
+  }
+}
+
+TEST(OnlineRetriever, BatchRespectsBusyDevices) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  OnlineRetriever r(scheme, kPageReadLatency);
+  (void)r.submit(0, 0);  // device 0 busy until L
+  const std::vector<BucketId> batch{0, 3};  // both have primary 0
+  const auto decisions = r.submit_batch(batch, 10);
+  // Batch scheduling spreads the two conflicting primaries over distinct
+  // devices; a request landing on the busy device 0 queues behind the
+  // in-flight read, any other starts at the batch arrival.
+  EXPECT_NE(decisions[0].device, decisions[1].device);
+  for (const auto& dec : decisions) {
+    if (dec.device == 0) {
+      EXPECT_EQ(dec.start, kPageReadLatency);
+    } else {
+      EXPECT_EQ(dec.start, 10);
+    }
+    EXPECT_EQ(dec.finish, dec.start + kPageReadLatency);
+  }
+}
+
+TEST(OnlineRetriever, HorizonTracksLatestFinish) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  OnlineRetriever r(scheme, kPageReadLatency);
+  EXPECT_EQ(r.horizon(), 0);
+  (void)r.submit(5, 100);
+  EXPECT_EQ(r.horizon(), 100 + kPageReadLatency);
+  r.reset();
+  EXPECT_EQ(r.horizon(), 0);
+}
+
+// Theorem 1: with no backlog, if OLR(k) == DTR(k) then online finishes no
+// later than the interval-aligned schedule.
+TEST(Theorem1, OnlineNeverLaterWhenRoundsEqual) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  Rng rng(321);
+  const SimTime T = kBaseInterval;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t k = 1 + rng.below(10);
+    std::vector<BucketId> batch;
+    std::vector<SimTime> arrivals;
+    for (std::size_t i = 0; i < k; ++i) {
+      batch.push_back(static_cast<BucketId>(rng.below(scheme.buckets())));
+      arrivals.push_back(static_cast<SimTime>(rng.below(T)));
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+
+    // Interval-aligned: whole batch dispatched at T, finishing at
+    // T + rounds * L.
+    const auto aligned = retrieve(batch, scheme);
+    const SimTime aligned_finish = T + aligned.rounds * kPageReadLatency;
+
+    // Online: serve at arrival times; OLR(k) is the deepest per-device
+    // queue the online policy built.
+    OnlineRetriever online(scheme, kPageReadLatency);
+    std::vector<std::uint32_t> per_device(scheme.devices(), 0);
+    SimTime online_finish = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto dec = online.submit(batch[i], arrivals[i]);
+      ++per_device[dec.device];
+      online_finish = std::max(online_finish, dec.finish);
+    }
+    const std::uint32_t olr =
+        *std::max_element(per_device.begin(), per_device.end());
+
+    // Theorem 1's premise: OLR(k) == DTR(k). (When online used more
+    // accesses the theorem says nothing.)
+    if (olr == aligned.rounds) {
+      EXPECT_LE(online_finish, aligned_finish)
+          << "online must finish no later than interval-aligned (trial "
+          << trial << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flashqos::retrieval
+
+namespace flashqos::retrieval {
+namespace {
+
+TEST(IntegratedSolver, MatchesOptimalScheduleRounds) {
+  const auto d = design::make_13_3_1();
+  const decluster::DesignTheoretic scheme(d, true);
+  Rng rng(808);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t k = 1 + rng.below(45);
+    std::vector<BucketId> batch;
+    for (std::size_t i = 0; i < k; ++i) {
+      batch.push_back(static_cast<BucketId>(rng.below(scheme.buckets())));
+    }
+    const auto integrated = integrated_optimal_schedule(batch, scheme);
+    const auto reference = optimal_schedule(batch, scheme);
+    EXPECT_EQ(integrated.rounds, reference.rounds) << "trial " << trial;
+    EXPECT_TRUE(valid_schedule(batch, scheme, integrated));
+  }
+}
+
+TEST(IntegratedSolver, EmptyBatch) {
+  const auto d = design::make_9_3_1();
+  const decluster::DesignTheoretic scheme(d, true);
+  const auto s = integrated_optimal_schedule({}, scheme);
+  EXPECT_EQ(s.rounds, 0u);
+}
+
+TEST(IntegratedSolver, WorksOnBaselineSchemes) {
+  const decluster::Raid1Mirrored scheme(9, 3, 36);
+  Rng rng(809);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t k = 1 + rng.below(25);
+    std::vector<BucketId> batch;
+    for (std::size_t i = 0; i < k; ++i) {
+      batch.push_back(static_cast<BucketId>(rng.below(scheme.buckets())));
+    }
+    const auto integrated = integrated_optimal_schedule(batch, scheme);
+    EXPECT_EQ(integrated.rounds, optimal_schedule(batch, scheme).rounds);
+    EXPECT_TRUE(valid_schedule(batch, scheme, integrated));
+  }
+}
+
+TEST(MaxFlow, RaiseCapacityFindsIncrementalFlow) {
+  MaxFlow mf(3);
+  const auto bottleneck = mf.add_edge(0, 1, 1);
+  mf.add_edge(1, 2, 10);
+  EXPECT_EQ(mf.run(0, 2), 1);
+  EXPECT_EQ(mf.raise_capacity_and_rerun(bottleneck, 4, 0, 2), 4);
+  EXPECT_EQ(mf.flow_on(bottleneck), 5);
+}
+
+}  // namespace
+}  // namespace flashqos::retrieval
