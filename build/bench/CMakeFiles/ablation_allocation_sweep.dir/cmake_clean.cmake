@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_allocation_sweep.dir/ablation_allocation_sweep.cpp.o"
+  "CMakeFiles/ablation_allocation_sweep.dir/ablation_allocation_sweep.cpp.o.d"
+  "ablation_allocation_sweep"
+  "ablation_allocation_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allocation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_mixed_heterogeneous.dir/extension_mixed_heterogeneous.cpp.o"
+  "CMakeFiles/extension_mixed_heterogeneous.dir/extension_mixed_heterogeneous.cpp.o.d"
+  "extension_mixed_heterogeneous"
+  "extension_mixed_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_mixed_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_ssd_substrate.dir/extension_ssd_substrate.cpp.o"
+  "CMakeFiles/extension_ssd_substrate.dir/extension_ssd_substrate.cpp.o.d"
+  "extension_ssd_substrate"
+  "extension_ssd_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_ssd_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

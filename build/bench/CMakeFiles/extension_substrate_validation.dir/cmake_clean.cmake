@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_substrate_validation.dir/extension_substrate_validation.cpp.o"
+  "CMakeFiles/extension_substrate_validation.dir/extension_substrate_validation.cpp.o.d"
+  "extension_substrate_validation"
+  "extension_substrate_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_substrate_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

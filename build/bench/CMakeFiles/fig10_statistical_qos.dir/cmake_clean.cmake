@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_statistical_qos.dir/fig10_statistical_qos.cpp.o"
+  "CMakeFiles/fig10_statistical_qos.dir/fig10_statistical_qos.cpp.o.d"
+  "fig10_statistical_qos"
+  "fig10_statistical_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_statistical_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

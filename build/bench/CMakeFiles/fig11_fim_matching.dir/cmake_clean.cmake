@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fim_matching.dir/fig11_fim_matching.cpp.o"
+  "CMakeFiles/fig11_fim_matching.dir/fig11_fim_matching.cpp.o.d"
+  "fig11_fim_matching"
+  "fig11_fim_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fim_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

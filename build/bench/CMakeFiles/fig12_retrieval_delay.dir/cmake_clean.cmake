@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_retrieval_delay.dir/fig12_retrieval_delay.cpp.o"
+  "CMakeFiles/fig12_retrieval_delay.dir/fig12_retrieval_delay.cpp.o.d"
+  "fig12_retrieval_delay"
+  "fig12_retrieval_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_retrieval_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_optimal_probability.dir/fig4_optimal_probability.cpp.o"
+  "CMakeFiles/fig4_optimal_probability.dir/fig4_optimal_probability.cpp.o.d"
+  "fig4_optimal_probability"
+  "fig4_optimal_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_optimal_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_trace_statistics.dir/fig6_trace_statistics.cpp.o"
+  "CMakeFiles/fig6_trace_statistics.dir/fig6_trace_statistics.cpp.o.d"
+  "fig6_trace_statistics"
+  "fig6_trace_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_trace_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

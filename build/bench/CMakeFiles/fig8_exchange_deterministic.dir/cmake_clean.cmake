@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_exchange_deterministic.dir/fig8_exchange_deterministic.cpp.o"
+  "CMakeFiles/fig8_exchange_deterministic.dir/fig8_exchange_deterministic.cpp.o.d"
+  "fig8_exchange_deterministic"
+  "fig8_exchange_deterministic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_exchange_deterministic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_tpce_deterministic.dir/fig9_tpce_deterministic.cpp.o"
+  "CMakeFiles/fig9_tpce_deterministic.dir/fig9_tpce_deterministic.cpp.o.d"
+  "fig9_tpce_deterministic"
+  "fig9_tpce_deterministic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tpce_deterministic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_retrieval_cost.dir/micro_retrieval_cost.cpp.o"
+  "CMakeFiles/micro_retrieval_cost.dir/micro_retrieval_cost.cpp.o.d"
+  "micro_retrieval_cost"
+  "micro_retrieval_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_retrieval_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_allocation_comparison.dir/table3_allocation_comparison.cpp.o"
+  "CMakeFiles/table3_allocation_comparison.dir/table3_allocation_comparison.cpp.o.d"
+  "table3_allocation_comparison"
+  "table3_allocation_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_allocation_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

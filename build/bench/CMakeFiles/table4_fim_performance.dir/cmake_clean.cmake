@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fim_performance.dir/table4_fim_performance.cpp.o"
+  "CMakeFiles/table4_fim_performance.dir/table4_fim_performance.cpp.o.d"
+  "table4_fim_performance"
+  "table4_fim_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fim_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

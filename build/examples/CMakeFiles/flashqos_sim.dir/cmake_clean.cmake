@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashqos_sim.dir/flashqos_sim.cpp.o"
+  "CMakeFiles/flashqos_sim.dir/flashqos_sim.cpp.o.d"
+  "flashqos_sim"
+  "flashqos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashqos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_broker.dir/oltp_broker.cpp.o"
+  "CMakeFiles/oltp_broker.dir/oltp_broker.cpp.o.d"
+  "oltp_broker"
+  "oltp_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

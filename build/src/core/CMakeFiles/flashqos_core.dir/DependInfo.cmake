@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cpp" "src/core/CMakeFiles/flashqos_core.dir/admission.cpp.o" "gcc" "src/core/CMakeFiles/flashqos_core.dir/admission.cpp.o.d"
+  "/root/repo/src/core/block_mapper.cpp" "src/core/CMakeFiles/flashqos_core.dir/block_mapper.cpp.o" "gcc" "src/core/CMakeFiles/flashqos_core.dir/block_mapper.cpp.o.d"
+  "/root/repo/src/core/classified_admission.cpp" "src/core/CMakeFiles/flashqos_core.dir/classified_admission.cpp.o" "gcc" "src/core/CMakeFiles/flashqos_core.dir/classified_admission.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/flashqos_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/flashqos_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/qos_pipeline.cpp" "src/core/CMakeFiles/flashqos_core.dir/qos_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/flashqos_core.dir/qos_pipeline.cpp.o.d"
+  "/root/repo/src/core/rebuild.cpp" "src/core/CMakeFiles/flashqos_core.dir/rebuild.cpp.o" "gcc" "src/core/CMakeFiles/flashqos_core.dir/rebuild.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/core/CMakeFiles/flashqos_core.dir/sampler.cpp.o" "gcc" "src/core/CMakeFiles/flashqos_core.dir/sampler.cpp.o.d"
+  "/root/repo/src/core/substrate_replay.cpp" "src/core/CMakeFiles/flashqos_core.dir/substrate_replay.cpp.o" "gcc" "src/core/CMakeFiles/flashqos_core.dir/substrate_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/retrieval/CMakeFiles/flashqos_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/decluster/CMakeFiles/flashqos_decluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/flashqos_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/flashsim/CMakeFiles/flashqos_flashsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fim/CMakeFiles/flashqos_fim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/flashqos_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flashqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

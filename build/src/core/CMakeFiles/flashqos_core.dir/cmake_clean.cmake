@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashqos_core.dir/admission.cpp.o"
+  "CMakeFiles/flashqos_core.dir/admission.cpp.o.d"
+  "CMakeFiles/flashqos_core.dir/block_mapper.cpp.o"
+  "CMakeFiles/flashqos_core.dir/block_mapper.cpp.o.d"
+  "CMakeFiles/flashqos_core.dir/classified_admission.cpp.o"
+  "CMakeFiles/flashqos_core.dir/classified_admission.cpp.o.d"
+  "CMakeFiles/flashqos_core.dir/experiment.cpp.o"
+  "CMakeFiles/flashqos_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/flashqos_core.dir/qos_pipeline.cpp.o"
+  "CMakeFiles/flashqos_core.dir/qos_pipeline.cpp.o.d"
+  "CMakeFiles/flashqos_core.dir/rebuild.cpp.o"
+  "CMakeFiles/flashqos_core.dir/rebuild.cpp.o.d"
+  "CMakeFiles/flashqos_core.dir/sampler.cpp.o"
+  "CMakeFiles/flashqos_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/flashqos_core.dir/substrate_replay.cpp.o"
+  "CMakeFiles/flashqos_core.dir/substrate_replay.cpp.o.d"
+  "libflashqos_core.a"
+  "libflashqos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashqos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decluster/allocation.cpp" "src/decluster/CMakeFiles/flashqos_decluster.dir/allocation.cpp.o" "gcc" "src/decluster/CMakeFiles/flashqos_decluster.dir/allocation.cpp.o.d"
+  "/root/repo/src/decluster/schemes.cpp" "src/decluster/CMakeFiles/flashqos_decluster.dir/schemes.cpp.o" "gcc" "src/decluster/CMakeFiles/flashqos_decluster.dir/schemes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/design/CMakeFiles/flashqos_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flashqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

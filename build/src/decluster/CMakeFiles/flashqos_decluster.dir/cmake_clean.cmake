@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashqos_decluster.dir/allocation.cpp.o"
+  "CMakeFiles/flashqos_decluster.dir/allocation.cpp.o.d"
+  "CMakeFiles/flashqos_decluster.dir/schemes.cpp.o"
+  "CMakeFiles/flashqos_decluster.dir/schemes.cpp.o.d"
+  "libflashqos_decluster.a"
+  "libflashqos_decluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashqos_decluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

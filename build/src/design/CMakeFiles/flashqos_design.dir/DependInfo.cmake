@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/design/block_design.cpp" "src/design/CMakeFiles/flashqos_design.dir/block_design.cpp.o" "gcc" "src/design/CMakeFiles/flashqos_design.dir/block_design.cpp.o.d"
+  "/root/repo/src/design/bucket_table.cpp" "src/design/CMakeFiles/flashqos_design.dir/bucket_table.cpp.o" "gcc" "src/design/CMakeFiles/flashqos_design.dir/bucket_table.cpp.o.d"
+  "/root/repo/src/design/catalog.cpp" "src/design/CMakeFiles/flashqos_design.dir/catalog.cpp.o" "gcc" "src/design/CMakeFiles/flashqos_design.dir/catalog.cpp.o.d"
+  "/root/repo/src/design/constructions.cpp" "src/design/CMakeFiles/flashqos_design.dir/constructions.cpp.o" "gcc" "src/design/CMakeFiles/flashqos_design.dir/constructions.cpp.o.d"
+  "/root/repo/src/design/galois.cpp" "src/design/CMakeFiles/flashqos_design.dir/galois.cpp.o" "gcc" "src/design/CMakeFiles/flashqos_design.dir/galois.cpp.o.d"
+  "/root/repo/src/design/resolution.cpp" "src/design/CMakeFiles/flashqos_design.dir/resolution.cpp.o" "gcc" "src/design/CMakeFiles/flashqos_design.dir/resolution.cpp.o.d"
+  "/root/repo/src/design/transversal.cpp" "src/design/CMakeFiles/flashqos_design.dir/transversal.cpp.o" "gcc" "src/design/CMakeFiles/flashqos_design.dir/transversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flashqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashqos_design.dir/block_design.cpp.o"
+  "CMakeFiles/flashqos_design.dir/block_design.cpp.o.d"
+  "CMakeFiles/flashqos_design.dir/bucket_table.cpp.o"
+  "CMakeFiles/flashqos_design.dir/bucket_table.cpp.o.d"
+  "CMakeFiles/flashqos_design.dir/catalog.cpp.o"
+  "CMakeFiles/flashqos_design.dir/catalog.cpp.o.d"
+  "CMakeFiles/flashqos_design.dir/constructions.cpp.o"
+  "CMakeFiles/flashqos_design.dir/constructions.cpp.o.d"
+  "CMakeFiles/flashqos_design.dir/galois.cpp.o"
+  "CMakeFiles/flashqos_design.dir/galois.cpp.o.d"
+  "CMakeFiles/flashqos_design.dir/resolution.cpp.o"
+  "CMakeFiles/flashqos_design.dir/resolution.cpp.o.d"
+  "CMakeFiles/flashqos_design.dir/transversal.cpp.o"
+  "CMakeFiles/flashqos_design.dir/transversal.cpp.o.d"
+  "libflashqos_design.a"
+  "libflashqos_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashqos_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflashqos_design.a"
+)

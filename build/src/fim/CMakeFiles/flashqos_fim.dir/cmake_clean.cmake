@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashqos_fim.dir/apriori.cpp.o"
+  "CMakeFiles/flashqos_fim.dir/apriori.cpp.o.d"
+  "CMakeFiles/flashqos_fim.dir/fp_growth.cpp.o"
+  "CMakeFiles/flashqos_fim.dir/fp_growth.cpp.o.d"
+  "libflashqos_fim.a"
+  "libflashqos_fim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashqos_fim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flashqos_fim.
+# This may be replaced when dependencies are built.

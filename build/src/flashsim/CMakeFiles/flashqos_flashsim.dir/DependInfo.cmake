@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flashsim/flash_array.cpp" "src/flashsim/CMakeFiles/flashqos_flashsim.dir/flash_array.cpp.o" "gcc" "src/flashsim/CMakeFiles/flashqos_flashsim.dir/flash_array.cpp.o.d"
+  "/root/repo/src/flashsim/ftl.cpp" "src/flashsim/CMakeFiles/flashqos_flashsim.dir/ftl.cpp.o" "gcc" "src/flashsim/CMakeFiles/flashqos_flashsim.dir/ftl.cpp.o.d"
+  "/root/repo/src/flashsim/metrics.cpp" "src/flashsim/CMakeFiles/flashqos_flashsim.dir/metrics.cpp.o" "gcc" "src/flashsim/CMakeFiles/flashqos_flashsim.dir/metrics.cpp.o.d"
+  "/root/repo/src/flashsim/ssd_module.cpp" "src/flashsim/CMakeFiles/flashqos_flashsim.dir/ssd_module.cpp.o" "gcc" "src/flashsim/CMakeFiles/flashqos_flashsim.dir/ssd_module.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flashqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

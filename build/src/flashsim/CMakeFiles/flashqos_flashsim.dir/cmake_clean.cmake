@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashqos_flashsim.dir/flash_array.cpp.o"
+  "CMakeFiles/flashqos_flashsim.dir/flash_array.cpp.o.d"
+  "CMakeFiles/flashqos_flashsim.dir/ftl.cpp.o"
+  "CMakeFiles/flashqos_flashsim.dir/ftl.cpp.o.d"
+  "CMakeFiles/flashqos_flashsim.dir/metrics.cpp.o"
+  "CMakeFiles/flashqos_flashsim.dir/metrics.cpp.o.d"
+  "CMakeFiles/flashqos_flashsim.dir/ssd_module.cpp.o"
+  "CMakeFiles/flashqos_flashsim.dir/ssd_module.cpp.o.d"
+  "libflashqos_flashsim.a"
+  "libflashqos_flashsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashqos_flashsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for flashqos_flashsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for flashqos_flashsim.
+# This may be replaced when dependencies are built.

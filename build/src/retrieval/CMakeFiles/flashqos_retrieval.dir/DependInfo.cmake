@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retrieval/dtr.cpp" "src/retrieval/CMakeFiles/flashqos_retrieval.dir/dtr.cpp.o" "gcc" "src/retrieval/CMakeFiles/flashqos_retrieval.dir/dtr.cpp.o.d"
+  "/root/repo/src/retrieval/heterogeneous.cpp" "src/retrieval/CMakeFiles/flashqos_retrieval.dir/heterogeneous.cpp.o" "gcc" "src/retrieval/CMakeFiles/flashqos_retrieval.dir/heterogeneous.cpp.o.d"
+  "/root/repo/src/retrieval/maxflow.cpp" "src/retrieval/CMakeFiles/flashqos_retrieval.dir/maxflow.cpp.o" "gcc" "src/retrieval/CMakeFiles/flashqos_retrieval.dir/maxflow.cpp.o.d"
+  "/root/repo/src/retrieval/online.cpp" "src/retrieval/CMakeFiles/flashqos_retrieval.dir/online.cpp.o" "gcc" "src/retrieval/CMakeFiles/flashqos_retrieval.dir/online.cpp.o.d"
+  "/root/repo/src/retrieval/schedule.cpp" "src/retrieval/CMakeFiles/flashqos_retrieval.dir/schedule.cpp.o" "gcc" "src/retrieval/CMakeFiles/flashqos_retrieval.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/decluster/CMakeFiles/flashqos_decluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/flashqos_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flashqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

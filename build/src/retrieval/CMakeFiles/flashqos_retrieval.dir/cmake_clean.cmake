@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashqos_retrieval.dir/dtr.cpp.o"
+  "CMakeFiles/flashqos_retrieval.dir/dtr.cpp.o.d"
+  "CMakeFiles/flashqos_retrieval.dir/heterogeneous.cpp.o"
+  "CMakeFiles/flashqos_retrieval.dir/heterogeneous.cpp.o.d"
+  "CMakeFiles/flashqos_retrieval.dir/maxflow.cpp.o"
+  "CMakeFiles/flashqos_retrieval.dir/maxflow.cpp.o.d"
+  "CMakeFiles/flashqos_retrieval.dir/online.cpp.o"
+  "CMakeFiles/flashqos_retrieval.dir/online.cpp.o.d"
+  "CMakeFiles/flashqos_retrieval.dir/schedule.cpp.o"
+  "CMakeFiles/flashqos_retrieval.dir/schedule.cpp.o.d"
+  "libflashqos_retrieval.a"
+  "libflashqos_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashqos_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

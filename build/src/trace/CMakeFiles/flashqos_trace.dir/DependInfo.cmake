@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/disksim_format.cpp" "src/trace/CMakeFiles/flashqos_trace.dir/disksim_format.cpp.o" "gcc" "src/trace/CMakeFiles/flashqos_trace.dir/disksim_format.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "src/trace/CMakeFiles/flashqos_trace.dir/event.cpp.o" "gcc" "src/trace/CMakeFiles/flashqos_trace.dir/event.cpp.o.d"
+  "/root/repo/src/trace/msr_format.cpp" "src/trace/CMakeFiles/flashqos_trace.dir/msr_format.cpp.o" "gcc" "src/trace/CMakeFiles/flashqos_trace.dir/msr_format.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/trace/CMakeFiles/flashqos_trace.dir/stats.cpp.o" "gcc" "src/trace/CMakeFiles/flashqos_trace.dir/stats.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/trace/CMakeFiles/flashqos_trace.dir/synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/flashqos_trace.dir/synthetic.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/trace/CMakeFiles/flashqos_trace.dir/workload.cpp.o" "gcc" "src/trace/CMakeFiles/flashqos_trace.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flashqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashqos_trace.dir/disksim_format.cpp.o"
+  "CMakeFiles/flashqos_trace.dir/disksim_format.cpp.o.d"
+  "CMakeFiles/flashqos_trace.dir/event.cpp.o"
+  "CMakeFiles/flashqos_trace.dir/event.cpp.o.d"
+  "CMakeFiles/flashqos_trace.dir/msr_format.cpp.o"
+  "CMakeFiles/flashqos_trace.dir/msr_format.cpp.o.d"
+  "CMakeFiles/flashqos_trace.dir/stats.cpp.o"
+  "CMakeFiles/flashqos_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/flashqos_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/flashqos_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/flashqos_trace.dir/workload.cpp.o"
+  "CMakeFiles/flashqos_trace.dir/workload.cpp.o.d"
+  "libflashqos_trace.a"
+  "libflashqos_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashqos_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashqos_util.dir/config.cpp.o"
+  "CMakeFiles/flashqos_util.dir/config.cpp.o.d"
+  "CMakeFiles/flashqos_util.dir/memory.cpp.o"
+  "CMakeFiles/flashqos_util.dir/memory.cpp.o.d"
+  "CMakeFiles/flashqos_util.dir/rng.cpp.o"
+  "CMakeFiles/flashqos_util.dir/rng.cpp.o.d"
+  "CMakeFiles/flashqos_util.dir/stats.cpp.o"
+  "CMakeFiles/flashqos_util.dir/stats.cpp.o.d"
+  "CMakeFiles/flashqos_util.dir/table.cpp.o"
+  "CMakeFiles/flashqos_util.dir/table.cpp.o.d"
+  "CMakeFiles/flashqos_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/flashqos_util.dir/thread_pool.cpp.o.d"
+  "libflashqos_util.a"
+  "libflashqos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashqos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

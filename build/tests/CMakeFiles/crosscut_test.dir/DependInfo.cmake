@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crosscut_test.cpp" "tests/CMakeFiles/crosscut_test.dir/crosscut_test.cpp.o" "gcc" "tests/CMakeFiles/crosscut_test.dir/crosscut_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flashqos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/flashqos_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/decluster/CMakeFiles/flashqos_decluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/flashqos_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/flashsim/CMakeFiles/flashqos_flashsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fim/CMakeFiles/flashqos_fim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/flashqos_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flashqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

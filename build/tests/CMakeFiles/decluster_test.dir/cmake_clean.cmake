@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decluster_test.dir/decluster_test.cpp.o"
+  "CMakeFiles/decluster_test.dir/decluster_test.cpp.o.d"
+  "decluster_test"
+  "decluster_test.pdb"
+  "decluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fim_test.dir/fim_test.cpp.o"
+  "CMakeFiles/fim_test.dir/fim_test.cpp.o.d"
+  "fim_test"
+  "fim_test.pdb"
+  "fim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

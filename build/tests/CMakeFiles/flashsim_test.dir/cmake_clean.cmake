@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_test.dir/flashsim_test.cpp.o"
+  "CMakeFiles/flashsim_test.dir/flashsim_test.cpp.o.d"
+  "flashsim_test"
+  "flashsim_test.pdb"
+  "flashsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galois_test.dir/galois_test.cpp.o"
+  "CMakeFiles/galois_test.dir/galois_test.cpp.o.d"
+  "galois_test"
+  "galois_test.pdb"
+  "galois_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galois_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for galois_test.
+# This may be replaced when dependencies are built.

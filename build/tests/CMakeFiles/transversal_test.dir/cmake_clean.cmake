@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transversal_test.dir/transversal_test.cpp.o"
+  "CMakeFiles/transversal_test.dir/transversal_test.cpp.o.d"
+  "transversal_test"
+  "transversal_test.pdb"
+  "transversal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transversal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/design_test[1]_include.cmake")
+include("/root/repo/build/tests/decluster_test[1]_include.cmake")
+include("/root/repo/build/tests/retrieval_test[1]_include.cmake")
+include("/root/repo/build/tests/flashsim_test[1]_include.cmake")
+include("/root/repo/build/tests/fim_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/admission_test[1]_include.cmake")
+include("/root/repo/build/tests/mapper_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/fpgrowth_test[1]_include.cmake")
+include("/root/repo/build/tests/heterogeneous_test[1]_include.cmake")
+include("/root/repo/build/tests/mixed_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/ssd_test[1]_include.cmake")
+include("/root/repo/build/tests/transversal_test[1]_include.cmake")
+include("/root/repo/build/tests/rebuild_test[1]_include.cmake")
+include("/root/repo/build/tests/galois_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/crosscut_test[1]_include.cmake")
