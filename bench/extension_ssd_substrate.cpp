@@ -96,7 +96,7 @@ void gc_interference() {
     // Mixed stream; ids above the read/write split mark the writes.
     constexpr std::uint64_t kReadBase = 1000000ULL;
     constexpr std::uint64_t kWriteBase = 2000000ULL;
-    for (int i = 0; i < 20000; ++i) {
+    for (std::uint64_t i = 0; i < 20000; ++i) {
       t += static_cast<SimTime>(rng.exponential(1e9 / 3000.0));
       const bool w = rng.chance(write_share);
       m.submit({.id = (w ? kWriteBase : kReadBase) + i,

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Pre-merge correctness gate for flashqos.
+#
+# Runs, in order:
+#   1. warnings-as-errors build of everything (libs, tests, benches, examples)
+#      and the plain ctest suite
+#   2. the test suite under AddressSanitizer + UndefinedBehaviorSanitizer
+#   3. the test suite under ThreadSanitizer
+#   4. the design-invariant verifier (flashqos_verify) over every catalog
+#      design with N <= 64
+#   5. clang-tidy over src/ (skipped with a warning if clang-tidy is not
+#      installed — the .clang-tidy baseline is still enforced by review)
+#
+# Usage: scripts/check.sh [--quick]
+#   --quick: skip the TSan pass (the slowest stage) — NOT sufficient for
+#            merging concurrency changes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "check.sh: unknown argument '$arg' (usage: scripts/check.sh [--quick])" >&2
+       exit 2 ;;
+  esac
+done
+
+run() { echo "+ $*" >&2; "$@"; }
+
+banner() {
+  echo
+  echo "==================================================================="
+  echo "== $*"
+  echo "==================================================================="
+}
+
+banner "1/5 warnings-as-errors build + ctest"
+run cmake -B build-werror -S . -DFLASHQOS_WERROR=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+run cmake --build build-werror -j "$JOBS"
+run ctest --test-dir build-werror --output-on-failure -j "$JOBS"
+
+banner "2/5 ASan + UBSan"
+run cmake -B build-asan -S . -DFLASHQOS_WERROR=ON -DFLASHQOS_SANITIZE=address \
+  -DFLASHQOS_BUILD_BENCH=OFF -DFLASHQOS_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+run cmake --build build-asan -j "$JOBS"
+ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1:detect_stack_use_after_return=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+if [[ $QUICK -eq 0 ]]; then
+  banner "3/5 TSan"
+  run cmake -B build-tsan -S . -DFLASHQOS_WERROR=ON -DFLASHQOS_SANITIZE=thread \
+    -DFLASHQOS_BUILD_BENCH=OFF -DFLASHQOS_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  run cmake --build build-tsan -j "$JOBS"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    run ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+else
+  banner "3/5 TSan — SKIPPED (--quick)"
+fi
+
+banner "4/5 design-invariant verifier (catalog, N <= 64)"
+run ./build-werror/src/verify/flashqos_verify --max-devices 64
+
+banner "5/5 clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+  run cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  find src -name '*.cpp' -print0 \
+    | xargs -0 -n 1 -P "$JOBS" clang-tidy -p build-tidy --quiet --warnings-as-errors='*'
+else
+  echo "WARNING: clang-tidy not found on PATH; lint stage skipped." >&2
+fi
+
+banner "all checks passed"

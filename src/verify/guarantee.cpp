@@ -1,0 +1,229 @@
+#include "verify/guarantee.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "decluster/schemes.hpp"
+#include "retrieval/maxflow.hpp"
+#include "util/rng.hpp"
+
+namespace flashqos::verify {
+namespace {
+
+constexpr std::uint64_t kClamp = std::numeric_limits<std::int64_t>::max();
+
+/// Visit every k-subset of [0, n) in lexicographic order; stop when the
+/// visitor returns false. Returns false iff stopped early.
+bool for_each_combination(std::size_t n, std::size_t k,
+                          const std::function<bool(const std::vector<BucketId>&)>& visit) {
+  std::vector<BucketId> comb(k);
+  for (std::size_t i = 0; i < k; ++i) comb[i] = static_cast<BucketId>(i);
+  for (;;) {
+    if (!visit(comb)) return false;
+    // Advance: find the rightmost element that can move up.
+    std::size_t i = k;
+    while (i > 0 && comb[i - 1] == n - k + i - 1) --i;
+    if (i == 0) return true;
+    ++comb[i - 1];
+    for (std::size_t j = i; j < k; ++j) comb[j] = comb[j - 1] + 1;
+  }
+}
+
+std::string describe_batch(const std::vector<BucketId>& batch) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << batch[i];
+  }
+  os << "}";
+  return std::move(os).str();
+}
+
+/// The batch retrieves within M rounds AND the witnessing schedule is a
+/// genuine certificate.
+bool holds_in(const std::vector<BucketId>& batch,
+              const decluster::AllocationScheme& scheme, std::uint32_t rounds,
+              std::string* why) {
+  const auto schedule = retrieval::feasible_in_rounds(batch, scheme, rounds);
+  if (!schedule.has_value()) {
+    if (why != nullptr) {
+      *why = "batch " + describe_batch(batch) + " not retrievable in " +
+             std::to_string(rounds) + " rounds";
+    }
+    return false;
+  }
+  std::string cert_why;
+  if (!check_schedule(batch, scheme, *schedule, &cert_why)) {
+    if (why != nullptr) {
+      *why = "witness schedule invalid for batch " + describe_batch(batch) +
+             ": " + cert_why;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t binomial_clamped(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    const std::uint64_t factor = n - k + i;
+    if (result > kClamp / factor) return kClamp;
+    result = result * factor / i;  // exact: product of i consecutive ints
+  }
+  return result;
+}
+
+Report verify_guarantee(const design::BlockDesign& d,
+                        const GuaranteeParams& params) {
+  Report r("guarantee " + (d.name().empty() ? "<unnamed>" : d.name()));
+  const decluster::DesignTheoretic scheme(d, params.use_rotations);
+  const std::uint32_t c = scheme.copies();
+  const std::size_t buckets = scheme.buckets();
+  Rng rng(params.seed);
+
+  for (std::uint32_t m = 1; m <= params.max_accesses; ++m) {
+    const auto s_bound = design::guarantee_buckets(c, m);
+    const auto k = static_cast<std::size_t>(
+        std::min<std::uint64_t>(s_bound, buckets));
+    std::string why;
+    bool ok = true;
+
+    const auto combos = binomial_clamped(buckets, k);
+    if (combos <= params.exhaustive_budget) {
+      std::uint64_t visited = 0;
+      ok = for_each_combination(buckets, k, [&](const std::vector<BucketId>& batch) {
+        ++visited;
+        return holds_in(batch, scheme, m, &why);
+      });
+      r.add("S-bound M=" + std::to_string(m) + " (exhaustive)", ok,
+            ok ? "all " + std::to_string(visited) + " batches of " +
+                     std::to_string(k) + " buckets retrieve in " +
+                     std::to_string(m) + " rounds"
+               : why);
+    } else {
+      // Random S-subsets...
+      for (std::size_t t = 0; t < params.sampled_trials && ok; ++t) {
+        std::vector<BucketId> batch;
+        batch.reserve(k);
+        for (const auto b : rng.sample_without_replacement(buckets, k)) {
+          batch.push_back(static_cast<BucketId>(b));
+        }
+        ok = holds_in(batch, scheme, m, &why);
+      }
+      // ...plus adversarial ones: batches saturated around each single
+      // device (every bucket holding a replica there competes for its M
+      // slots) and around single blocks (rotations share the full device
+      // set — the tightest clusters the allocation contains).
+      for (DeviceId dev = 0; dev < scheme.devices() && ok; ++dev) {
+        std::vector<BucketId> cluster;
+        for (BucketId b = 0; b < buckets; ++b) {
+          const auto reps = scheme.replicas(b);
+          if (std::find(reps.begin(), reps.end(), dev) != reps.end()) {
+            cluster.push_back(b);
+          }
+        }
+        // Top up with the lexicographically next buckets to reach size k.
+        for (BucketId b = 0; b < buckets && cluster.size() < k; ++b) {
+          if (std::find(cluster.begin(), cluster.end(), b) == cluster.end()) {
+            cluster.push_back(b);
+          }
+        }
+        cluster.resize(std::min(cluster.size(), k));
+        ok = holds_in(cluster, scheme, m, &why);
+      }
+      r.add("S-bound M=" + std::to_string(m) + " (sampled+adversarial)", ok,
+            ok ? std::to_string(params.sampled_trials) + " random + " +
+                     std::to_string(scheme.devices()) +
+                     " device-clustered batches of " + std::to_string(k)
+               : why);
+    }
+  }
+  return r;
+}
+
+Report verify_guarantee_arithmetic() {
+  Report r("guarantee arithmetic");
+  bool monotone = true;
+  bool inverse = true;
+  bool ceiling = true;
+  std::string why_monotone;
+  std::string why_inverse;
+  std::string why_ceiling;
+  for (std::uint32_t c = 2; c <= 9 && (monotone && inverse); ++c) {
+    std::uint64_t prev = 0;
+    for (std::uint64_t m = 1; m <= 512; ++m) {
+      const auto s = design::guarantee_buckets(c, m);
+      if (s <= prev) {
+        monotone = false;
+        why_monotone = "S(c=" + std::to_string(c) + ") not increasing at M=" +
+                       std::to_string(m);
+        break;
+      }
+      // guarantee_accesses must step from M-1 to M exactly when the bucket
+      // count crosses S(c, M-1): b = prev + 1 needs M, b = S(c, M) still M.
+      if (design::guarantee_accesses(c, prev + 1) != m ||
+          design::guarantee_accesses(c, s) != m) {
+        inverse = false;
+        why_inverse = "guarantee_accesses disagrees with S at c=" +
+                      std::to_string(c) + ", M=" + std::to_string(m);
+        break;
+      }
+      prev = s;
+    }
+    if (design::guarantee_accesses(c, 0) != 0) {
+      inverse = false;
+      why_inverse = "guarantee_accesses(c, 0) != 0";
+    }
+  }
+  for (std::uint64_t b = 0; b <= 300 && ceiling; ++b) {
+    for (std::uint32_t n = 1; n <= 40; ++n) {
+      if (design::optimal_accesses(b, n) != (b + n - 1) / n) {
+        ceiling = false;
+        why_ceiling = "optimal_accesses(" + std::to_string(b) + ", " +
+                      std::to_string(n) + ") is not ceil(b/N)";
+        break;
+      }
+    }
+  }
+  r.add("S strictly increasing in M", monotone, why_monotone);
+  r.add("guarantee_accesses inverts S on both step edges", inverse, why_inverse);
+  r.add("optimal_accesses is ceiling division", ceiling, why_ceiling);
+  return r;
+}
+
+Report verify_catalog_entry(const design::CatalogEntry& entry,
+                            const CatalogCheckParams& params) {
+  Report r("catalog " + entry.name);
+  const auto d = entry.make();
+
+  r.add("declared device count matches design", d.points() == entry.devices,
+        "declared " + std::to_string(entry.devices) + ", built " +
+            std::to_string(d.points()));
+  r.add("declared copy count matches design", d.block_size() == entry.copies,
+        "declared " + std::to_string(entry.copies) + ", built " +
+            std::to_string(d.block_size()));
+
+  const decluster::DesignTheoretic scheme(d, true);
+  r.add("declared bucket count matches rotated allocation",
+        scheme.buckets() == entry.buckets,
+        "declared " + std::to_string(entry.buckets) + ", built " +
+            std::to_string(scheme.buckets()));
+
+  r.merge(verify_design(d));
+  r.merge(verify_bucket_table(d, true));
+  r.merge(verify_allocation(
+      scheme, {.design_theoretic = true, .uniform_load = d.is_steiner()}));
+  r.merge(verify_block_mapper(scheme, params.guarantee.seed));
+  r.merge(verify_retrieval(scheme, params.retrieval));
+  r.merge(verify_guarantee(d, params.guarantee));
+  return r;
+}
+
+}  // namespace flashqos::verify

@@ -1,0 +1,60 @@
+// The paper's deterministic guarantee, checked rather than trusted.
+//
+// For a (rotated) (N, c, 1) design-theoretic allocation, ANY batch of
+// S = (c-1)M² + cM distinct buckets must be retrievable in M parallel
+// accesses. That universal quantifier is exactly what tests usually cannot
+// afford — so this checker enumerates EVERY S-subset when the binomial count
+// fits a budget (the small-N designs: exhaustive proof), and otherwise
+// attacks the bound with random plus adversarial batches (buckets clustered
+// on one device / one block's rotations — the configurations that maximize
+// contention).
+#pragma once
+
+#include <cstdint>
+
+#include "design/catalog.hpp"
+#include "verify/invariants.hpp"
+
+namespace flashqos::verify {
+
+struct GuaranteeParams {
+  /// Check M = 1..max_accesses.
+  std::uint32_t max_accesses = 2;
+  /// Enumerate all C(buckets, S) subsets when the count is at most this;
+  /// otherwise fall back to sampling.
+  std::uint64_t exhaustive_budget = 1'000'000;
+  /// Random batches per (design, M) when not exhaustive.
+  std::size_t sampled_trials = 200;
+  std::uint64_t seed = 1;
+  bool use_rotations = true;
+};
+
+/// C(n, k) clamped to 2^63-1 on overflow (callers only compare against a
+/// budget, so saturation is the right behaviour).
+[[nodiscard]] std::uint64_t binomial_clamped(std::uint64_t n, std::uint64_t k);
+
+/// Verify S = (c-1)M² + cM on one design: every enumerated/sampled batch of
+/// S distinct buckets schedules in at most M rounds (checked by the exact
+/// max-flow solver with an independent schedule certificate).
+[[nodiscard]] Report verify_guarantee(const design::BlockDesign& d,
+                                      const GuaranteeParams& params = {});
+
+/// Pure-arithmetic audit of the bound helpers: guarantee_buckets is
+/// strictly increasing in M, guarantee_accesses inverts it exactly on both
+/// sides of every step, and optimal_accesses is the true ceiling division —
+/// exhaustively over c in [2, 9] and M in [0, 512].
+[[nodiscard]] Report verify_guarantee_arithmetic();
+
+struct CatalogCheckParams {
+  GuaranteeParams guarantee;
+  RetrievalParams retrieval;
+};
+
+/// Everything about one catalog entry: metadata consistency (declared N, c,
+/// bucket count vs the constructed design), design structure, bucket table,
+/// design-theoretic allocation, block mapper, retrieval cross-checks, and
+/// the S-bound.
+[[nodiscard]] Report verify_catalog_entry(const design::CatalogEntry& entry,
+                                          const CatalogCheckParams& params = {});
+
+}  // namespace flashqos::verify

@@ -1,0 +1,132 @@
+// flashqos_verify — audit the combinatorial structures behind the QoS
+// guarantees.
+//
+// Runs every verifier in src/verify over catalog designs (by default all
+// with N <= 64): design structure, bucket-table expansion, allocation
+// invariants, block-mapper behaviour, retrieval cross-checks (DTR vs exact
+// max-flow), and the S = (c-1)M² + cM bound — exhaustively enumerated where
+// the subset count allows, adversarially sampled where it does not.
+// Exit code 0 iff every check passes; the pre-merge gate (scripts/check.sh)
+// relies on that.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "design/catalog.hpp"
+#include "verify/guarantee.hpp"
+#include "verify/invariants.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --max-devices N   only designs with at most N devices (default 64)\n"
+      "  --design NAME     check one catalog design (repeatable); overrides\n"
+      "                    --max-devices\n"
+      "  --trials K        retrieval cross-check trials per design (default 60)\n"
+      "  --samples K       sampled guarantee batches per (design, M) (default 200)\n"
+      "  --budget K        exhaustive-enumeration budget in subsets (default 1e6)\n"
+      "  --max-accesses M  check the S-bound for M = 1..M (default 2)\n"
+      "  --seed S          RNG seed for sampled checks (default 1)\n"
+      "  --list            list catalog designs and exit\n"
+      "  --verbose         print passing checks, not only failures\n"
+      "  --help            this text\n",
+      argv0);
+}
+
+std::uint64_t parse_u64(const char* flag, const char* value) {
+  char* end = nullptr;
+  const auto v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "flashqos_verify: %s expects a number, got '%s'\n",
+                 flag, value);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t max_devices = 64;
+  std::vector<std::string> only;
+  bool verbose = false;
+  flashqos::verify::CatalogCheckParams params;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flashqos_verify: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--max-devices") == 0) {
+      max_devices = parse_u64("--max-devices", need_value("--max-devices"));
+    } else if (std::strcmp(argv[i], "--design") == 0) {
+      only.emplace_back(need_value("--design"));
+    } else if (std::strcmp(argv[i], "--trials") == 0) {
+      params.retrieval.trials =
+          static_cast<std::size_t>(parse_u64("--trials", need_value("--trials")));
+    } else if (std::strcmp(argv[i], "--samples") == 0) {
+      params.guarantee.sampled_trials = static_cast<std::size_t>(
+          parse_u64("--samples", need_value("--samples")));
+    } else if (std::strcmp(argv[i], "--budget") == 0) {
+      params.guarantee.exhaustive_budget =
+          parse_u64("--budget", need_value("--budget"));
+    } else if (std::strcmp(argv[i], "--max-accesses") == 0) {
+      params.guarantee.max_accesses = static_cast<std::uint32_t>(
+          parse_u64("--max-accesses", need_value("--max-accesses")));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const auto seed = parse_u64("--seed", need_value("--seed"));
+      params.guarantee.seed = seed;
+      params.retrieval.seed = seed;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      for (const auto& e : flashqos::design::catalog()) {
+        std::printf("%-10s N=%-3u c=%u buckets=%zu\n", e.name.c_str(),
+                    e.devices, e.copies, e.buckets);
+      }
+      return 0;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "flashqos_verify: unknown option '%s'\n", argv[i]);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // The bound helpers are shared by every design; audit them once up front.
+  const auto arithmetic = flashqos::verify::verify_guarantee_arithmetic();
+  std::printf("%s\n", arithmetic.to_string(verbose).c_str());
+  bool all_ok = arithmetic.passed();
+
+  std::size_t checked = 0;
+  for (const auto& e : flashqos::design::catalog()) {
+    if (only.empty()) {
+      if (e.devices > max_devices) continue;
+    } else if (std::find(only.begin(), only.end(), e.name) == only.end()) {
+      continue;
+    }
+    const auto report = flashqos::verify::verify_catalog_entry(e, params);
+    std::printf("%s\n", report.to_string(verbose).c_str());
+    std::fflush(stdout);
+    all_ok = all_ok && report.passed();
+    ++checked;
+  }
+
+  if (checked == 0) {
+    std::fprintf(stderr, "flashqos_verify: no catalog design matched\n");
+    return 2;
+  }
+  std::printf("%s: %zu design%s checked\n", all_ok ? "OK" : "FAILED", checked,
+              checked == 1 ? "" : "s");
+  return all_ok ? 0 : 1;
+}

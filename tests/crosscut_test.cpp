@@ -13,6 +13,7 @@
 #include "trace/synthetic.hpp"
 #include "trace/workload.hpp"
 #include "util/rng.hpp"
+#include "verify/invariants.hpp"
 
 namespace flashqos {
 namespace {
@@ -215,6 +216,33 @@ TEST(FimMinSupport, HigherSupportShrinksTheMappingTable) {
   EXPECT_GT(match_s1, match_s4)
       << "raising the support prunes pairs and lowers the match rate";
   EXPECT_GT(match_s4, 0.0);
+}
+
+// The verifier's independently recomputed allocation audit must agree with
+// decluster::validate across every scheme family, not just the design path
+// (the agreement check is embedded in verify_allocation).
+TEST(VerifierCrossCheck, AllocationAuditAgreesAcrossSchemeFamilies) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic design_scheme(d, true);
+  const decluster::Raid1Mirrored mirrored(9, 3, 36);
+  const decluster::Raid1Chained chained(9, 3, 36);
+  const decluster::RandomDuplicate rda(9, 3, 36, 17);
+  const decluster::Partitioned part(9, 3, 3, 36);
+  const decluster::Orthogonal orth(9);
+  const decluster::AllocationScheme* schemes[] = {
+      &design_scheme, &mirrored, &chained, &rda, &part, &orth};
+  for (const auto* s : schemes) {
+    const auto r = verify::verify_allocation(*s);
+    EXPECT_TRUE(r.passed()) << r.to_string();
+  }
+}
+
+// Retrieval oracle on a non-design allocation: optimality, minimality and
+// degraded-mode claims must hold for any scheme the pipeline can run on.
+TEST(VerifierCrossCheck, RetrievalOracleHoldsOffTheDesignPath) {
+  const decluster::Raid1Chained chained(8, 3, 48);
+  const auto r = verify::verify_retrieval(chained, {.trials = 20, .seed = 9});
+  EXPECT_TRUE(r.passed()) << r.to_string();
 }
 
 }  // namespace

@@ -13,6 +13,8 @@
 #include "retrieval/maxflow.hpp"
 #include "trace/synthetic.hpp"
 #include "util/rng.hpp"
+#include "verify/guarantee.hpp"
+#include "verify/invariants.hpp"
 
 namespace flashqos {
 namespace {
@@ -59,6 +61,19 @@ INSTANTIATE_TEST_SUITE_P(Designs, CatalogGuarantee,
                          ::testing::Values("(7,3,1)", "(9,3,1)", "(13,3,1)",
                                            "(13,4,1)", "(15,3,1)", "(19,3,1)",
                                            "(25,5,1)"));
+
+// The same designs through the full verifier subsystem: structure, bucket
+// table, allocation, mapper, retrieval cross-checks and the S-bound in one
+// oracle (src/verify recomputes everything from first principles).
+TEST_P(CatalogGuarantee, VerifierOracleConfirmsAllInvariants) {
+  const auto& e = entry(GetParam());
+  verify::CatalogCheckParams params;
+  params.guarantee.exhaustive_budget = 25000;  // exhaustive only for (7,3,1)
+  params.guarantee.sampled_trials = 30;
+  params.retrieval.trials = 15;
+  const auto report = verify::verify_catalog_entry(e, params);
+  EXPECT_TRUE(report.passed()) << report.to_string();
+}
 
 // Invariant 4: DTR rounds >= optimal rounds >= ceil(b/N), with equality of
 // DTR and optimal on sizes within the guarantee.

@@ -226,7 +226,10 @@ TEST(Table, FormatsAlignedRows) {
 }  // namespace flashqos
 
 #include <atomic>
+#include <thread>
+#include <vector>
 
+#include "util/expect.hpp"
 #include "util/thread_pool.hpp"
 
 namespace flashqos {
@@ -268,6 +271,116 @@ TEST(ThreadPool, ReusableAcrossWaves) {
     pool.wait();
   }
   EXPECT_EQ(counter.load(), 30);
+}
+
+// TSan-oriented stress: an external producer keeps submitting while the
+// main thread sits in wait(). Every submitted task must run exactly once
+// and wait() must only return with the queue drained at that instant.
+TEST(ThreadPoolStress, ConcurrentSubmitDuringWait) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kProducerTasks = 400;
+  std::thread producer([&] {
+    for (int i = 0; i < kProducerTasks; ++i) {
+      pool.submit([&counter] { ++counter; });
+      if (i % 64 == 0) std::this_thread::yield();
+    }
+  });
+  // Interleave waits with the producer's submissions; each wait observes
+  // some consistent drained state, never a torn one.
+  for (int i = 0; i < 50; ++i) pool.wait();
+  producer.join();
+  pool.wait();
+  EXPECT_EQ(counter.load(), kProducerTasks);
+}
+
+TEST(ThreadPoolStress, ManyProducersManyWaiters) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait();
+  EXPECT_EQ(counter.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPoolStress, ZeroTaskWaitFromManyThreads) {
+  ThreadPool pool(2);
+  std::vector<std::thread> waiters;
+  waiters.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&pool] {
+      for (int j = 0; j < 100; ++j) pool.wait();
+    });
+  }
+  for (auto& t : waiters) t.join();
+}
+
+// Destruction with work still queued: the destructor must drain the queue,
+// not drop it — every task submitted before ~ThreadPool runs to completion.
+TEST(ThreadPoolStress, DestructionDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 300;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+    // No wait(): destructor races the queue.
+  }
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+// ------------------------------------------------------- contract macros
+
+TEST(ContractDeathTest, ExpectAbortsWithDiagnostics) {
+  EXPECT_DEATH(FLASHQOS_EXPECT(1 + 1 == 3, "arithmetic is broken"),
+               "precondition.*1 \\+ 1 == 3.*arithmetic is broken");
+}
+
+TEST(ContractDeathTest, ExpectIsSilentWhenSatisfied) {
+  FLASHQOS_EXPECT(1 + 1 == 2, "never printed");
+  SUCCEED();
+}
+
+TEST(ContractDeathTest, AssertFollowsBuildMode) {
+#ifdef NDEBUG
+  FLASHQOS_ASSERT(false, "compiled out in release builds");
+  SUCCEED();
+#else
+  EXPECT_DEATH(FLASHQOS_ASSERT(false, "debug invariant"),
+               "invariant.*debug invariant");
+#endif
+}
+
+TEST(ContractDeathTest, AssertNeverEvaluatesInRelease) {
+  // NDEBUG builds must not even evaluate the condition expression.
+  int evaluations = 0;
+  const auto probe = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  FLASHQOS_ASSERT(probe(), "unused");
+#ifdef NDEBUG
+  (void)probe;
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+TEST(ContractDeathTest, SubmittingEmptyTaskDies) {
+  ThreadPool pool(1);
+  EXPECT_DEATH(pool.submit(nullptr), "empty task");
 }
 
 }  // namespace

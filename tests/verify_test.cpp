@@ -1,0 +1,241 @@
+// Tests for the invariant verifier subsystem (src/verify).
+//
+// Two directions: healthy structures must pass every check, and — the part
+// an oracle is useless without — deliberately corrupted structures must be
+// DETECTED. Each mutation test plants one violation and asserts the exact
+// check that should catch it does.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "decluster/schemes.hpp"
+#include "design/catalog.hpp"
+#include "design/constructions.hpp"
+#include "retrieval/maxflow.hpp"
+#include "verify/guarantee.hpp"
+#include "verify/invariants.hpp"
+
+namespace flashqos {
+namespace {
+
+using decluster::DesignTheoretic;
+using verify::Report;
+
+bool check_failed(const Report& r, const std::string& needle) {
+  return std::any_of(r.checks().begin(), r.checks().end(), [&](const auto& c) {
+    return !c.passed && c.name.find(needle) != std::string::npos;
+  });
+}
+
+// ---------------------------------------------------------------- healthy
+
+TEST(VerifyDesign, SteinerSystemsPassEveryCheck) {
+  for (auto* make :
+       {+[] { return design::fano(); }, +[] { return design::make_9_3_1(); },
+        +[] { return design::make_13_3_1(); }}) {
+    const auto d = make();
+    const auto r = verify::verify_design(d);
+    EXPECT_TRUE(r.passed()) << r.to_string();
+  }
+}
+
+TEST(VerifyDesign, PartialDesignStillLinearSpace) {
+  auto blocks = design::make_13_3_1().blocks();
+  blocks.resize(blocks.size() - 4);
+  const design::BlockDesign partial(13, blocks, "partial-13");
+  const auto r = verify::verify_design(partial);
+  EXPECT_TRUE(r.passed()) << r.to_string();
+}
+
+TEST(VerifyBucketTable, RotatedAndUnrotatedPass) {
+  const auto d = design::make_9_3_1();
+  EXPECT_TRUE(verify::verify_bucket_table(d, true).passed());
+  EXPECT_TRUE(verify::verify_bucket_table(d, false).passed());
+}
+
+TEST(VerifyAllocation, DesignTheoreticPassesStrictExpectations) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic s(d, true);
+  const auto r = verify::verify_allocation(
+      s, {.design_theoretic = true, .uniform_load = true});
+  EXPECT_TRUE(r.passed()) << r.to_string();
+}
+
+TEST(VerifyAllocation, BaselineSchemesPassStructuralChecks) {
+  const decluster::Raid1Chained chained(8, 2, 40);
+  EXPECT_TRUE(verify::verify_allocation(chained).passed());
+  const decluster::RandomDuplicate rda(11, 3, 50, 7);
+  EXPECT_TRUE(verify::verify_allocation(rda).passed());
+  const decluster::Orthogonal orth(7);
+  EXPECT_TRUE(verify::verify_allocation(orth).passed());
+}
+
+TEST(VerifyRetrieval, DesignAndRandomSchemesCrossCheckClean) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic s(d, true);
+  const auto r = verify::verify_retrieval(s, {.trials = 25, .seed = 3});
+  EXPECT_TRUE(r.passed()) << r.to_string();
+
+  const decluster::RandomDuplicate rda(9, 2, 40, 11);
+  const auto r2 = verify::verify_retrieval(rda, {.trials = 25, .seed = 4});
+  EXPECT_TRUE(r2.passed()) << r2.to_string();
+}
+
+TEST(VerifyGuarantee, ArithmeticIdentitiesHold) {
+  const auto r = verify::verify_guarantee_arithmetic();
+  EXPECT_TRUE(r.passed()) << r.to_string();
+}
+
+TEST(VerifyGuarantee, FanoBoundExhaustive) {
+  const auto d = design::fano();
+  verify::GuaranteeParams p;
+  p.max_accesses = 1;
+  const auto r = verify::verify_guarantee(d, p);
+  EXPECT_TRUE(r.passed()) << r.to_string();
+  // C(21, 5) = 20349 fits the default budget, so this really enumerated.
+  ASSERT_FALSE(r.checks().empty());
+  EXPECT_NE(r.checks().front().name.find("exhaustive"), std::string::npos);
+}
+
+TEST(VerifyCatalog, SmallEntriesPassEndToEnd) {
+  verify::CatalogCheckParams params;
+  params.guarantee.exhaustive_budget = 30000;
+  params.guarantee.sampled_trials = 40;
+  params.retrieval.trials = 20;
+  for (const auto& e : design::catalog()) {
+    if (e.devices > 13) continue;
+    const auto r = verify::verify_catalog_entry(e, params);
+    EXPECT_TRUE(r.passed()) << r.to_string();
+  }
+}
+
+TEST(VerifyBinomial, SmallValuesAndClamp) {
+  EXPECT_EQ(verify::binomial_clamped(0, 0), 1u);
+  EXPECT_EQ(verify::binomial_clamped(5, 2), 10u);
+  EXPECT_EQ(verify::binomial_clamped(21, 5), 20349u);
+  EXPECT_EQ(verify::binomial_clamped(42, 14), 52860229080u);
+  EXPECT_EQ(verify::binomial_clamped(10, 11), 0u);
+  // C(200, 100) overflows 63 bits and must clamp, not wrap.
+  EXPECT_EQ(verify::binomial_clamped(200, 100),
+            static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()));
+}
+
+// --------------------------------------------------------------- mutations
+
+TEST(VerifyDesignMutation, RepeatedPairIsDetected) {
+  // Blocks {0,1,2} and {0,1,3} give pair (0,1) co-occurrence 2.
+  const design::BlockDesign bad(4, {{0, 1, 2}, {0, 1, 3}}, "bad-pair");
+  const auto r = verify::verify_design(bad);
+  EXPECT_FALSE(r.passed());
+  EXPECT_TRUE(check_failed(r, "pair co-occurrence")) << r.to_string();
+}
+
+TEST(VerifyDesignMutation, IdleDeviceIsDetected) {
+  // Point 4 appears in no block: a device that never carries load.
+  const design::BlockDesign bad(5, {{0, 1, 2}}, "idle-device");
+  const auto r = verify::verify_design(bad);
+  EXPECT_TRUE(check_failed(r, "every device carries load")) << r.to_string();
+}
+
+// A scheme whose constructor lies: replica table built by the test, free to
+// violate any invariant the verifier must catch.
+class CorruptScheme final : public decluster::AllocationScheme {
+ public:
+  CorruptScheme(std::uint32_t devices, std::uint32_t copies,
+                std::vector<DeviceId> table)
+      : AllocationScheme("corrupt", devices, copies) {
+    set_table(std::move(table));
+  }
+};
+
+TEST(VerifyAllocationMutation, DuplicateReplicaDeviceIsDetected) {
+  // Bucket 1 stores both copies on device 2.
+  const CorruptScheme s(4, 2, {0, 1, 2, 2, 1, 3});
+  const auto r = verify::verify_allocation(s);
+  EXPECT_FALSE(r.passed());
+  EXPECT_TRUE(check_failed(r, "distinct per bucket")) << r.to_string();
+}
+
+TEST(VerifyAllocationMutation, PairSharingAboveDesignBoundIsDetected) {
+  // Buckets {0,1,2} and {0,1,3}: share two devices yet differ — impossible
+  // for rotations of a λ=1 design.
+  const CorruptScheme s(4, 3, {0, 1, 2, 0, 1, 3});
+  const auto r = verify::verify_allocation(s, {.design_theoretic = true});
+  EXPECT_FALSE(r.passed());
+  EXPECT_TRUE(check_failed(r, "pairwise intersections")) << r.to_string();
+}
+
+TEST(VerifyAllocationMutation, SkewedLoadIsDetected) {
+  // Device 0 carries every primary.
+  const CorruptScheme s(4, 2, {0, 1, 0, 2, 0, 3});
+  const auto r = verify::verify_allocation(s, {.uniform_load = true});
+  EXPECT_FALSE(r.passed());
+  EXPECT_TRUE(check_failed(r, "uniform primary load")) << r.to_string();
+}
+
+TEST(VerifyScheduleMutation, CorruptionsAreDetected) {
+  const auto d = design::make_9_3_1();
+  const DesignTheoretic scheme(d, true);
+  const std::vector<BucketId> batch{0, 5, 11, 17, 23};
+  auto good = retrieval::optimal_schedule(batch, scheme);
+  ASSERT_TRUE(verify::check_schedule(batch, scheme, good));
+
+  std::string why;
+  // Wrong device: serve request 0 from a device outside its replica set.
+  auto bad = good;
+  const auto reps = scheme.replicas(batch[0]);
+  for (DeviceId dev = 0; dev < scheme.devices(); ++dev) {
+    if (std::find(reps.begin(), reps.end(), dev) == reps.end()) {
+      bad.assignments[0].device = dev;
+      break;
+    }
+  }
+  EXPECT_FALSE(verify::check_schedule(batch, scheme, bad, &why));
+  EXPECT_NE(why.find("non-replica"), std::string::npos) << why;
+
+  // Round out of range.
+  bad = good;
+  bad.assignments[0].round = bad.rounds + 3;
+  EXPECT_FALSE(verify::check_schedule(batch, scheme, bad, &why));
+
+  // Understated rounds field.
+  bad = good;
+  bad.rounds += 1;
+  EXPECT_FALSE(verify::check_schedule(batch, scheme, bad, &why));
+  EXPECT_NE(why.find("deepest"), std::string::npos) << why;
+}
+
+TEST(VerifyScheduleMutation, DeviceCollisionDetected) {
+  // Two requests for different buckets forced onto one device in round 0.
+  const auto d = design::fano();
+  const DesignTheoretic scheme(d, false);
+  // Blocks 0 and 1 of the Fano plane share exactly one device.
+  const auto a = scheme.replicas(0);
+  const auto b = scheme.replicas(1);
+  DeviceId shared = kInvalidDevice;
+  for (const auto da : a) {
+    if (std::find(b.begin(), b.end(), da) != b.end()) shared = da;
+  }
+  ASSERT_NE(shared, kInvalidDevice);
+  retrieval::Schedule s;
+  s.rounds = 1;
+  s.assignments = {{shared, 0}, {shared, 0}};
+  std::string why;
+  const std::vector<BucketId> batch{0, 1};
+  EXPECT_FALSE(verify::check_schedule(batch, scheme, s, &why));
+  EXPECT_NE(why.find("two requests"), std::string::npos) << why;
+}
+
+TEST(VerifyGuaranteeMutation, BrokenDesignFailsTheBound) {
+  // Pair (0,1) covered twice and only 4 devices: S(c=3, M=1) = 5 distinct
+  // buckets cannot all land in one round.
+  const design::BlockDesign bad(4, {{0, 1, 2}, {0, 1, 3}}, "bad-pair");
+  verify::GuaranteeParams p;
+  p.max_accesses = 1;
+  const auto r = verify::verify_guarantee(bad, p);
+  EXPECT_FALSE(r.passed()) << r.to_string();
+}
+
+}  // namespace
+}  // namespace flashqos
