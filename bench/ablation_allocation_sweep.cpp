@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_flags.hpp"
 #include "core/qos_pipeline.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
@@ -37,13 +38,14 @@ void run_row(Table& table, const decluster::AllocationScheme& scheme,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   // 14 requests per 0.266 ms — the (9,3,1) M=2 operating point.
   const SimTime interval = 266 * kMicrosecond;
   const auto t = trace::generate_synthetic({.bucket_pool = 36,
                                             .interval = interval,
                                             .requests_per_interval = 14,
-                                            .total_requests = 7000,
+                                            .total_requests = smoke ? 700u : 7000u,
                                             .seed = 99});
 
   const auto d = design::make_9_3_1();
@@ -71,7 +73,7 @@ int main() {
   const auto t2 = trace::generate_synthetic({.bucket_pool = orthogonal.buckets(),
                                              .interval = interval,
                                              .requests_per_interval = 8,
-                                             .total_requests = 4000,
+                                             .total_requests = smoke ? 400u : 4000u,
                                              .seed = 7});
   print_banner("Ablation: two-copy orthogonal allocation, 8 requests / "
                "0.266 ms (guarantee: ceil(sqrt(8)) = 3 accesses)");

@@ -9,6 +9,7 @@
 // die.
 #include <cstdio>
 
+#include "bench_flags.hpp"
 #include "core/qos_pipeline.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
@@ -17,13 +18,15 @@
 
 using namespace flashqos;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   const auto d = design::make_9_3_1();
   const decluster::DesignTheoretic scheme(d, true);
   const auto t = trace::generate_synthetic({.bucket_pool = 36,
                                             .interval = kBaseInterval,
                                             .requests_per_interval = 4,
-                                            .total_requests = 40000,
+                                            .total_requests =
+                                                smoke ? 3000u : 40000u,
                                             .seed = 2121});
 
   print_banner("Ablation: deterministic QoS under device failures, (9,3,1), "

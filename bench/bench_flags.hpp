@@ -1,0 +1,35 @@
+// Shared command-line handling for the bench drivers.
+//
+// Every driver accepts exactly one flag, --smoke: run the same code paths
+// at a drastically reduced scale so ctest can smoke-test all of them in
+// seconds (registered as bench_smoke_* targets). Smoke numbers exist to
+// prove the driver runs end to end; they are not comparable to a full run.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace flashqos::bench {
+
+/// True iff --smoke was passed. Any other argument is rejected loudly
+/// (exit 2) so a typo cannot silently launch a full-size benchmark.
+inline bool smoke_mode(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    std::fprintf(stderr, "%s: unknown argument '%s' (supported: --smoke)\n",
+                 argv[0], argv[i]);
+    std::exit(2);
+  }
+  if (smoke) {
+    std::printf("[--smoke: reduced scale; numbers not comparable to a full "
+                "run]\n");
+  }
+  return smoke;
+}
+
+}  // namespace flashqos::bench

@@ -5,6 +5,7 @@
 //      array is uniform (the paper's companion work, ref [14]).
 #include <cstdio>
 
+#include "bench_flags.hpp"
 #include "core/qos_pipeline.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
@@ -19,15 +20,15 @@ using namespace flashqos;
 
 namespace {
 
-void write_fraction_sweep() {
+void write_fraction_sweep(bool smoke) {
   const auto d = design::make_9_3_1();
   const decluster::DesignTheoretic scheme(d, true);
   print_banner("Extension: write fraction vs read QoS (9,3,1), Exchange-like");
   Table table({"write fraction", "% reads delayed", "avg read delay (ms)",
                "avg write (ms)", "read violations"});
   for (const double wf : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
-    auto p = trace::exchange_params(0.5, 2048);
-    p.report_intervals = 24;
+    auto p = trace::exchange_params(smoke ? 0.05 : 0.5, 2048);
+    p.report_intervals = smoke ? 8 : 24;
     p.write_fraction = wf;
     const auto t = trace::generate_workload(p);
     core::PipelineConfig cfg;
@@ -45,7 +46,7 @@ void write_fraction_sweep() {
               "is read deferral.\n");
 }
 
-void heterogeneous_makespan() {
+void heterogeneous_makespan(bool smoke) {
   const auto d = design::make_13_3_1();
   const decluster::DesignTheoretic scheme(d, true);
   print_banner("Extension: heterogeneous devices — makespan-aware vs uniform "
@@ -57,7 +58,8 @@ void heterogeneous_makespan() {
 
   Rng rng(7);
   Accumulator aware, naive;
-  for (int trial = 0; trial < 2000; ++trial) {
+  const int trials = smoke ? 100 : 2000;
+  for (int trial = 0; trial < trials; ++trial) {
     std::vector<BucketId> batch;
     for (const auto b : rng.sample_without_replacement(scheme.buckets(), 20)) {
       batch.push_back(static_cast<BucketId>(b));
@@ -84,8 +86,9 @@ void heterogeneous_makespan() {
 
 }  // namespace
 
-int main() {
-  write_fraction_sweep();
-  heterogeneous_makespan();
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  write_fraction_sweep(smoke);
+  heterogeneous_makespan(smoke);
   return 0;
 }

@@ -10,7 +10,9 @@
 //      quantifying when the fixed-latency abstraction stops being safe.
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
+#include "bench_flags.hpp"
 #include "flashsim/ssd_module.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -43,16 +45,21 @@ void calibration() {
               to_ms(m.completions()[0].response_time()));
 }
 
-void load_curve() {
+void load_curve(bool smoke) {
   print_banner("Read latency vs offered load (one module, 4 dies, 1 channel)");
   Table table({"reads/s", "avg (ms)", "p99 (ms)", "max (ms)"});
-  for (const double rate : {1000.0, 3000.0, 5000.0, 7000.0, 8500.0, 9200.0}) {
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{1000.0, 5000.0, 9200.0}
+            : std::vector<double>{1000.0, 3000.0, 5000.0,
+                                  7000.0, 8500.0, 9200.0};
+  const int reads = smoke ? 2000 : 20000;
+  for (const double rate : rates) {
     SsdModuleConfig cfg = default_config();
     cfg.cache_pages = 0;  // isolate the device path
     SsdModule m(cfg);
     Rng rng(7);
     SimTime t = 0;
-    for (int i = 0; i < 20000; ++i) {
+    for (int i = 0; i < reads; ++i) {
       t += static_cast<SimTime>(rng.exponential(1e9 / rate));
       m.submit({.id = static_cast<std::uint64_t>(i),
                 .page = rng.below(m.logical_pages()),
@@ -75,11 +82,15 @@ void load_curve() {
               "paper's fixed-latency model is the low-load regime.\n");
 }
 
-void gc_interference() {
+void gc_interference(bool smoke) {
   print_banner("GC interference: read tail vs background write share");
   Table table({"write share", "read avg (ms)", "read p99 (ms)", "read max (ms)",
                "WA", "GC erases"});
-  for (const double write_share : {0.0, 0.1, 0.3, 0.5}) {
+  const std::vector<double> shares = smoke
+                                         ? std::vector<double>{0.0, 0.3}
+                                         : std::vector<double>{0.0, 0.1, 0.3, 0.5};
+  const std::uint64_t events = smoke ? 2000 : 20000;
+  for (const double write_share : shares) {
     SsdModuleConfig cfg = default_config();
     cfg.cache_pages = 0;
     SsdModule m(cfg);
@@ -96,7 +107,7 @@ void gc_interference() {
     // Mixed stream; ids above the read/write split mark the writes.
     constexpr std::uint64_t kReadBase = 1000000ULL;
     constexpr std::uint64_t kWriteBase = 2000000ULL;
-    for (std::uint64_t i = 0; i < 20000; ++i) {
+    for (std::uint64_t i = 0; i < events; ++i) {
       t += static_cast<SimTime>(rng.exponential(1e9 / 3000.0));
       const bool w = rng.chance(write_share);
       m.submit({.id = (w ? kWriteBase : kReadBase) + i,
@@ -128,9 +139,10 @@ void gc_interference() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   calibration();
-  load_curve();
-  gc_interference();
+  load_curve(smoke);
+  gc_interference(smoke);
   return 0;
 }

@@ -11,6 +11,7 @@
 // cache only helps); mixing in writes breaks the abstraction via GC pauses.
 #include <cstdio>
 
+#include "bench_flags.hpp"
 #include "core/qos_pipeline.hpp"
 #include "core/substrate_replay.hpp"
 #include "decluster/schemes.hpp"
@@ -34,9 +35,9 @@ flashsim::SsdModuleConfig module_config(std::size_t cache_pages) {
 }
 
 void run_case(Table& table, const char* label, double write_fraction,
-              std::size_t cache_pages) {
-  auto p = trace::exchange_params(0.5, 4242);
-  p.report_intervals = 24;
+              std::size_t cache_pages, bool smoke) {
+  auto p = trace::exchange_params(smoke ? 0.05 : 0.5, 4242);
+  p.report_intervals = smoke ? 8 : 24;
   p.write_fraction = write_fraction;
   const auto t = trace::generate_workload(p);
 
@@ -59,15 +60,16 @@ void run_case(Table& table, const char* label, double write_fraction,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   print_banner("Substrate validation: QoS dispatch plan replayed on the deep "
                "SSD model (9 modules, Exchange-like)");
   Table table({"scenario", "reads", "within 0.133 ms", "avg (ms)", "p99 (ms)",
                "max (ms)", "cache hits", "GC erases"});
-  run_case(table, "read-only, no cache", 0.0, 0);
-  run_case(table, "read-only, 256-page cache", 0.0, 256);
-  run_case(table, "10% writes, no cache", 0.1, 0);
-  run_case(table, "30% writes, no cache", 0.3, 0);
+  run_case(table, "read-only, no cache", 0.0, 0, smoke);
+  run_case(table, "read-only, 256-page cache", 0.0, 256, smoke);
+  run_case(table, "10% writes, no cache", 0.1, 0, smoke);
+  run_case(table, "30% writes, no cache", 0.3, 0, smoke);
   table.print();
   std::printf("\nthe fixed-latency abstraction is exact for the admitted "
               "read-only plan; caching only improves it; GC behind writes is "

@@ -5,6 +5,7 @@
 // admitted batches queue on devices instead of being deferred).
 #include <cstdio>
 
+#include "bench_flags.hpp"
 #include "core/qos_pipeline.hpp"
 #include "core/sampler.hpp"
 #include "decluster/schemes.hpp"
@@ -17,9 +18,9 @@ using namespace flashqos;
 namespace {
 
 void sweep(const char* title, const trace::Trace& t,
-           const decluster::AllocationScheme& scheme) {
-  const auto p_table =
-      core::sample_optimal_probabilities(scheme, 48, {.samples_per_size = 3000});
+           const decluster::AllocationScheme& scheme, bool smoke) {
+  const auto p_table = core::sample_optimal_probabilities(
+      scheme, 48, {.samples_per_size = smoke ? 200u : 3000u});
   print_banner(title);
   Table table({"epsilon", "% delayed", "avg delay (ms)", "avg response (ms)",
                "max response (ms)"});
@@ -44,17 +45,21 @@ void sweep(const char* title, const trace::Trace& t,
 
 }  // namespace
 
-int main() {
-  const auto exchange = trace::generate_workload(trace::exchange_params(1.0, 2012));
-  const auto tpce = trace::generate_workload(trace::tpce_params(1.0, 2012));
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  const double scale = smoke ? 0.05 : 1.0;
+  const auto exchange =
+      trace::generate_workload(trace::exchange_params(scale, 2012));
+  const auto tpce = trace::generate_workload(trace::tpce_params(scale, 2012));
 
   const auto d9 = design::make_9_3_1();
   const auto d13 = design::make_13_3_1();
   const decluster::DesignTheoretic s9(d9, true);
   const decluster::DesignTheoretic s13(d13, true);
 
-  sweep("Figure 10(a,b): Exchange — statistical QoS, (9,3,1)", exchange, s9);
-  sweep("Figure 10(c,d): TPC-E — statistical QoS, (13,3,1)", tpce, s13);
+  sweep("Figure 10(a,b): Exchange — statistical QoS, (9,3,1)", exchange, s9,
+        smoke);
+  sweep("Figure 10(c,d): TPC-E — statistical QoS, (13,3,1)", tpce, s13, smoke);
   std::printf("\npaper shape: %% delayed monotonically falls with epsilon; "
               "average response time rises.\n");
   return 0;

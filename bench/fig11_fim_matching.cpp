@@ -6,6 +6,7 @@
 // ≈ 87 % — OLTP's hot set is stable, mail traffic drifts.
 #include <cstdio>
 
+#include "bench_flags.hpp"
 #include "core/qos_pipeline.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
@@ -45,9 +46,12 @@ double report(const char* title, const trace::Trace& t,
 
 }  // namespace
 
-int main() {
-  const auto exchange = trace::generate_workload(trace::exchange_params(1.0, 2012));
-  const auto tpce = trace::generate_workload(trace::tpce_params(1.0, 2012));
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  const double scale = smoke ? 0.05 : 1.0;
+  const auto exchange =
+      trace::generate_workload(trace::exchange_params(scale, 2012));
+  const auto tpce = trace::generate_workload(trace::tpce_params(scale, 2012));
 
   const auto d9 = design::make_9_3_1();
   const auto d13 = design::make_13_3_1();

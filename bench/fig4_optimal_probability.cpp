@@ -6,6 +6,7 @@
 // becomes 2 accesses), converging to 1 as k grows.
 #include <cstdio>
 
+#include "bench_flags.hpp"
 #include "core/sampler.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
@@ -13,12 +14,14 @@
 
 using namespace flashqos;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   const auto d = design::make_9_3_1();
   const decluster::DesignTheoretic scheme(d, true);
   constexpr std::uint32_t kMaxK = 24;
   const auto p = core::sample_optimal_probabilities(
-      scheme, kMaxK, {.samples_per_size = 20000, .seed = 4});
+      scheme, kMaxK,
+      {.samples_per_size = smoke ? 500u : 20000u, .seed = 4});
 
   print_banner("Figure 4: optimal retrieval probabilities, (9,3,1) design");
   Table table({"k", "P(optimal)", "bar"});

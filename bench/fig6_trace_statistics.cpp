@@ -7,6 +7,7 @@
 // 6 parts with max rates well above the averages (burstiness).
 #include <cstdio>
 
+#include "bench_flags.hpp"
 #include "trace/stats.hpp"
 #include "trace/workload.hpp"
 #include "util/table.hpp"
@@ -32,9 +33,12 @@ void report(const char* title, const trace::Trace& t) {
 
 }  // namespace
 
-int main() {
-  const auto exchange = trace::generate_workload(trace::exchange_params(1.0, 42));
-  const auto tpce = trace::generate_workload(trace::tpce_params(1.0, 43));
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  const double scale = smoke ? 0.1 : 1.0;
+  const auto exchange =
+      trace::generate_workload(trace::exchange_params(scale, 42));
+  const auto tpce = trace::generate_workload(trace::tpce_params(scale, 43));
   report("Figure 6(a,b): Exchange trace statistics (96 intervals, 9 volumes)",
          exchange);
   report("Figure 6(c,d): TPC-E trace statistics (6 parts, 13 volumes)", tpce);

@@ -7,6 +7,7 @@
 // (d) percentage of delayed requests (paper: 3–13 %, average ≈ 7 %).
 #include <cstdio>
 
+#include "bench_flags.hpp"
 #include "core/qos_pipeline.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
@@ -15,8 +16,10 @@
 
 using namespace flashqos;
 
-int main() {
-  const auto t = trace::generate_workload(trace::exchange_params(1.0, 2012));
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  const auto t = trace::generate_workload(
+      trace::exchange_params(smoke ? 0.05 : 1.0, 2012));
   std::printf("exchange-like trace: %zu requests, %zu intervals, 9 volumes\n",
               t.events.size(), t.report_intervals());
 

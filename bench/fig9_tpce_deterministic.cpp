@@ -6,6 +6,7 @@
 // exceeding it; 2–3 % of requests delayed by ≈ 0.03 ms.
 #include <cstdio>
 
+#include "bench_flags.hpp"
 #include "core/qos_pipeline.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
@@ -14,8 +15,10 @@
 
 using namespace flashqos;
 
-int main() {
-  const auto t = trace::generate_workload(trace::tpce_params(1.0, 2012));
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  const auto t = trace::generate_workload(
+      trace::tpce_params(smoke ? 0.05 : 1.0, 2012));
   std::printf("tpce-like trace: %zu requests, %zu parts, 13 volumes\n",
               t.events.size(), t.report_intervals());
 

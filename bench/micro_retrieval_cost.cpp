@@ -3,6 +3,9 @@
 // framework runs DTR first and escalates only on suboptimality (§III-C).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "core/sampler.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
@@ -113,3 +116,31 @@ void BM_IntegratedOptimal(benchmark::State& state) {
 BENCHMARK(BM_IntegratedOptimal)->RangeMultiplier(2)->Range(4, 256)->Complexity();
 
 }  // namespace
+
+// Custom main instead of benchmark_main: google-benchmark's flag parser
+// rejects --smoke, so strip it here and substitute the reduced-scale flags
+// the bench_smoke_* ctest run relies on (near-zero min time, small problem
+// sizes only). All regular google-benchmark flags still pass through.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static char min_time[] = "--benchmark_min_time=0.001";
+  static char filter[] = "--benchmark_filter=/(4|8|16|1000)$";
+  if (smoke) {
+    args.push_back(min_time);
+    args.push_back(filter);
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

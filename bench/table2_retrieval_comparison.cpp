@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_flags.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
 #include "retrieval/dtr.hpp"
@@ -36,11 +37,12 @@ std::uint32_t online_accesses(const decluster::AllocationScheme& scheme,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   const auto d = design::make_9_3_1();
   const decluster::DesignTheoretic scheme(d, true);
   Rng rng(2012);
-  constexpr int kSamples = 20000;
+  const int kSamples = smoke ? 300 : 20000;
 
   print_banner("Table II: comparison of retrieval algorithms, (9,3,1) design");
   // The paper's DTR row is the deterministic guarantee (smallest M with

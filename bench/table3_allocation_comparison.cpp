@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_flags.hpp"
 #include "core/qos_pipeline.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
@@ -47,7 +48,8 @@ SchemeStats run_scheme(const decluster::AllocationScheme& scheme,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   const auto d = design::make_9_3_1();
   const decluster::DesignTheoretic design_scheme(d, true);
   const decluster::Raid1Mirrored mirrored(9, 3, 36);
@@ -70,7 +72,8 @@ int main() {
     const auto t = trace::generate_synthetic({.bucket_pool = 36,
                                               .interval = c.interval,
                                               .requests_per_interval = c.requests,
-                                              .total_requests = 10000,
+                                              .total_requests =
+                                                  smoke ? 1000u : 10000u,
                                               .seed = 2012});
     // The RAID baselines read the primary copy only — they are layouts, not
     // retrieval algorithms (this is what lets mirrored collapse in the

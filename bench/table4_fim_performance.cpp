@@ -9,6 +9,7 @@
 // cheaper) is the reproduction target.
 #include <cstdio>
 
+#include "bench_flags.hpp"
 #include "fim/apriori.hpp"
 #include "trace/workload.hpp"
 #include "util/table.hpp"
@@ -36,7 +37,8 @@ fim::TransactionDb db_from_trace(const trace::Trace& t, SimTime window) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   print_banner("Table IV: performance of FIM (apriori, set size = 2, T = 0.133 ms)");
   Table table({"trace", "requests", "transactions", "support", "pairs",
                "time (s)", "peak mem (MB)"});
@@ -49,12 +51,15 @@ int main() {
   // Small and large intervals of each workload (the paper's exch48/exch52
   // and tpce6/tpce3 pattern), plus the higher-support variant of the
   // largest input.
+  // Smoke keeps the small/large/support contrast but shrinks every input.
+  const double exs = smoke ? 0.2 : 1.0, exl = smoke ? 2.0 : 60.0;
+  const double tps = smoke ? 0.1 : 0.5, tpl = smoke ? 1.0 : 25.0;
   std::vector<Job> jobs;
-  jobs.push_back({"exch-small", trace::exchange_params(1.0, 48), 1});
-  jobs.push_back({"exch-large", trace::exchange_params(60.0, 52), 1});
-  jobs.push_back({"tpce-small", trace::tpce_params(0.5, 6), 1});
-  jobs.push_back({"tpce-large", trace::tpce_params(25.0, 3), 1});
-  jobs.push_back({"tpce-large", trace::tpce_params(25.0, 3), 3});
+  jobs.push_back({"exch-small", trace::exchange_params(exs, 48), 1});
+  jobs.push_back({"exch-large", trace::exchange_params(exl, 52), 1});
+  jobs.push_back({"tpce-small", trace::tpce_params(tps, 6), 1});
+  jobs.push_back({"tpce-large", trace::tpce_params(tpl, 3), 1});
+  jobs.push_back({"tpce-large", trace::tpce_params(tpl, 3), 3});
 
   for (auto& job : jobs) {
     job.params.report_intervals = 1;  // one interval = one mining input

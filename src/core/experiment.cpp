@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/parallel_replay.hpp"
 #include "core/sampler.hpp"
 #include "decluster/schemes.hpp"
 #include "design/catalog.hpp"
@@ -193,6 +194,25 @@ Experiment build_experiment(const Config& cfg) {
 PipelineResult run_experiment(const Config& cfg) {
   const auto e = build_experiment(cfg);
   return QosPipeline(*e.scheme, e.pipeline).run(e.workload);
+}
+
+std::vector<PipelineResult> run_experiments(std::span<const Config> cfgs,
+                                            std::size_t threads) {
+  ParallelReplayEngine engine({.threads = threads});
+  // Build stage, sharded: each config materializes into its own slot;
+  // parallel_for rethrows the lowest-index build error (bad design name,
+  // unreadable trace file, ...) so sweep callers see the same exception a
+  // serial build_experiment would have thrown.
+  std::vector<Experiment> experiments(cfgs.size());
+  parallel_for(engine.pool(), cfgs.size(), [&](std::size_t i) {
+    experiments[i] = build_experiment(cfgs[i]);
+  });
+  std::vector<ReplayJob> jobs;
+  jobs.reserve(cfgs.size());
+  for (const auto& e : experiments) {
+    jobs.push_back({e.scheme.get(), &e.workload, e.pipeline});
+  }
+  return engine.run_jobs(jobs);
 }
 
 std::string experiment_template() {

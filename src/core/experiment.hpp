@@ -30,7 +30,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/qos_pipeline.hpp"
 #include "util/config.hpp"
@@ -52,6 +54,14 @@ struct Experiment {
 
 /// Build and run; returns the pipeline result.
 [[nodiscard]] PipelineResult run_experiment(const Config& cfg);
+
+/// Run a multi-configuration sweep sharded across a thread pool (0 picks
+/// the hardware concurrency): building (trace generation, P_k sampling)
+/// and replaying both run on the workers. results[i] is bit-identical to
+/// run_experiment(cfgs[i]); if any config is invalid or a replay fails,
+/// the lowest-index error is rethrown after all shards finish.
+[[nodiscard]] std::vector<PipelineResult> run_experiments(
+    std::span<const Config> cfgs, std::size_t threads = 0);
 
 /// A documented template config (what flashqos_sim --template prints).
 [[nodiscard]] std::string experiment_template();

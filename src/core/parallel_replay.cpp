@@ -1,0 +1,163 @@
+#include "core/parallel_replay.hpp"
+
+#include <exception>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/handoff_queue.hpp"
+
+namespace flashqos::core {
+namespace {
+
+/// One mined reporting slice in flight between the mining stage and the
+/// replay core.
+struct MinedSlice {
+  std::size_t idx = 0;
+  std::vector<fim::FrequentPair> pairs;
+};
+
+/// FimSource fed by the handoff queue. Single consumer (the replay core):
+/// pops mined slices in completion order and re-sequences them into
+/// pre-sized slots, blocking until the slice it needs has arrived. A queue
+/// that closes before producing a requested slice means a miner failed;
+/// the error is reported here and the miner's own exception is surfaced by
+/// run_pipelined when it joins the futures.
+class QueueFimSource final : public FimSource {
+ public:
+  QueueFimSource(HandoffQueue<MinedSlice>& queue, std::size_t slices)
+      : queue_(queue), slots_(slices), ready_(slices, false) {}
+
+  std::span<const fim::FrequentPair> slice(std::size_t idx) override {
+    FLASHQOS_EXPECT(idx < slots_.size(), "FIM slice index out of range");
+    while (!ready_[idx]) {
+      auto item = queue_.pop();
+      if (!item.has_value()) {
+        throw std::runtime_error("parallel replay: mining stage closed before "
+                                 "producing slice " + std::to_string(idx));
+      }
+      slots_[item->idx] = std::move(item->pairs);
+      ready_[item->idx] = true;
+    }
+    return slots_[idx];
+  }
+
+ private:
+  HandoffQueue<MinedSlice>& queue_;
+  std::vector<std::vector<fim::FrequentPair>> slots_;
+  std::vector<bool> ready_;
+};
+
+/// Join every future; rethrow the first captured exception (if any),
+/// preferring worker errors over `pending` (a consumer-side error that a
+/// worker failure usually caused).
+void join_all(std::vector<std::future<void>>& futures, std::exception_ptr pending) {
+  std::exception_ptr worker_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!worker_error) worker_error = std::current_exception();
+    }
+  }
+  if (worker_error) std::rethrow_exception(worker_error);
+  if (pending) std::rethrow_exception(pending);
+}
+
+}  // namespace
+
+ParallelReplayEngine::ParallelReplayEngine(ParallelReplayOptions opts)
+    : opts_(opts), pool_(opts.threads) {
+  FLASHQOS_EXPECT(opts_.mining_lookahead > 0,
+                  "mining lookahead must be positive");
+}
+
+std::vector<PipelineResult> ParallelReplayEngine::run_jobs(
+    std::span<const ReplayJob> jobs) {
+  for (const auto& job : jobs) {
+    FLASHQOS_EXPECT(job.scheme != nullptr && job.trace != nullptr,
+                    "replay job needs a scheme and a trace");
+  }
+  // Pre-sized slots indexed by job id: each worker writes its own entry,
+  // so the sweep result is independent of completion order.
+  std::vector<PipelineResult> results(jobs.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    futures.push_back(pool_.submit_with_future([&jobs, &results, i] {
+      const auto& job = jobs[i];
+      results[i] = QosPipeline(*job.scheme, job.config).run(*job.trace);
+    }));
+  }
+  join_all(futures, nullptr);
+  return results;
+}
+
+PipelineResult ParallelReplayEngine::run(const decluster::AllocationScheme& scheme,
+                                         const PipelineConfig& cfg,
+                                         const trace::Trace& t) {
+  if (cfg.retrieval == RetrievalMode::kOnline) {
+    // Serial fallback: online dispatch is FCFS with earliest-finish replica
+    // choice — the order requests hit the device clocks *is* the
+    // semantics, so the dispatch stages cannot be decoupled.
+    return QosPipeline(scheme, cfg).run(t);
+  }
+  return run_pipelined(scheme, cfg, t);
+}
+
+PipelineResult ParallelReplayEngine::run_pipelined(
+    const decluster::AllocationScheme& scheme, const PipelineConfig& cfg,
+    const trace::Trace& t) {
+  const auto slices = trace::report_slices(t);
+  const bool mine = cfg.mapping == MappingMode::kFim && t.report_interval > 0 &&
+                    !slices.empty();
+
+  HandoffQueue<MinedSlice> queue(opts_.mining_lookahead);
+  std::vector<std::future<void>> miners;
+  if (mine) {
+    miners.reserve(slices.size());
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      miners.push_back(pool_.submit_with_future([&, i] {
+        try {
+          MinedSlice m{i, mine_event_range(t, slices[i].first, slices[i].second,
+                                           cfg.qos_interval, cfg.fim_min_support)};
+          // push() returning false means the replay core already finished
+          // (it never needed this slice) and closed the queue — fine.
+          queue.push(std::move(m));
+        } catch (...) {
+          queue.close();  // unblock the consumer; the future carries the error
+          throw;
+        }
+      }));
+    }
+  }
+
+  QosPipeline pipe(scheme, cfg);
+  QueueFimSource source(queue, slices.size());
+  PipelineResult result;
+  try {
+    result = pipe.replay(t, mine ? &source : nullptr);
+  } catch (...) {
+    queue.close();
+    join_all(miners, std::current_exception());
+    throw;  // unreachable: join_all rethrows pending when no worker failed
+  }
+  // The core may consume only a prefix of the slices (the last dispatch
+  // decides); close the queue so miners of unneeded slices stop blocking.
+  queue.close();
+  join_all(miners, nullptr);
+
+  // Metric stage, sharded: each reporting slice folds into its pre-sized
+  // slot; the fold order inside a slice is the index range, so every
+  // report is bit-identical to the serial finalize path.
+  result.intervals.assign(slices.size(), IntervalReport{});
+  parallel_for(pool_, slices.size(), [&](std::size_t i) {
+    result.intervals[i] =
+        summarize_outcome_range(result.outcomes, slices[i].first, slices[i].second);
+  });
+  result.overall = summarize_outcome_range(result.outcomes, 0, result.outcomes.size());
+  return result;
+}
+
+}  // namespace flashqos::core

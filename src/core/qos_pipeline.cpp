@@ -99,14 +99,45 @@ class SlotMatcher {
   std::vector<bool> visited_;
 };
 
-/// Aggregate outcomes into an IntervalReport.
-IntervalReport summarize_outcomes(std::span<const RequestOutcome> outcomes,
-                                  std::span<const std::size_t> indices) {
+/// Build the FIM transaction database for one reporting-interval slice:
+/// each QoS interval's distinct blocks form one transaction.
+fim::TransactionDb build_transactions(const trace::Trace& t, std::size_t begin,
+                                      std::size_t end, SimTime qos_interval) {
+  fim::TransactionDb db;
+  std::vector<fim::Item> current;
+  std::int64_t current_window = -1;
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& e = t.events[i];
+    if (!e.is_read) continue;  // the paper mines read requests
+    const std::int64_t w = e.time / qos_interval;
+    if (w != current_window) {
+      if (!current.empty()) db.add(std::move(current));
+      current = {};
+      current_window = w;
+    }
+    current.push_back(e.block);
+  }
+  if (!current.empty()) db.add(std::move(current));
+  return db;
+}
+
+}  // namespace
+
+std::vector<fim::FrequentPair> mine_event_range(const trace::Trace& t,
+                                                std::size_t begin, std::size_t end,
+                                                SimTime qos_interval,
+                                                std::uint64_t min_support) {
+  const auto db = build_transactions(t, begin, end, qos_interval);
+  return fim::mine_pairs_apriori(db, min_support).pairs;
+}
+
+IntervalReport summarize_outcome_range(std::span<const RequestOutcome> outcomes,
+                                       std::size_t begin, std::size_t end) {
   IntervalReport r;
   Accumulator resp, e2e, delay, write_ms;
   std::size_t matched = 0;
   std::size_t reads = 0;
-  for (const auto i : indices) {
+  for (std::size_t i = begin; i < end; ++i) {
     const auto& o = outcomes[i];
     ++r.requests;
     if (o.failed) {
@@ -141,41 +172,18 @@ IntervalReport summarize_outcomes(std::span<const RequestOutcome> outcomes,
   return r;
 }
 
-/// Build the FIM transaction database for one reporting-interval slice:
-/// each QoS interval's distinct blocks form one transaction.
-fim::TransactionDb build_transactions(const trace::Trace& t, std::size_t begin,
-                                      std::size_t end, SimTime qos_interval) {
-  fim::TransactionDb db;
-  std::vector<fim::Item> current;
-  std::int64_t current_window = -1;
-  for (std::size_t i = begin; i < end; ++i) {
-    const auto& e = t.events[i];
-    if (!e.is_read) continue;  // the paper mines read requests
-    const std::int64_t w = e.time / qos_interval;
-    if (w != current_window) {
-      if (!current.empty()) db.add(std::move(current));
-      current = {};
-      current_window = w;
-    }
-    current.push_back(e.block);
-  }
-  if (!current.empty()) db.add(std::move(current));
-  return db;
-}
+namespace {
 
 void finalize_reports(PipelineResult& result, const trace::Trace& t) {
   const auto slices = trace::report_slices(t);
   result.intervals.clear();
   result.intervals.reserve(slices.size());
-  std::vector<std::size_t> idx;
   for (const auto& [begin, end] : slices) {
-    idx.clear();
-    for (std::size_t i = begin; i < end; ++i) idx.push_back(i);
-    result.intervals.push_back(summarize_outcomes(result.outcomes, idx));
+    result.intervals.push_back(
+        summarize_outcome_range(result.outcomes, begin, end));
   }
-  idx.resize(result.outcomes.size());
-  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  result.overall = summarize_outcomes(result.outcomes, idx);
+  result.overall =
+      summarize_outcome_range(result.outcomes, 0, result.outcomes.size());
 }
 
 }  // namespace
@@ -191,7 +199,13 @@ QosPipeline::QosPipeline(const decluster::AllocationScheme& scheme, PipelineConf
   }
 }
 
-PipelineResult QosPipeline::run(const trace::Trace& t) {
+PipelineResult QosPipeline::run(const trace::Trace& t, FimSource* fim) {
+  auto result = replay(t, fim);
+  finalize_reports(result, t);
+  return result;
+}
+
+PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
   PipelineResult result;
   result.outcomes.resize(t.events.size());
   if (t.events.empty()) return result;
@@ -259,10 +273,12 @@ PipelineResult QosPipeline::run(const trace::Trace& t) {
     if (cfg_.mapping == MappingMode::kFim && t.report_interval > 0) {
       const auto target = static_cast<std::size_t>(now / t.report_interval);
       while (report_idx < target && report_idx < slices.size()) {
-        const auto [begin, end] = slices[report_idx];
-        const auto db = build_transactions(t, begin, end, T);
-        const auto mined = fim::mine_pairs_apriori(db, cfg_.fim_min_support);
-        mapper.rebuild(mined.pairs);
+        if (fim != nullptr) {
+          mapper.rebuild(fim->slice(report_idx));
+        } else {
+          const auto [begin, end] = slices[report_idx];
+          mapper.rebuild(mine_event_range(t, begin, end, T, cfg_.fim_min_support));
+        }
         ++report_idx;
       }
     }
@@ -545,7 +561,6 @@ PipelineResult QosPipeline::run(const trace::Trace& t) {
     if (o.failed || o.is_write) continue;
     if (o.response() > cfg_.qos_interval) ++result.deadline_violations;
   }
-  finalize_reports(result, t);
   return result;
 }
 

@@ -24,11 +24,13 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/admission.hpp"
 #include "core/block_mapper.hpp"
 #include "decluster/allocation.hpp"
+#include "fim/transaction.hpp"
 #include "flashsim/flash_array.hpp"
 #include "trace/event.hpp"
 
@@ -119,14 +121,52 @@ struct PipelineResult {
   std::size_t deadline_violations = 0;    // response > qos_interval
 };
 
+/// Serves the per-reporting-slice FIM mining results to the replay loop
+/// (the decode→mine stage of the replay pipeline, factored out so it can
+/// run ahead of the serial core). The serial engine mines inline; the
+/// parallel engine hands mined slices over a bounded queue and blocks in
+/// slice() until the one it needs arrives. Because mining is a pure
+/// function of the trace slice (see mine_event_range), a mined-ahead run
+/// is bit-identical to an inline run.
+class FimSource {
+ public:
+  virtual ~FimSource() = default;
+  /// Frequent pairs mined from reporting slice `idx`; may block. The
+  /// returned span must stay valid until the next slice() call.
+  [[nodiscard]] virtual std::span<const fim::FrequentPair> slice(std::size_t idx) = 0;
+};
+
+/// Mine events [begin, end) of `t`: each QoS interval's distinct read
+/// blocks form one transaction, returned pairs have support >=
+/// min_support. Pure and deterministic — the property the parallel replay
+/// engine's bit-identical guarantee rests on.
+[[nodiscard]] std::vector<fim::FrequentPair> mine_event_range(
+    const trace::Trace& t, std::size_t begin, std::size_t end,
+    SimTime qos_interval, std::uint64_t min_support);
+
+/// Fold outcomes [begin, end) (trace order) into one report — the metric
+/// stage of the replay pipeline. Accumulation order is fixed by the index
+/// range, never by thread schedule, so per-interval reports can be
+/// computed into pre-sized slots in parallel.
+[[nodiscard]] IntervalReport summarize_outcome_range(
+    std::span<const RequestOutcome> outcomes, std::size_t begin, std::size_t end);
+
 class QosPipeline {
  public:
   QosPipeline(const decluster::AllocationScheme& scheme, PipelineConfig cfg);
 
   /// Run the full pipeline over a trace. Trace block ids are data blocks
   /// (mapped to buckets); with MappingMode::kModulo a bucket-domain trace
-  /// whose ids are < buckets() passes through unchanged.
-  [[nodiscard]] PipelineResult run(const trace::Trace& t);
+  /// whose ids are < buckets() passes through unchanged. `fim` overrides
+  /// inline mining with precomputed slices (parallel engine); null mines
+  /// inline with identical results.
+  [[nodiscard]] PipelineResult run(const trace::Trace& t, FimSource* fim = nullptr);
+
+  /// Stages 1–4 only (decode/mapping/admission/scheduling/flashsim):
+  /// outcomes and deadline_violations are filled, intervals/overall left
+  /// empty. The parallel engine summarizes those itself, sharded across
+  /// reporting slices; run() == replay() + serial summarization.
+  [[nodiscard]] PipelineResult replay(const trace::Trace& t, FimSource* fim = nullptr);
 
  private:
   const decluster::AllocationScheme& scheme_;

@@ -11,8 +11,8 @@ namespace {
 double estimate_one_size(const decluster::AllocationScheme& scheme, std::uint32_t k,
                          std::size_t samples, std::uint64_t seed) {
   // Per-size RNG stream: P_k is the same whether sizes run serially or on
-  // a pool (SplitMix-style decorrelation of the seed).
-  Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (k + 1)));
+  // a pool.
+  Rng rng(shard_seed(seed, k));
   std::vector<BucketId> batch(k);
   const auto lower =
       static_cast<std::uint32_t>(design::optimal_accesses(k, scheme.devices()));

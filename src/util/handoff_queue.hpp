@@ -1,0 +1,100 @@
+// Bounded blocking handoff queue for pipeline stages.
+//
+// The parallel replay engine decomposes a replay into stages (trace decode
+// + FIM mining ahead of the serial admission/scheduling core) connected by
+// one of these queues: producers push interval batches, the consumer pops
+// them in whatever order they complete and re-sequences by interval id.
+// The bound provides backpressure — miners cannot run arbitrarily far
+// ahead of the replay core, so memory stays proportional to the capacity,
+// not the trace length.
+//
+// Semantics:
+//  * push() blocks while the queue is full; returns false iff the queue
+//    was closed (the item is dropped — consumers are gone).
+//  * pop() blocks while the queue is empty; returns nullopt iff the queue
+//    is closed AND drained (a closed queue still yields its backlog).
+//  * close() wakes every waiter; it is idempotent and safe from any side.
+//
+// Any number of producers and consumers may share a queue; ordering across
+// producers is arrival order under the internal lock (consumers that need
+// a canonical order must re-sequence by an id carried in T — see
+// core::ParallelReplayEngine, which indexes pre-sized slots by interval).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace flashqos {
+
+template <typename T>
+class HandoffQueue {
+ public:
+  explicit HandoffQueue(std::size_t capacity) : capacity_(capacity) {
+    FLASHQOS_EXPECT(capacity > 0, "handoff queue capacity must be positive");
+  }
+
+  HandoffQueue(const HandoffQueue&) = delete;
+  HandoffQueue& operator=(const HandoffQueue&) = delete;
+
+  /// Block until there is room (or the queue closes). True iff enqueued.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available (or the queue closes and drains).
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Refuse further pushes and wake every blocked producer/consumer.
+  /// Already-queued items remain poppable.
+  void close() {
+    {
+      const std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace flashqos

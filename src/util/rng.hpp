@@ -13,6 +13,19 @@
 
 namespace flashqos {
 
+/// Derive a decorrelated per-shard seed from (seed, shard). Sharded code
+/// (the parallel replay engine, the P_k sampler, stress generators) must
+/// never share one stream across shards — that would make results depend
+/// on execution order. SplitMix64 finalizer over the combined words, so
+/// adjacent shards land in unrelated regions of the sequence space.
+[[nodiscard]] constexpr std::uint64_t shard_seed(std::uint64_t seed,
+                                                 std::uint64_t shard) noexcept {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   using result_type = std::uint64_t;

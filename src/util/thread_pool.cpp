@@ -36,6 +36,18 @@ void ThreadPool::submit(std::function<void()> task) {
   task_ready_.notify_one();
 }
 
+std::future<void> ThreadPool::submit_with_future(std::function<void()> task) {
+  FLASHQOS_EXPECT(task != nullptr, "cannot submit an empty task");
+  // packaged_task captures anything the closure throws into the future's
+  // shared state; the shared_ptr makes the wrapper copyable for
+  // std::function.
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  auto future = packaged->get_future();
+  submit([packaged] { (*packaged)(); });
+  return future;
+}
+
 void ThreadPool::wait() {
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
@@ -62,10 +74,26 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
+  // Capture the lowest-index exception so the caller sees a deterministic
+  // failure regardless of worker interleaving.
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::size_t error_index = n;
   for (std::size_t i = 0; i < n; ++i) {
-    pool.submit([&fn, i] { fn(i); });
+    pool.submit([&, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard lock(error_mutex);
+        if (i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
+      }
+    });
   }
   pool.wait();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace flashqos

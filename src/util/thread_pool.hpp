@@ -1,14 +1,16 @@
 // Minimal fixed-size thread pool for embarrassingly parallel work.
 //
-// Used by the Monte-Carlo P_k sampler, whose per-size estimates are
-// independent. Tasks are closures; parallel_for covers the common indexed
-// pattern. Results must not depend on execution order — callers seed any
-// randomness per index (see core::sample_optimal_probabilities).
+// Used by the Monte-Carlo P_k sampler and the parallel replay engine,
+// whose shards are independent. Tasks are closures; parallel_for covers
+// the common indexed pattern. Results must not depend on execution order —
+// callers seed any randomness per shard (see shard_seed in util/rng.hpp
+// and core::sample_optimal_probabilities).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -27,8 +29,18 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueue a task; runs as soon as a worker frees up.
+  /// Enqueue a task; runs as soon as a worker frees up. The task must not
+  /// throw — an escaping exception terminates the process (no submitter to
+  /// report it to). Batch submitters that need failures reported use
+  /// submit_with_future.
   void submit(std::function<void()> task);
+
+  /// Enqueue a task and return a future that either reports completion or
+  /// rethrows the exception the task threw. This is the batch-submit path
+  /// the sweep runners use: submit every shard, then get() every future —
+  /// a worker-thrown error surfaces at the submitter instead of
+  /// terminating the worker thread.
+  [[nodiscard]] std::future<void> submit_with_future(std::function<void()> task);
 
   /// Block until every submitted task has finished.
   void wait();
@@ -46,6 +58,8 @@ class ThreadPool {
 };
 
 /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+/// If any invocation throws, the first exception (in index order) is
+/// rethrown here after every index has finished or been skipped.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 

@@ -15,9 +15,11 @@
 #include <string>
 #include <vector>
 
+#include "decluster/schemes.hpp"
 #include "design/catalog.hpp"
 #include "verify/guarantee.hpp"
 #include "verify/invariants.hpp"
+#include "verify/replay_equivalence.hpp"
 
 namespace {
 
@@ -32,6 +34,10 @@ void usage(const char* argv0) {
       "  --budget K        exhaustive-enumeration budget in subsets (default 1e6)\n"
       "  --max-accesses M  check the S-bound for M = 1..M (default 2)\n"
       "  --seed S          RNG seed for sampled checks (default 1)\n"
+      "  --replay          also audit serial ≡ parallel replay equivalence\n"
+      "                    (every mode combination, failure windows, sweep\n"
+      "                    sharding) on the (9,3,1) and (13,3,1) schemes\n"
+      "  --replay-threads N  parallel engine width for --replay (default 4)\n"
       "  --list            list catalog designs and exit\n"
       "  --verbose         print passing checks, not only failures\n"
       "  --help            this text\n",
@@ -55,6 +61,8 @@ int main(int argc, char** argv) {
   std::uint64_t max_devices = 64;
   std::vector<std::string> only;
   bool verbose = false;
+  bool replay = false;
+  flashqos::verify::ReplayEquivalenceParams replay_params;
   flashqos::verify::CatalogCheckParams params;
 
   for (int i = 1; i < argc; ++i) {
@@ -85,6 +93,11 @@ int main(int argc, char** argv) {
       const auto seed = parse_u64("--seed", need_value("--seed"));
       params.guarantee.seed = seed;
       params.retrieval.seed = seed;
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      replay = true;
+    } else if (std::strcmp(argv[i], "--replay-threads") == 0) {
+      replay_params.threads = static_cast<std::size_t>(
+          parse_u64("--replay-threads", need_value("--replay-threads")));
     } else if (std::strcmp(argv[i], "--list") == 0) {
       for (const auto& e : flashqos::design::catalog()) {
         std::printf("%-10s N=%-3u c=%u buckets=%zu\n", e.name.c_str(),
@@ -125,6 +138,23 @@ int main(int argc, char** argv) {
   if (checked == 0) {
     std::fprintf(stderr, "flashqos_verify: no catalog design matched\n");
     return 2;
+  }
+
+  if (replay) {
+    // Serial ≡ parallel replay audit on the paper's two evaluation designs.
+    for (const char* name : {"(9,3,1)", "(13,3,1)"}) {
+      for (const auto& e : flashqos::design::catalog()) {
+        if (e.name != name) continue;
+        const auto d = e.make();
+        const flashqos::decluster::DesignTheoretic scheme(d, true);
+        const auto report =
+            flashqos::verify::verify_replay_equivalence(scheme, replay_params);
+        std::printf("%s\n", report.to_string(verbose).c_str());
+        std::fflush(stdout);
+        all_ok = all_ok && report.passed();
+        ++checked;
+      }
+    }
   }
   std::printf("%s: %zu design%s checked\n", all_ok ? "OK" : "FAILED", checked,
               checked == 1 ? "" : "s");

@@ -1,0 +1,180 @@
+// Concurrency stress for the parallel replay machinery, written to give
+// ThreadSanitizer something to chew on: many producers and consumers on a
+// tiny HandoffQueue, repeated sharded sweeps, and the pipelined mining path
+// under maximum backpressure. The assertions are deliberately simple — the
+// point of these tests is the interleavings, and TSan turns any data race
+// or lock-order bug they expose into a hard failure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/parallel_replay.hpp"
+#include "core/qos_pipeline.hpp"
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+#include "trace/synthetic.hpp"
+#include "util/handoff_queue.hpp"
+#include "util/thread_pool.hpp"
+#include "verify/replay_equivalence.hpp"
+
+using namespace flashqos;
+
+namespace {
+
+// Many producers, many consumers, capacity far below the element count so
+// both sides block constantly. Every pushed value must be popped exactly
+// once and the element sum conserved.
+TEST(HandoffQueueStress, ManyProducersManyConsumersTinyCapacity) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 3;
+  constexpr std::uint64_t kPerProducer = 2000;
+  HandoffQueue<std::uint64_t> queue(2);
+
+  std::atomic<std::uint64_t> pushed{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &pushed, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        if (!queue.push(p * kPerProducer + i)) return;
+        pushed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::atomic<std::uint64_t> popped{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<std::thread> consumers;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&queue, &popped, &sum] {
+      while (auto v = queue.pop()) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+        sum.fetch_add(*v, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(pushed.load(), kTotal);
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+// close() racing against blocked producers: consumers stop early, so
+// producers must observe push() -> false instead of blocking forever.
+TEST(HandoffQueueStress, CloseUnblocksStalledProducers) {
+  HandoffQueue<int> queue(1);
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&queue, &rejected] {
+      for (int i = 0; i < 500; ++i) {
+        if (!queue.push(i)) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  // Drain a handful of elements, then slam the door.
+  for (int i = 0; i < 5; ++i) (void)queue.pop();
+  queue.close();
+  for (auto& t : producers) t.join();
+  EXPECT_GT(rejected.load(), 0);
+  EXPECT_FALSE(queue.push(99));
+  while (queue.pop()) {
+  }
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+const decluster::DesignTheoretic& scheme931() {
+  static const auto d = design::make_9_3_1();
+  static const decluster::DesignTheoretic s(d, true);
+  return s;
+}
+
+trace::Trace tiny_interval_trace(std::uint64_t seed) {
+  // Tiny intervals -> one reporting slice per QoS interval -> hundreds of
+  // mining tasks per replay, maximizing producer/consumer churn.
+  trace::SyntheticParams p;
+  p.bucket_pool = scheme931().buckets();
+  p.requests_per_interval = 3;
+  p.total_requests = 900;
+  p.seed = seed;
+  return trace::generate_synthetic(p);
+}
+
+// Pipelined mining with lookahead 1 (every push blocks until the replay
+// core consumes the previous slice) repeated back to back; TSan watches the
+// queue handoff, the miner error path, and the metric-stage parallel_for.
+TEST(ParallelReplayStress, PipelinedMiningUnderBackpressure) {
+  const auto t = tiny_interval_trace(17);
+  core::PipelineConfig cfg;
+  cfg.retrieval = core::RetrievalMode::kIntervalAligned;
+  cfg.mapping = core::MappingMode::kFim;
+  core::ParallelReplayEngine engine({.threads = 4, .mining_lookahead = 1});
+  const auto first = engine.run(scheme931(), cfg, t);
+  for (int round = 0; round < 3; ++round) {
+    const auto again = engine.run(scheme931(), cfg, t);
+    std::string why;
+    ASSERT_TRUE(verify::results_identical(first, again, &why))
+        << "round " << round << ": " << why;
+  }
+}
+
+// Sharded sweep stress: a wide job list (several distinct traces x modes),
+// run twice on the same engine; slots must be populated identically while
+// workers complete in whatever order the scheduler picks.
+TEST(ParallelReplayStress, ShardedSweepRepeatedRuns) {
+  std::vector<trace::Trace> traces;
+  for (std::uint64_t s = 0; s < 4; ++s) traces.push_back(tiny_interval_trace(s));
+  std::vector<core::ReplayJob> jobs;
+  for (const auto& t : traces) {
+    for (const auto retrieval : {core::RetrievalMode::kOnline,
+                                 core::RetrievalMode::kIntervalAligned}) {
+      for (const auto mapping :
+           {core::MappingMode::kModulo, core::MappingMode::kFim}) {
+        core::PipelineConfig cfg;
+        cfg.retrieval = retrieval;
+        cfg.mapping = mapping;
+        jobs.push_back({&scheme931(), &t, cfg});
+      }
+    }
+  }
+  ASSERT_EQ(jobs.size(), 16u);
+  core::ParallelReplayEngine engine({.threads = 4});
+  const auto first = engine.run_jobs(jobs);
+  const auto second = engine.run_jobs(jobs);
+  ASSERT_EQ(first.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    std::string why;
+    ASSERT_TRUE(verify::results_identical(first[i], second[i], &why))
+        << "job " << i << ": " << why;
+  }
+}
+
+// Wide submit_with_future fan-out on a shared pool: futures must all
+// complete and the packaged-task plumbing must be race-free.
+TEST(ParallelReplayStress, SubmitWithFutureFanOut) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 512;
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  std::atomic<std::size_t> ran{0};
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit_with_future(
+        [&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+}  // namespace

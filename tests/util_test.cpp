@@ -226,6 +226,9 @@ TEST(Table, FormatsAlignedRows) {
 }  // namespace flashqos
 
 #include <atomic>
+#include <future>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -323,6 +326,59 @@ TEST(ThreadPoolStress, ZeroTaskWaitFromManyThreads) {
     });
   }
   for (auto& t : waiters) t.join();
+}
+
+// Regression: a throwing task submitted through the future-returning batch
+// path must deliver its exception to the caller via future::get(), not
+// escape on a worker thread (which would std::terminate the process).
+TEST(ThreadPool, SubmitWithFutureDeliversException) {
+  ThreadPool pool(2);
+  auto ok = pool.submit_with_future([] {});
+  auto bad = pool.submit_with_future(
+      [] { throw std::runtime_error("task failed"); });
+  ok.get();  // must not throw
+  try {
+    bad.get();
+    FAIL() << "exception was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+  pool.wait();  // the pool survives a thrown task and stays usable
+  auto after = pool.submit_with_future([] {});
+  after.get();
+}
+
+TEST(ThreadPool, SubmitWithFutureCompletionOrderIndependent) {
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futures;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit_with_future([&ran] { ++ran; }));
+  }
+  // get() in submission order regardless of execution order.
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+// parallel_for must rethrow the failure of the *lowest* index, matching
+// what a serial loop would have surfaced first, and still complete or skip
+// the remaining work without wedging the pool.
+TEST(ThreadPool, ParallelForPropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    parallel_for(pool, 100, [](std::size_t i) {
+      if (i % 7 == 3) {
+        throw std::runtime_error("boom at " + std::to_string(i));
+      }
+    });
+    FAIL() << "parallel_for swallowed the error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 3");
+  }
+  // Pool remains usable afterwards.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 10, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
 }
 
 // Destruction with work still queued: the destructor must drain the queue,
