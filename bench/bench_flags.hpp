@@ -1,29 +1,53 @@
 // Shared command-line handling for the bench drivers.
 //
-// Every driver accepts exactly one flag, --smoke: run the same code paths
-// at a drastically reduced scale so ctest can smoke-test all of them in
-// seconds (registered as bench_smoke_* targets). Smoke numbers exist to
-// prove the driver runs end to end; they are not comparable to a full run.
+// Every driver accepts:
+//  * --smoke              — run the same code paths at a drastically reduced
+//    scale so ctest can smoke-test all of them in seconds (registered as
+//    bench_smoke_* targets). Smoke numbers exist to prove the driver runs
+//    end to end; they are not comparable to a full run.
+//  * --metrics-out=<path> — dump the global metric registry after the run
+//    (.csv → CSV, anything else → Prometheus text).
+//  * --trace-out=<path>   — enable the global tracer and dump the event ring
+//    as Chrome trace JSON (viewable in Perfetto / about:tracing).
+//
+// The observability outputs are written from an atexit hook, so drivers get
+// both flags with no per-driver plumbing beyond calling smoke_mode().
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/export.hpp"
+
 namespace flashqos::bench {
 
-/// True iff --smoke was passed. Any other argument is rejected loudly
+/// True iff --smoke was passed. --metrics-out= / --trace-out= are consumed
+/// by the observability layer; any other argument is rejected loudly
 /// (exit 2) so a typo cannot silently launch a full-size benchmark.
 inline bool smoke_mode(int argc, char** argv) {
   bool smoke = false;
+  bool obs_out = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
       continue;
     }
-    std::fprintf(stderr, "%s: unknown argument '%s' (supported: --smoke)\n",
+    if (obs::consume_output_flag(argv[i])) {
+      obs_out = true;
+      continue;
+    }
+    std::fprintf(stderr,
+                 "%s: unknown argument '%s' (supported: --smoke, "
+                 "--metrics-out=<path>, --trace-out=<path>)\n",
                  argv[0], argv[i]);
     std::exit(2);
+  }
+  if (obs_out) {
+    // Flush the requested outputs after main() returns, whatever the
+    // driver's structure; a failed write is reported but cannot change the
+    // exit code from an atexit hook.
+    std::atexit([] { (void)obs::write_requested_outputs(); });
   }
   if (smoke) {
     std::printf("[--smoke: reduced scale; numbers not comparable to a full "

@@ -3,10 +3,12 @@
 // framework runs DTR first and escalates only on suboptimality (§III-C).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "core/sampler.hpp"
+#include "obs/export.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
 #include "fim/apriori.hpp"
@@ -118,18 +120,28 @@ BENCHMARK(BM_IntegratedOptimal)->RangeMultiplier(2)->Range(4, 256)->Complexity()
 }  // namespace
 
 // Custom main instead of benchmark_main: google-benchmark's flag parser
-// rejects --smoke, so strip it here and substitute the reduced-scale flags
-// the bench_smoke_* ctest run relies on (near-zero min time, small problem
-// sizes only). All regular google-benchmark flags still pass through.
+// rejects --smoke and the observability output flags, so strip them here —
+// --smoke substitutes the reduced-scale flags the bench_smoke_* ctest run
+// relies on (near-zero min time, small problem sizes only);
+// --metrics-out=/--trace-out= route through the shared obs plumbing like
+// every other driver. All regular google-benchmark flags still pass through.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   bool smoke = false;
+  bool obs_out = false;
   for (int i = 0; i < argc; ++i) {
     if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
       continue;
     }
+    if (i > 0 && flashqos::obs::consume_output_flag(argv[i])) {
+      obs_out = true;
+      continue;
+    }
     args.push_back(argv[i]);
+  }
+  if (obs_out) {
+    std::atexit([] { (void)flashqos::obs::write_requested_outputs(); });
   }
   static char min_time[] = "--benchmark_min_time=0.001";
   static char filter[] = "--benchmark_filter=/(4|8|16|1000)$";

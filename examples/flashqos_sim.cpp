@@ -3,11 +3,13 @@
 //
 //   $ ./flashqos_sim --template > experiment.ini
 //   $ ./flashqos_sim experiment.ini
+//   $ ./flashqos_sim experiment.ini --metrics-out=run.prom --trace-out=run.json
 #include <cstdio>
 #include <cstring>
 #include <exception>
 
 #include "core/experiment.hpp"
+#include "obs/export.hpp"
 #include "util/table.hpp"
 
 using namespace flashqos;
@@ -17,14 +19,24 @@ int main(int argc, char** argv) {
     std::fputs(core::experiment_template().c_str(), stdout);
     return 0;
   }
-  if (argc < 2) {
+  const char* config_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (obs::consume_output_flag(argv[i])) continue;
+    if (config_path != nullptr) {
+      std::fprintf(stderr, "flashqos_sim: unexpected argument '%s'\n", argv[i]);
+      return 2;
+    }
+    config_path = argv[i];
+  }
+  if (config_path == nullptr) {
     std::fprintf(stderr,
-                 "usage: flashqos_sim <experiment.ini>\n"
+                 "usage: flashqos_sim <experiment.ini> [--metrics-out=<path>]"
+                 " [--trace-out=<path>]\n"
                  "       flashqos_sim --template   (print a starter config)\n");
     return 2;
   }
   try {
-    const auto cfg = Config::load(argv[1]);
+    const auto cfg = Config::load(config_path);
     const auto experiment = core::build_experiment(cfg);
     std::printf("design: %s (%u devices, %u copies, %zu buckets)\n",
                 experiment.design->name().c_str(), experiment.scheme->devices(),
@@ -60,7 +72,7 @@ int main(int argc, char** argv) {
                 r.overall.max_response_ms, r.overall.pct_deferred * 100.0,
                 r.overall.avg_delay_ms, r.deadline_violations, r.overall.writes,
                 r.overall.failed);
-    return 0;
+    return obs::write_requested_outputs() ? 0 : 1;
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "flashqos_sim: %s\n", ex.what());
     return 1;

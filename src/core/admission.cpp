@@ -1,5 +1,8 @@
 #include "core/admission.hpp"
 
+#include <cmath>
+
+#include "obs/metrics.hpp"
 #include "util/expect.hpp"
 
 namespace flashqos::core {
@@ -64,6 +67,16 @@ void StatisticalAdmission::end_interval(std::uint64_t demand, std::uint64_t admi
   // running Q decays while the controller is throttling and the loop
   // settles near ε.
   weighted_miss_ += miss_probability(admitted);
+  if constexpr (obs::kEnabled) {
+    // The Q time series: one sample per over-limit interval, after its
+    // counters land (ppm keeps the histogram integral).
+    auto& reg = obs::MetricRegistry::global();
+    static obs::Counter& over_limit =
+        reg.counter("admission.over_limit_intervals");
+    static obs::LatencyHistogram& q_hist = reg.histogram("admission.q_ppm");
+    over_limit.inc();
+    q_hist.record(static_cast<std::int64_t>(std::llround(q_with() * 1e6)));
+  }
 }
 
 }  // namespace flashqos::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+
 namespace flashqos::core {
 
 ClassifiedAdmission::ClassifiedAdmission(std::uint64_t limit,
@@ -34,6 +36,16 @@ std::uint64_t ClassifiedAdmission::admit(std::size_t cls, std::uint64_t count) {
   used_shared_ += from_shared;
   const std::uint64_t granted = from_reservation + from_shared;
   lifetime_admitted_[cls] += granted;
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::MetricRegistry::global();
+    const std::string label = "class=\"" + specs_[cls].name + "\"";
+    if (granted > 0) {
+      reg.counter("admission.class.admitted", label).inc(granted);
+    }
+    if (granted < count) {
+      reg.counter("admission.class.rejected", label).inc(count - granted);
+    }
+  }
   return granted;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/parallel_replay.hpp"
 #include "core/sampler.hpp"
+#include "obs/metrics.hpp"
 #include "decluster/schemes.hpp"
 #include "design/catalog.hpp"
 #include "design/constructions.hpp"
@@ -204,6 +205,10 @@ std::vector<PipelineResult> run_experiments(std::span<const Config> cfgs,
   // unreadable trace file, ...) so sweep callers see the same exception a
   // serial build_experiment would have thrown.
   std::vector<Experiment> experiments(cfgs.size());
+  if constexpr (obs::kEnabled) {
+    obs::MetricRegistry::global().counter("experiments.sweep_configs")
+        .inc(cfgs.size());
+  }
   parallel_for(engine.pool(), cfgs.size(), [&](std::size_t i) {
     experiments[i] = build_experiment(cfgs[i]);
   });

@@ -1,15 +1,47 @@
 #include "core/parallel_replay.hpp"
 
+#include <chrono>
 #include <exception>
 #include <future>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/handoff_queue.hpp"
 
 namespace flashqos::core {
 namespace {
+
+/// Engine-level registry handles. Stage timings are wall-clock (what the
+/// scaling PRs tune); they never feed back into simulated results.
+struct EngineMetrics {
+  obs::Counter& jobs;
+  obs::Counter& mined_slices;
+  obs::LatencyHistogram& handoff_occupancy;
+  obs::LatencyHistogram& mine_ns;
+  obs::LatencyHistogram& replay_ns;
+  obs::LatencyHistogram& summarize_ns;
+
+  static EngineMetrics& get() {
+    auto& reg = obs::MetricRegistry::global();
+    static EngineMetrics m{reg.counter("parallel.jobs"),
+                           reg.counter("parallel.mined_slices"),
+                           reg.histogram("parallel.handoff_occupancy"),
+                           reg.histogram("parallel.mine_ns"),
+                           reg.histogram("parallel.replay_ns"),
+                           reg.histogram("parallel.summarize_ns")};
+    return m;
+  }
+};
+
+/// Wall-clock nanoseconds since `t0`, for stage-timing histograms.
+[[nodiscard]] std::int64_t elapsed_ns(
+    std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 /// One mined reporting slice in flight between the mining stage and the
 /// replay core.
@@ -84,6 +116,7 @@ std::vector<PipelineResult> ParallelReplayEngine::run_jobs(
   std::vector<PipelineResult> results(jobs.size());
   std::vector<std::future<void>> futures;
   futures.reserve(jobs.size());
+  if constexpr (obs::kEnabled) EngineMetrics::get().jobs.inc(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     futures.push_back(pool_.submit_with_future([&jobs, &results, i] {
       const auto& job = jobs[i];
@@ -120,11 +153,19 @@ PipelineResult ParallelReplayEngine::run_pipelined(
     for (std::size_t i = 0; i < slices.size(); ++i) {
       miners.push_back(pool_.submit_with_future([&, i] {
         try {
+          const auto t0 = std::chrono::steady_clock::now();
           MinedSlice m{i, mine_event_range(t, slices[i].first, slices[i].second,
                                            cfg.qos_interval, cfg.fim_min_support)};
           // push() returning false means the replay core already finished
           // (it never needed this slice) and closed the queue — fine.
           queue.push(std::move(m));
+          if constexpr (obs::kEnabled) {
+            auto& em = EngineMetrics::get();
+            em.mined_slices.inc();
+            em.mine_ns.record(elapsed_ns(t0));
+            em.handoff_occupancy.record(
+                static_cast<std::int64_t>(queue.size()));
+          }
         } catch (...) {
           queue.close();  // unblock the consumer; the future carries the error
           throw;
@@ -136,6 +177,7 @@ PipelineResult ParallelReplayEngine::run_pipelined(
   QosPipeline pipe(scheme, cfg);
   QueueFimSource source(queue, slices.size());
   PipelineResult result;
+  const auto replay_t0 = std::chrono::steady_clock::now();
   try {
     result = pipe.replay(t, mine ? &source : nullptr);
   } catch (...) {
@@ -147,16 +189,23 @@ PipelineResult ParallelReplayEngine::run_pipelined(
   // decides); close the queue so miners of unneeded slices stop blocking.
   queue.close();
   join_all(miners, nullptr);
+  if constexpr (obs::kEnabled) {
+    EngineMetrics::get().replay_ns.record(elapsed_ns(replay_t0));
+  }
 
   // Metric stage, sharded: each reporting slice folds into its pre-sized
   // slot; the fold order inside a slice is the index range, so every
   // report is bit-identical to the serial finalize path.
+  const auto summarize_t0 = std::chrono::steady_clock::now();
   result.intervals.assign(slices.size(), IntervalReport{});
   parallel_for(pool_, slices.size(), [&](std::size_t i) {
     result.intervals[i] =
         summarize_outcome_range(result.outcomes, slices[i].first, slices[i].second);
   });
   result.overall = summarize_outcome_range(result.outcomes, 0, result.outcomes.size());
+  if constexpr (obs::kEnabled) {
+    EngineMetrics::get().summarize_ns.record(elapsed_ns(summarize_t0));
+  }
   return result;
 }
 

@@ -1,14 +1,209 @@
 #include "core/qos_pipeline.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <queue>
 
 #include "fim/apriori.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "retrieval/dtr.hpp"
 #include "util/stats.hpp"
 
 namespace flashqos::core {
+
+const char* to_string(RetrievalPath path) noexcept {
+  switch (path) {
+    case RetrievalPath::kUnset: return "unset";
+    case RetrievalPath::kPrimary: return "primary";
+    case RetrievalPath::kSlotMatched: return "slot_matched";
+    case RetrievalPath::kSurplus: return "surplus";
+    case RetrievalPath::kAlignedDtr: return "aligned_dtr";
+    case RetrievalPath::kAlignedMaxFlow: return "aligned_max_flow";
+    case RetrievalPath::kDegraded: return "degraded";
+    case RetrievalPath::kWrite: return "write";
+    case RetrievalPath::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 namespace {
+
+inline constexpr std::size_t kPathCount = 9;
+
+/// Pipeline-level registry handles, resolved once. The per-event live
+/// increments (dispatches, deferrals, write replica ops) are single relaxed
+/// fetch_adds; everything else is folded from the outcomes vector after the
+/// replay loop finishes, so the hot loop's cost stays negligible.
+struct PipelineMetrics {
+  obs::Counter& requests;
+  obs::Counter& reads_served;
+  obs::Counter& writes;
+  obs::Counter& failed;
+  obs::Counter& deferred;
+  obs::Counter& deadline_violations;
+  obs::Counter& dispatches;
+  obs::Counter& write_replica_ops;
+  obs::Counter& deferral_events;
+  obs::LatencyHistogram& response_ns;
+  obs::LatencyHistogram& delay_ns;
+  obs::LatencyHistogram& e2e_ns;
+  std::array<obs::Counter*, kPathCount> by_path;
+
+  static PipelineMetrics& get() {
+    static PipelineMetrics m = [] {
+      auto& reg = obs::MetricRegistry::global();
+      PipelineMetrics p{reg.counter("pipeline.requests"),
+                        reg.counter("pipeline.reads_served"),
+                        reg.counter("pipeline.writes"),
+                        reg.counter("pipeline.failed"),
+                        reg.counter("pipeline.deferred"),
+                        reg.counter("pipeline.deadline_violations"),
+                        reg.counter("pipeline.dispatches"),
+                        reg.counter("pipeline.write_replica_ops"),
+                        reg.counter("pipeline.deferral_events"),
+                        reg.histogram("pipeline.response_ns"),
+                        reg.histogram("pipeline.delay_ns"),
+                        reg.histogram("pipeline.e2e_ns"),
+                        {}};
+      for (std::size_t i = 0; i < kPathCount; ++i) {
+        const std::string label =
+            std::string("path=\"") +
+            to_string(static_cast<RetrievalPath>(i)) + "\"";
+        p.by_path[i] = &reg.counter("pipeline.path", label);
+      }
+      return p;
+    }();
+    return m;
+  }
+};
+
+obs::EventDetail trace_detail(RetrievalPath path) noexcept {
+  switch (path) {
+    case RetrievalPath::kUnset: return obs::EventDetail::kNone;
+    case RetrievalPath::kPrimary: return obs::EventDetail::kPrimary;
+    case RetrievalPath::kSlotMatched: return obs::EventDetail::kSlotMatched;
+    case RetrievalPath::kSurplus: return obs::EventDetail::kSurplus;
+    case RetrievalPath::kAlignedDtr: return obs::EventDetail::kDtrFastPath;
+    case RetrievalPath::kAlignedMaxFlow: return obs::EventDetail::kMaxFlowFallback;
+    case RetrievalPath::kDegraded: return obs::EventDetail::kDegraded;
+    case RetrievalPath::kWrite: return obs::EventDetail::kWrite;
+    case RetrievalPath::kFailed: return obs::EventDetail::kNone;
+  }
+  return obs::EventDetail::kNone;
+}
+
+/// Post-run observability fold: counters, histograms, and (when tracing is
+/// on) the per-request arrival → admission → retrieval spans. Reads the
+/// finished outcomes only — it cannot perturb the replay.
+/// Value→count tally for one histogram, flushed with record_n on scope
+/// exit. Latency multisets here usually hold a few distinct values (fixed
+/// service quanta — the flat line), so a short linear scan beats one
+/// shared-atomic record() per outcome; genuinely high-cardinality series
+/// blow past the cap and fall through to direct records, where the
+/// histogram's overflowed-tracker fast path keeps the cost bounded.
+class HistogramTally {
+ public:
+  explicit HistogramTally(obs::LatencyHistogram& h) : hist_(h) {}
+  HistogramTally(const HistogramTally&) = delete;
+  HistogramTally& operator=(const HistogramTally&) = delete;
+  ~HistogramTally() {
+    for (const auto& [v, n] : items_) hist_.record_n(v, n);
+  }
+
+  void add(std::int64_t v) {
+    for (auto& [val, n] : items_) {
+      if (val == v) {
+        ++n;
+        return;
+      }
+    }
+    if (items_.size() < kCap) {
+      items_.emplace_back(v, 1);
+    } else {
+      hist_.record(v);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kCap = 16;
+  obs::LatencyHistogram& hist_;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> items_;
+};
+
+void record_outcome_observability(const PipelineResult& result) {
+  auto& m = PipelineMetrics::get();
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t deferred = 0;
+  std::array<std::uint64_t, kPathCount> by_path{};
+  {
+    HistogramTally response(m.response_ns);
+    HistogramTally e2e(m.e2e_ns);
+    HistogramTally delay(m.delay_ns);
+    for (const auto& o : result.outcomes) {
+      ++by_path[static_cast<std::size_t>(o.path)];
+      if (o.failed) {
+        ++failed;
+        continue;
+      }
+      if (o.is_write) {
+        ++writes;
+        continue;
+      }
+      ++reads;
+      response.add(o.response());
+      e2e.add(o.end_to_end());
+      if (o.deferred()) {
+        ++deferred;
+        delay.add(o.delay());
+      }
+    }
+  }
+  m.requests.inc(result.outcomes.size());
+  m.reads_served.inc(reads);
+  m.writes.inc(writes);
+  m.failed.inc(failed);
+  m.deferred.inc(deferred);
+  m.deadline_violations.inc(result.deadline_violations);
+  for (std::size_t i = 0; i < kPathCount; ++i) {
+    if (by_path[i] > 0) m.by_path[i]->inc(by_path[i]);
+  }
+
+  auto& tracer = obs::Tracer::global();
+  if (!tracer.enabled()) return;
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const auto& o = result.outcomes[i];
+    const auto req = static_cast<std::int64_t>(i);
+    tracer.record({.request = req,
+                   .start = o.arrival,
+                   .end = o.arrival,
+                   .value = 0,
+                   .device = -1,
+                   .kind = obs::EventKind::kArrival,
+                   .detail = obs::EventDetail::kNone});
+    tracer.record({.request = req,
+                   .start = o.dispatch,
+                   .end = o.dispatch,
+                   .value = o.q_ppm,
+                   .device = -1,
+                   .kind = obs::EventKind::kAdmission,
+                   .detail = o.failed      ? obs::EventDetail::kRejected
+                             : o.deferred() ? obs::EventDetail::kDeferred
+                                            : obs::EventDetail::kAdmitted});
+    tracer.record({.request = req,
+                   .start = o.dispatch,
+                   .end = o.finish,
+                   .value = 0,
+                   .device = o.device == kInvalidDevice
+                                 ? -1
+                                 : static_cast<std::int32_t>(o.device),
+                   .kind = obs::EventKind::kRetrieval,
+                   .detail = trace_detail(o.path)});
+  }
+}
 
 /// A request waiting for dispatch. Ordered by (dispatch time, seq); seq is
 /// the trace position, so deferred requests keep FIFO priority over newer
@@ -247,6 +442,13 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
   std::uint64_t admitted = 0;    // requests admitted in current QoS interval
   std::uint64_t demand = 0;      // requests that asked for this interval
 
+  // Per-event counters are tallied in plain locals and published once after
+  // the loop — the shared sharded counters cost an atomic RMW per inc,
+  // which is measurable at one inc per dispatched request.
+  std::uint64_t dispatches_tally = 0;
+  std::uint64_t deferrals_tally = 0;
+  std::uint64_t write_ops_tally = 0;
+
   const auto dispatch_request = [&](std::size_t idx, DeviceId dev, SimTime start) {
     array.submit(flashsim::IoRequest{
         .id = idx, .device = dev, .submit_time = start, .pages = 1});
@@ -255,6 +457,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     o.start = start;
     o.finish = start + L;
     free_at[dev] = std::max(free_at[dev], o.finish);
+    if constexpr (obs::kEnabled) ++dispatches_tally;
   };
 
   while (!queue.empty()) {
@@ -287,10 +490,28 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     const std::int64_t qi = now / T;
     if (qi != current_qi) {
       if (stat.has_value() && current_qi >= 0) stat->end_interval(demand, admitted);
+      if constexpr (obs::kEnabled) {
+        if (current_qi >= 0) {
+          obs::Tracer::global().record(
+              {.request = -1,
+               .start = now,
+               .end = now,
+               .value = static_cast<std::int64_t>(admitted),
+               .device = -1,
+               .kind = obs::EventKind::kInterval,
+               .detail = obs::EventDetail::kNone});
+        }
+      }
       current_qi = qi;
       admitted = 0;
       demand = 0;
     }
+    // Q estimate for this interval (constant between end_interval calls);
+    // recorded on every outcome dispatched at this instant.
+    const auto q_ppm =
+        stat.has_value()
+            ? static_cast<std::int32_t>(std::llround(stat->q_with() * 1e6))
+            : 0;
     for (const auto& g : group) {
       if (t.events[g.idx].is_read) ++demand;  // writes bypass read admission
     }
@@ -304,12 +525,14 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       auto& o = result.outcomes[group[i].idx];
       o.dispatch = now;
       o.fim_matched = cfg_.mapping == MappingMode::kFim && m.matched;
+      o.q_ppm = q_ppm;
     }
 
     const auto defer = [&](const Pending& p) {
       Pending d = p;
       d.dispatch = (qi + 1) * T;
       queue.push(d);
+      if constexpr (obs::kEnabled) ++deferrals_tally;
     };
 
     // Device availability at this instant. Requests whose replicas are all
@@ -350,6 +573,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
           o.failed = true;
           o.start = now;
           o.finish = now;
+          o.path = RetrievalPath::kFailed;
           continue;
         }
         Pending p = group[i];
@@ -378,6 +602,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         any_write = true;
         auto& o = result.outcomes[group[i].idx];
         o.is_write = true;
+        o.path = RetrievalPath::kWrite;
         SimTime first_start = INT64_MAX;
         SimTime last_finish = 0;
         DeviceId first_dev = kInvalidDevice;
@@ -390,6 +615,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
                                            .submit_time = now,
                                            .pages = 1,
                                            .is_write = true});
+          if constexpr (obs::kEnabled) ++write_ops_tally;
           free_at[dev] = finish;
           if (start < first_start) {
             first_start = start;
@@ -439,6 +665,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
           }
         }
         FLASHQOS_ASSERT(dev != kInvalidDevice, "filter left a dead request");
+        result.outcomes[group[i].idx].path = RetrievalPath::kPrimary;
         dispatch_request(group[i].idx, dev, std::max(free_at[dev], now));
       }
       continue;
@@ -467,6 +694,11 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
           retrieval::retrieve(buckets, scheme_, available, {});
       FLASHQOS_ASSERT(degraded.has_value(), "filter left a dead request");
       const auto& schedule = *degraded;
+      const RetrievalPath batch_path =
+          !available.empty() ? RetrievalPath::kDegraded
+          : schedule.via == retrieval::SolvedBy::kMaxFlow
+              ? RetrievalPath::kAlignedMaxFlow
+              : RetrievalPath::kAlignedDtr;
       // Requests on one device start back to back in round order.
       std::vector<std::size_t> order(n_accept);
       for (std::size_t i = 0; i < n_accept; ++i) order[i] = i;
@@ -477,6 +709,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
                        });
       for (const auto i : order) {
         const DeviceId dev = schedule.assignments[i].device;
+        result.outcomes[group[i].idx].path = batch_path;
         dispatch_request(group[i].idx, dev, std::max(free_at[dev], now));
       }
       continue;
@@ -527,6 +760,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       FLASHQOS_ASSERT(dev != kInvalidDevice, "matched request must have a device");
       SimTime& c = cursor[dev];
       if (c < 0) c = std::max(free_at[dev], now);
+      result.outcomes[group[i].idx].path = RetrievalPath::kSlotMatched;
       dispatch_request(group[i].idx, dev, c);
       c += L;
     }
@@ -542,6 +776,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         }
       }
       FLASHQOS_ASSERT(best != kInvalidDevice, "filter left a dead request");
+      result.outcomes[group[i].idx].path = RetrievalPath::kSurplus;
       dispatch_request(group[i].idx, best, std::max(free_at[best], now));
     }
   }
@@ -560,6 +795,13 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
   for (const auto& o : result.outcomes) {
     if (o.failed || o.is_write) continue;
     if (o.response() > cfg_.qos_interval) ++result.deadline_violations;
+  }
+  if constexpr (obs::kEnabled) {
+    auto& m = PipelineMetrics::get();
+    m.dispatches.inc(dispatches_tally);
+    m.deferral_events.inc(deferrals_tally);
+    m.write_replica_ops.inc(write_ops_tally);
+    record_outcome_observability(result);
   }
   return result;
 }

@@ -79,6 +79,24 @@ struct PipelineConfig {
   SimTime write_latency = flashsim::kPageWriteLatency;
 };
 
+/// Which serving path a request took. Recorded for observability but part
+/// of the result contract: the serial and parallel engines must agree on
+/// it exactly (audited by flashqos_verify --replay), so instrumentation
+/// cannot silently change behaviour.
+enum class RetrievalPath : std::uint8_t {
+  kUnset = 0,
+  kPrimary,         // primary-only scheduler: first live replica
+  kSlotMatched,     // online deterministic slot matching (the flat line)
+  kSurplus,         // online statistical surplus / no-admission overflow
+  kAlignedDtr,      // aligned batch, DTR fast path produced the schedule
+  kAlignedMaxFlow,  // aligned batch, max-flow fallback produced it
+  kDegraded,        // scheduled around a device outage
+  kWrite,           // replicated page program
+  kFailed,          // no replica ever available
+};
+
+[[nodiscard]] const char* to_string(RetrievalPath path) noexcept;
+
 struct RequestOutcome {
   SimTime arrival = 0;
   SimTime dispatch = 0;
@@ -88,6 +106,11 @@ struct RequestOutcome {
   bool fim_matched = false;  // bucket came from the FIM mapping table
   bool failed = false;       // all replicas permanently down; never served
   bool is_write = false;     // replicated page program, not a QoS read
+  RetrievalPath path = RetrievalPath::kUnset;
+  /// Estimated long-run miss probability Q at this request's dispatch
+  /// instant, in parts per million (0 outside statistical admission).
+  /// Integral so the equivalence audit can compare exactly.
+  std::int32_t q_ppm = 0;
 
   [[nodiscard]] SimTime delay() const noexcept { return dispatch - arrival; }
   /// A request is "delayed" when it was not dispatched the instant it

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 namespace flashqos::flashsim {
 
@@ -11,6 +12,39 @@ FlashArray::FlashArray(std::uint32_t devices, std::shared_ptr<const ModuleModel>
   FLASHQOS_EXPECT(model_ != nullptr, "array needs a timing model");
   const std::uint32_t ways = std::max<std::uint32_t>(1, model_->ways());
   for (auto& m : modules_) m.package_free.assign(ways, 0);
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::MetricRegistry::global();
+    device_obs_.resize(devices);
+    device_tally_.resize(devices);
+    for (std::uint32_t d = 0; d < devices; ++d) {
+      const std::string label = "device=\"" + std::to_string(d) + "\"";
+      device_obs_[d].requests = &reg.counter("flashsim.device.requests", label);
+      device_obs_[d].busy_ns = &reg.counter("flashsim.device.busy_ns", label);
+    }
+    submits_ = &reg.counter("flashsim.submits");
+    completions_count_ = &reg.counter("flashsim.completions");
+    queue_depth_ = &reg.histogram("flashsim.queue_depth");
+  }
+}
+
+void FlashArray::flush_observability() noexcept {
+  if constexpr (obs::kEnabled) {
+    if (submits_tally_ > 0) submits_->inc(submits_tally_);
+    if (completions_tally_ > 0) completions_count_->inc(completions_tally_);
+    submits_tally_ = 0;
+    completions_tally_ = 0;
+    for (std::size_t d = 0; d < device_tally_.size(); ++d) {
+      auto& t = device_tally_[d];
+      if (t.requests > 0) device_obs_[d].requests->inc(t.requests);
+      if (t.busy_ns > 0) device_obs_[d].busy_ns->inc(t.busy_ns);
+      t = {};
+    }
+    for (std::size_t depth = 0; depth < depth_tally_.size(); ++depth) {
+      queue_depth_->record_n(static_cast<std::int64_t>(depth),
+                             depth_tally_[depth]);
+    }
+    depth_tally_.clear();
+  }
 }
 
 void FlashArray::submit(const IoRequest& req) {
@@ -25,6 +59,7 @@ void FlashArray::submit(const IoRequest& req) {
                      .request = req,
                      .completion = {}});
   ++pending_;
+  if constexpr (obs::kEnabled) ++submits_tally_;
 }
 
 void FlashArray::run_until(SimTime t) {
@@ -55,12 +90,32 @@ void FlashArray::process(const Event& e) {
   switch (e.type) {
     case EventType::kArrival:
       m.queue.push_back(e.request);
+      if constexpr (obs::kEnabled) {
+        const std::size_t depth = m.queue.size();
+        if (depth >= depth_tally_.size()) depth_tally_.resize(depth + 1, 0);
+        ++depth_tally_[depth];
+      }
       try_start(e.device, e.time);
       break;
     case EventType::kCompletion:
       completions_.push_back(e.completion);
       --m.busy_ways;
       --pending_;
+      if constexpr (obs::kEnabled) {
+        const auto& c = e.completion;
+        auto& t = device_tally_[e.device];
+        ++t.requests;
+        t.busy_ns += static_cast<std::uint64_t>(c.finish - c.start);
+        ++completions_tally_;
+        obs::Tracer::global().record(
+            {.request = static_cast<std::int64_t>(c.id),
+             .start = c.start,
+             .end = c.finish,
+             .value = 0,
+             .device = static_cast<std::int32_t>(e.device),
+             .kind = obs::EventKind::kDeviceService,
+             .detail = obs::EventDetail::kNone});
+      }
       try_start(e.device, e.time);
       break;
   }

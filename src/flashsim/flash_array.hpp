@@ -17,6 +17,8 @@
 
 #include "flashsim/module_model.hpp"
 #include "flashsim/request.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/expect.hpp"
 
 namespace flashqos::flashsim {
@@ -24,6 +26,9 @@ namespace flashqos::flashsim {
 class FlashArray {
  public:
   FlashArray(std::uint32_t devices, std::shared_ptr<const ModuleModel> model);
+  ~FlashArray() { flush_observability(); }
+  FlashArray(const FlashArray&) = delete;
+  FlashArray& operator=(const FlashArray&) = delete;
 
   [[nodiscard]] std::uint32_t devices() const noexcept {
     return static_cast<std::uint32_t>(modules_.size());
@@ -56,6 +61,13 @@ class FlashArray {
 
   [[nodiscard]] std::size_t pending_requests() const noexcept { return pending_; }
 
+  /// Publish this array's metric tallies to the process-wide registry and
+  /// zero them. An array instance is single-threaded, so the event loop
+  /// counts into plain members and only this flush touches the shared
+  /// atomics — called from the destructor; call it explicitly before
+  /// taking a registry snapshot while the array is still alive.
+  void flush_observability() noexcept;
+
  private:
   struct Module {
     std::deque<IoRequest> queue;          // waiting, FIFO
@@ -81,6 +93,15 @@ class FlashArray {
   void process(const Event& e);
   void try_start(DeviceId d, SimTime at);
 
+  /// Per-device registry handles, resolved once at construction. Counters
+  /// accumulate across every array instance in the process (labels are
+  /// device="N"), which is what the load-balance view wants: total
+  /// accesses and busy time per device position.
+  struct DeviceInstruments {
+    obs::Counter* requests = nullptr;  // flashsim.device.requests
+    obs::Counter* busy_ns = nullptr;   // flashsim.device.busy_ns
+  };
+
   std::shared_ptr<const ModuleModel> model_;
   std::vector<Module> modules_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
@@ -88,6 +109,22 @@ class FlashArray {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t pending_ = 0;
+
+  // Observability (empty / null when FLASHQOS_OBS=OFF). The event loop
+  // accumulates into the plain per-instance tallies; flush_observability()
+  // publishes them to the registry instruments in one pass.
+  struct DeviceTally {
+    std::uint64_t requests = 0;
+    std::uint64_t busy_ns = 0;
+  };
+  std::vector<DeviceInstruments> device_obs_;
+  std::vector<DeviceTally> device_tally_;
+  std::vector<std::uint64_t> depth_tally_;  // queue depth -> occurrences
+  std::uint64_t submits_tally_ = 0;
+  std::uint64_t completions_tally_ = 0;
+  obs::Counter* submits_ = nullptr;
+  obs::Counter* completions_count_ = nullptr;
+  obs::LatencyHistogram* queue_depth_ = nullptr;
 };
 
 }  // namespace flashqos::flashsim

@@ -1,0 +1,269 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/time.hpp"
+
+namespace flashqos::obs {
+namespace {
+
+/// Prometheus metric names are [a-zA-Z0-9_:]; our dotted internal names
+/// (e.g. "pipeline.requests") become flashqos_pipeline_requests.
+std::string prom_name(std::string_view name) {
+  std::string out = "flashqos_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string with_labels(const std::string& base, const std::string& labels,
+                        const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return base;
+  std::string body = labels;
+  if (!extra.empty()) {
+    if (!body.empty()) body += ",";
+    body += extra;
+  }
+  return base + "{" + body + "}";
+}
+
+/// CSV cells never contain commas or quotes by construction except label
+/// bodies, which hold `key="value"` pairs — quote those.
+std::string csv_cell(const std::string& s) {
+  if (s.find_first_of(",\"") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  // Instruments are sorted by (name, labels); one TYPE line per family.
+  std::string last_family;
+  for (const auto& c : snap.counters) {
+    const std::string name = prom_name(c.name) + "_total";
+    if (name != last_family) {
+      out << "# TYPE " << name << " counter\n";
+      last_family = name;
+    }
+    out << with_labels(name, c.labels) << " " << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string name = prom_name(g.name);
+    if (name != last_family) {
+      out << "# TYPE " << name << " gauge\n";
+      last_family = name;
+    }
+    out << with_labels(name, g.labels) << " " << g.value << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string name = prom_name(h.name);
+    if (name != last_family) {
+      out << "# TYPE " << name << " histogram\n";
+      last_family = name;
+    }
+    std::uint64_t cum = 0;
+    for (const auto& b : h.buckets) {
+      cum += b.count;
+      out << with_labels(name + "_bucket", h.labels,
+                         "le=\"" + std::to_string(b.hi - 1) + "\"")
+          << " " << cum << "\n";
+    }
+    out << with_labels(name + "_bucket", h.labels, "le=\"+Inf\"") << " "
+        << h.count << "\n";
+    out << with_labels(name + "_sum", h.labels) << " " << h.sum << "\n";
+    out << with_labels(name + "_count", h.labels) << " " << h.count << "\n";
+    if (h.count > 0) {
+      // Quantile series (exact when the value tracker held; see metrics.hpp).
+      for (const double q : {0.5, 0.95, 0.99}) {
+        out << with_labels(name, h.labels,
+                           "quantile=\"" + std::to_string(q).substr(0, 4) + "\"")
+            << " " << h.percentile(q) << "\n";
+      }
+      out << with_labels(name + "_min", h.labels) << " " << h.min << "\n";
+      out << with_labels(name + "_max", h.labels) << " " << h.max << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string to_csv(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  out << "kind,name,labels,stat,value\n";
+  for (const auto& c : snap.counters) {
+    out << "counter," << c.name << "," << csv_cell(c.labels) << ",value,"
+        << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    out << "gauge," << g.name << "," << csv_cell(g.labels) << ",value,"
+        << g.value << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string prefix =
+        "histogram," + h.name + "," + csv_cell(h.labels) + ",";
+    out << prefix << "count," << h.count << "\n";
+    if (h.count == 0) continue;
+    out << prefix << "sum," << h.sum << "\n";
+    out << prefix << "min," << h.min << "\n";
+    out << prefix << "p50," << h.percentile(0.50) << "\n";
+    out << prefix << "p95," << h.percentile(0.95) << "\n";
+    out << prefix << "p99," << h.percentile(0.99) << "\n";
+    out << prefix << "max," << h.max << "\n";
+    out << prefix << "exact," << (h.exact ? 1 : 0) << "\n";
+  }
+  return out.str();
+}
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  // trace_event timestamps are microseconds; ours are simulated ns. Emit
+  // fractional µs so events closer than 1 µs stay ordered.
+  const auto ts = [](SimTime t) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                  static_cast<long long>(t / 1000),
+                  static_cast<long long>(t % 1000));
+    return std::string(buf);
+  };
+
+  std::string out = "[";
+  bool first = true;
+  const auto emit = [&](const std::string& obj) {
+    if (!first) out += ",\n";
+    first = false;
+    out += obj;
+  };
+
+  // Name the per-device tracks once.
+  std::int32_t max_device = -1;
+  for (const auto& e : events) max_device = std::max(max_device, e.device);
+  for (std::int32_t d = 0; d <= max_device; ++d) {
+    emit(R"({"name":"thread_name","ph":"M","pid":1,"tid":)" +
+         std::to_string(d + 1) +
+         R"(,"args":{"name":"device )" + std::to_string(d) + R"("}})");
+  }
+
+  for (const auto& e : events) {
+    std::string detail;
+    json_escape_into(detail, to_string(e.detail));
+    switch (e.kind) {
+      case EventKind::kDeviceService:
+        // Complete slice on the device's track.
+        emit(R"({"name":"service","ph":"X","pid":1,"tid":)" +
+             std::to_string(e.device + 1) + R"(,"ts":)" + ts(e.start) +
+             R"(,"dur":)" + ts(e.end - e.start) +
+             R"(,"args":{"request":)" + std::to_string(e.request) + "}}");
+        break;
+      case EventKind::kArrival:
+        // Async span open: closed by the matching kRetrieval/kAdmission end.
+        emit(R"({"name":"request","cat":"req","ph":"b","id":)" +
+             std::to_string(e.request) + R"(,"pid":1,"tid":0,"ts":)" +
+             ts(e.start) + "}");
+        break;
+      case EventKind::kAdmission:
+        emit(R"({"name":"admission","cat":"req","ph":"n","id":)" +
+             std::to_string(e.request) + R"(,"pid":1,"tid":0,"ts":)" +
+             ts(e.start) + R"(,"args":{"verdict":")" + detail +
+             R"(","q_ppm":)" + std::to_string(e.value) + "}}");
+        // Q estimate over time as a counter track.
+        emit(R"({"name":"Q_ppm","ph":"C","pid":1,"ts":)" + ts(e.start) +
+             R"(,"args":{"q_ppm":)" + std::to_string(e.value) + "}}");
+        break;
+      case EventKind::kRetrieval:
+        emit(R"({"name":"request","cat":"req","ph":"e","id":)" +
+             std::to_string(e.request) + R"(,"pid":1,"tid":0,"ts":)" +
+             ts(e.end) + R"(,"args":{"path":")" + detail + R"(","rounds":)" +
+             std::to_string(e.value) + "}}");
+        break;
+      case EventKind::kInterval:
+        emit(R"({"name":"interval_admitted","ph":"C","pid":1,"ts":)" +
+             ts(e.start) + R"(,"args":{"admitted":)" +
+             std::to_string(e.value) + "}}");
+        break;
+    }
+  }
+  out += "]\n";
+  return out;
+}
+
+bool write_metrics(const MetricsSnapshot& snap, const std::string& path) {
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot open metrics output '%s'\n", path.c_str());
+    return false;
+  }
+  out << (csv ? to_csv(snap) : to_prometheus(snap));
+  return static_cast<bool>(out);
+}
+
+bool write_trace(const std::vector<TraceEvent>& events,
+                 const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot open trace output '%s'\n", path.c_str());
+    return false;
+  }
+  out << to_chrome_trace(events);
+  return static_cast<bool>(out);
+}
+
+namespace {
+std::string g_metrics_out;  // NOLINT(cert-err58-cpp)
+std::string g_trace_out;    // NOLINT(cert-err58-cpp)
+}  // namespace
+
+bool consume_output_flag(const char* arg) {
+  constexpr std::string_view kMetrics = "--metrics-out=";
+  constexpr std::string_view kTrace = "--trace-out=";
+  const std::string_view view(arg);
+  if (view.rfind(kMetrics, 0) == 0) {
+    g_metrics_out = std::string(view.substr(kMetrics.size()));
+    return true;
+  }
+  if (view.rfind(kTrace, 0) == 0) {
+    g_trace_out = std::string(view.substr(kTrace.size()));
+    Tracer::global().set_enabled(true);
+    return true;
+  }
+  return false;
+}
+
+const std::string& metrics_out_path() { return g_metrics_out; }
+const std::string& trace_out_path() { return g_trace_out; }
+
+bool write_requested_outputs() {
+  bool ok = true;
+  if (!g_metrics_out.empty()) {
+    ok = write_metrics(MetricRegistry::global().snapshot(), g_metrics_out) && ok;
+  }
+  if (!g_trace_out.empty()) {
+    const auto& tracer = Tracer::global();
+    ok = write_trace(tracer.events(), g_trace_out) && ok;
+    if (tracer.dropped() > 0) {
+      std::fprintf(stderr,
+                   "obs: trace ring overflowed, %llu oldest events dropped\n",
+                   static_cast<unsigned long long>(tracer.dropped()));
+    }
+  }
+  return ok;
+}
+
+}  // namespace flashqos::obs

@@ -1,0 +1,52 @@
+// Exporters for metric snapshots and trace rings.
+//
+//  * to_prometheus — text exposition format (one flashqos_-prefixed family
+//    per instrument; histograms expand to _bucket{le=}/_sum/_count plus
+//    exact-quantile gauges when available).
+//  * to_csv — flat rows (kind,name,labels,stat,value) for spreadsheets.
+//  * to_chrome_trace — Chrome trace_event JSON array, viewable in
+//    Perfetto / about:tracing: device service intervals as complete ("X")
+//    slices on per-device tracks, request lifecycles as async ("b"/"e")
+//    spans, and Q estimates as counter ("C") series. Timestamps are
+//    simulated microseconds.
+//
+// Output helpers (`write_metrics`/`write_trace`) pick the format from the
+// file extension and are what --metrics-out= / --trace-out= route through;
+// `consume_output_flags` + `write_requested_outputs` give every CLI the
+// same two flags without per-driver plumbing.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace flashqos::obs {
+
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snap);
+[[nodiscard]] std::string to_csv(const MetricsSnapshot& snap);
+[[nodiscard]] std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+/// Write the snapshot to `path`: ".csv" → CSV, anything else → Prometheus
+/// text. Returns false (with a message to stderr) when the file cannot be
+/// written.
+bool write_metrics(const MetricsSnapshot& snap, const std::string& path);
+
+/// Write the events to `path` as Chrome trace JSON.
+bool write_trace(const std::vector<TraceEvent>& events, const std::string& path);
+
+/// Shared CLI plumbing: if `arg` is --metrics-out=<path> or
+/// --trace-out=<path>, remember the path (and enable the global tracer for
+/// --trace-out) and return true; otherwise return false. Thread-unsafe by
+/// design — call from main() during argument parsing.
+bool consume_output_flag(const char* arg);
+
+/// Paths captured by consume_output_flag (empty when the flag was absent).
+[[nodiscard]] const std::string& metrics_out_path();
+[[nodiscard]] const std::string& trace_out_path();
+
+/// Write the global registry / tracer to the captured paths, if any.
+/// Returns false if any requested write failed.
+bool write_requested_outputs();
+
+}  // namespace flashqos::obs

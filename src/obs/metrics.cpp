@@ -1,0 +1,250 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flashqos::obs {
+
+// --- LatencyHistogram ------------------------------------------------------
+
+LatencyHistogram::LatencyHistogram() {
+  for (auto& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<std::uint64_t>>(kBucketEntries);
+  }
+}
+
+bool LatencyHistogram::exact_insert(Shard& s, std::int64_t v,
+                                    std::uint64_t n) noexcept {
+  // Open-addressed probe starting at the value's hash slot (wrapping). A
+  // slot is claimed by CAS-ing value from kEmptySlot; counts are plain
+  // fetch_adds. Slots are never released, so a claimed slot's value is
+  // immutable and the scan needs no retries beyond the claim CAS itself.
+  // Hash-start probing keeps the hot repeat-value path at one load — a
+  // linear front-to-back scan would average kExactCapacity/2 probes per
+  // record once the tracker fills (measurable on the replay hot path).
+  const std::size_t start = exact_slot_hint(v);
+  for (std::size_t i = 0; i < kExactCapacity; ++i) {
+    auto& slot = s.exact[(start + i) & (kExactCapacity - 1)];
+    std::int64_t cur = slot.value.load(std::memory_order_acquire);
+    if (cur == kEmptySlot) {
+      if (slot.value.compare_exchange_strong(cur, v, std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        slot.count.fetch_add(n, std::memory_order_relaxed);
+        return true;
+      }
+      // Lost the race; `cur` now holds the winner's value — fall through.
+    }
+    if (cur == v) {
+      slot.count.fetch_add(n, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;  // all slots hold other values
+}
+
+void LatencyHistogram::record_n(std::int64_t v, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  // Unclamped extrema stay exact even for out-of-range values.
+  std::int64_t seen_min = min_.load(std::memory_order_relaxed);
+  while (v < seen_min &&
+         !min_.compare_exchange_weak(seen_min, v, std::memory_order_relaxed)) {
+  }
+  std::int64_t seen_max = max_.load(std::memory_order_relaxed);
+  while (v > seen_max &&
+         !max_.compare_exchange_weak(seen_max, v, std::memory_order_relaxed)) {
+  }
+
+  Shard& s = shards_[thread_shard()];
+  s.count.fetch_add(n, std::memory_order_relaxed);
+  s.sum.fetch_add(v * static_cast<std::int64_t>(n), std::memory_order_relaxed);
+
+  const std::int64_t clamped = std::clamp<std::int64_t>(v, 0, kMaxTrackable);
+  s.buckets[bucket_index(clamped)].fetch_add(n, std::memory_order_relaxed);
+  // Once a shard's tracker has overflowed its values are discarded at
+  // snapshot anyway — skip the probe so high-cardinality histograms pay
+  // one relaxed load here, not a full-table miss scan per record.
+  if (!s.overflowed.load(std::memory_order_relaxed) &&
+      !exact_insert(s, clamped, n)) {
+    s.overflowed.store(true, std::memory_order_relaxed);
+  }
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  bool exact = true;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> values;
+  std::vector<std::uint64_t> buckets(kBucketEntries, 0);
+
+  for (const auto& s : shards_) {
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    if (s.overflowed.load(std::memory_order_relaxed)) exact = false;
+    for (const auto& slot : s.exact) {
+      const std::int64_t v = slot.value.load(std::memory_order_acquire);
+      if (v == kEmptySlot) continue;  // hash-probed: occupancy is sparse
+      const std::uint64_t c = slot.count.load(std::memory_order_relaxed);
+      if (c > 0) values.emplace_back(v, c);
+    }
+    for (std::size_t i = 0; i < kBucketEntries; ++i) {
+      buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  // Deterministic fold: merge same-value entries from different shards and
+  // sort, so the snapshot is a function of the recorded multiset alone.
+  // When any shard overflowed, the trackers hold a schedule-dependent
+  // *subset* of the values — drop them entirely (percentile() and the
+  // exporters use the buckets then) so the snapshot stays deterministic.
+  snap.exact = exact;
+  if (exact) {
+    std::sort(values.begin(), values.end());
+    std::vector<std::pair<std::int64_t, std::uint64_t>> merged;
+    for (const auto& [v, c] : values) {
+      if (!merged.empty() && merged.back().first == v) {
+        merged.back().second += c;
+      } else {
+        merged.emplace_back(v, c);
+      }
+    }
+    snap.values = std::move(merged);
+  }
+
+  for (std::size_t i = 0; i < kBucketEntries; ++i) {
+    if (buckets[i] > 0) {
+      snap.buckets.push_back({bucket_lo(i), bucket_hi(i), buckets[i]});
+    }
+  }
+
+  const std::int64_t lo = min_.load(std::memory_order_relaxed);
+  const std::int64_t hi = max_.load(std::memory_order_relaxed);
+  snap.min = snap.count > 0 ? lo : 0;
+  snap.max = snap.count > 0 ? hi : 0;
+  return snap;
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.overflowed.store(false, std::memory_order_relaxed);
+    for (auto& slot : s.exact) {
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.value.store(kEmptySlot, std::memory_order_release);
+    }
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+std::int64_t HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0;
+  const double clamped_q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(
+             count, static_cast<std::uint64_t>(
+                        std::ceil(clamped_q * static_cast<double>(count)))));
+  if (exact) {
+    std::uint64_t cum = 0;
+    for (const auto& [v, c] : values) {
+      cum += c;
+      if (cum >= rank) return v;
+    }
+    return max;
+  }
+  std::uint64_t cum = 0;
+  for (const auto& b : buckets) {
+    cum += b.count;
+    if (cum >= rank) return b.lo;
+  }
+  return max;
+}
+
+// --- MetricsSnapshot lookups ----------------------------------------------
+
+const CounterSnapshot* MetricsSnapshot::find_counter(
+    std::string_view name, std::string_view labels) const {
+  for (const auto& c : counters) {
+    if (c.name == name && c.labels == labels) return &c;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    std::string_view name, std::string_view labels) const {
+  for (const auto& h : histograms) {
+    if (h.name == name && h.labels == labels) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_family_total(
+    std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const auto& c : counters) {
+    if (c.name == name) total += c.value;
+  }
+  return total;
+}
+
+// --- MetricRegistry --------------------------------------------------------
+
+MetricRegistry& MetricRegistry::global() {
+  // Leaked: instrumentation handles cached in function-local statics must
+  // stay valid during static destruction.
+  static auto* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter& MetricRegistry::counter(std::string_view name,
+                                 std::string_view labels) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = counters_[Key{std::string(name), std::string(labels)}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name, std::string_view labels) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[Key{std::string(name), std::string(labels)}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricRegistry::histogram(std::string_view name,
+                                            std::string_view labels) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[Key{std::string(name), std::string(labels)}];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) {
+    snap.counters.push_back({key.first, key.second, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, gauge] : gauges_) {
+    snap.gauges.push_back({key.first, key.second, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, hist] : histograms_) {
+    HistogramSnapshot h = hist->snapshot();
+    h.name = key.first;
+    h.labels = key.second;
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricRegistry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [key, counter] : counters_) counter->reset();
+  for (auto& [key, gauge] : gauges_) gauge->reset();
+  for (auto& [key, hist] : histograms_) hist->reset();
+}
+
+}  // namespace flashqos::obs

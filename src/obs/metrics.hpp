@@ -1,0 +1,318 @@
+// Observability: thread-safe, low-overhead metric registry.
+//
+// The paper's claims are about *distributions* — worst-case response
+// bounds, miss probability Q vs ε, balanced load across c replicas — so
+// end-of-run aggregates are not enough to explain a run. This registry is
+// the substrate the instrumented hot paths (pipeline, retrieval, flashsim,
+// parallel replay) record into:
+//
+//  * Counter  — monotone uint64, sharded across kShards cache-line-padded
+//    atomic slots; threads pick a slot once (thread-local) and fetch_add
+//    relaxed, so an increment is one uncontended RMW in the common case.
+//  * Gauge    — like a counter but signed and allowed to go down
+//    (queue occupancy, in-flight work).
+//  * LatencyHistogram — log-bucketed (HDR-style: 256 exact sub-buckets,
+//    then 128 sub-buckets per power of two up to 2^42 ns) PLUS a per-shard
+//    exact value↦count tracker of bounded size. Simulated latencies take
+//    few distinct values (fixed service times), so in practice the exact
+//    tracker holds and p50/p95/p99/max are *exact* against a sorted-vector
+//    oracle; when a shard sees more than kExactCapacity distinct values the
+//    snapshot falls back to the log buckets (relative error ≤ 2^-8).
+//    min/max/sum/count are always exact.
+//
+// Shards are folded *deterministically* at snapshot time: slots are summed
+// in index order, exact maps are merged by value, and instruments are kept
+// in name order — the same recorded multiset yields byte-identical
+// snapshots at any thread count. Snapshots may be taken concurrently with
+// writers (relaxed reads; a snapshot is then a consistent-enough live
+// view); exact identities are only guaranteed at quiescence.
+//
+// Instrumentation call sites compile to nothing when the project is
+// configured with -DFLASHQOS_OBS=OFF: guard them with
+// `if constexpr (obs::kEnabled)`. The registry itself stays functional in
+// both modes (its unit tests and the exporters do not depend on the flag).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#ifndef FLASHQOS_OBS_ENABLED
+#define FLASHQOS_OBS_ENABLED 1
+#endif
+
+namespace flashqos::obs {
+
+/// True when instrumentation call sites are compiled in (FLASHQOS_OBS=ON,
+/// the default). `if constexpr (obs::kEnabled)` is the gate every
+/// instrumented hot path uses.
+inline constexpr bool kEnabled = FLASHQOS_OBS_ENABLED != 0;
+
+/// Number of per-instrument shards. Threads hash onto shards; collisions
+/// are correct (slots are atomic), they only cost contention.
+inline constexpr std::size_t kShards = 8;
+
+/// Shard slot of the calling thread (assigned once, round-robin).
+[[nodiscard]] inline std::size_t thread_shard() noexcept {
+  thread_local const std::size_t slot = [] {
+    static std::atomic<std::size_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  }();
+  return slot;
+}
+
+namespace detail {
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+struct alignas(64) PaddedI64 {
+  std::atomic<std::int64_t> v{0};
+};
+}  // namespace detail
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    shards_[thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Deterministic fold: slots summed in index order.
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::PaddedU64, kShards> shards_{};
+};
+
+/// Signed up/down counter (occupancy-style; value() is the net sum).
+class Gauge {
+ public:
+  void add(std::int64_t delta) noexcept {
+    shards_[thread_shard()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+  void dec() noexcept { add(-1); }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::PaddedI64, kShards> shards_{};
+};
+
+// ---------------------------------------------------------------------------
+// Log-bucket layout (HDR-style): values in [0, 256) map to unit-width
+// buckets; a value with most-significant bit m >= 8 maps into 128
+// sub-buckets of width 2^(m-7) covering [2^m, 2^(m+1)). Values at or above
+// 2^42 ns (~73 simulated minutes) clamp to the top bucket (min/max/sum stay
+// exact). Worst-case relative quantile error in bucket fallback: 2^-8.
+
+inline constexpr int kSubBucketBits = 8;
+inline constexpr std::size_t kSubBucketCount = std::size_t{1} << kSubBucketBits;
+inline constexpr int kMaxValueBits = 42;
+inline constexpr std::int64_t kMaxTrackable =
+    (std::int64_t{1} << kMaxValueBits) - 1;
+inline constexpr std::size_t kBucketEntries =
+    kSubBucketCount +
+    static_cast<std::size_t>(kMaxValueBits - kSubBucketBits) * (kSubBucketCount / 2);
+
+/// Bucket index of a value in [0, kMaxTrackable].
+[[nodiscard]] constexpr std::size_t bucket_index(std::int64_t v) noexcept {
+  const auto u = static_cast<std::uint64_t>(v);
+  if (u < kSubBucketCount) return static_cast<std::size_t>(u);
+  const int msb = 63 - std::countl_zero(u);
+  const int shift = msb - (kSubBucketBits - 1);
+  const auto sub = static_cast<std::size_t>(u >> shift);  // [128, 256)
+  return kSubBucketCount +
+         static_cast<std::size_t>(msb - kSubBucketBits) * (kSubBucketCount / 2) +
+         (sub - kSubBucketCount / 2);
+}
+
+/// Lowest value mapping to bucket `idx` (the quantile representative).
+[[nodiscard]] constexpr std::int64_t bucket_lo(std::size_t idx) noexcept {
+  if (idx < kSubBucketCount) return static_cast<std::int64_t>(idx);
+  const std::size_t rel = idx - kSubBucketCount;
+  const auto major = static_cast<int>(rel / (kSubBucketCount / 2));
+  const std::size_t sub = rel % (kSubBucketCount / 2) + kSubBucketCount / 2;
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(sub)
+                                   << (major + 1));
+}
+
+/// One past the highest value mapping to bucket `idx`.
+[[nodiscard]] constexpr std::int64_t bucket_hi(std::size_t idx) noexcept {
+  return idx + 1 < kBucketEntries ? bucket_lo(idx + 1) : kMaxTrackable + 1;
+}
+
+/// Distinct values the exact tracker holds per shard before falling back
+/// to buckets. Power of two: probe sequences wrap with a mask.
+inline constexpr std::size_t kExactCapacity = 64;
+
+/// Preferred tracker slot for a value (SplitMix64 finalizer). Probing
+/// starts here and wraps, so a lookup touches ~1 slot regardless of how
+/// many distinct values the shard already holds.
+[[nodiscard]] constexpr std::size_t exact_slot_hint(std::int64_t v) noexcept {
+  auto x = static_cast<std::uint64_t>(v);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x) & (kExactCapacity - 1);
+}
+
+struct HistogramBucket {
+  std::int64_t lo = 0;  // inclusive
+  std::int64_t hi = 0;  // exclusive
+  std::uint64_t count = 0;
+};
+
+/// Deterministic point-in-time view of one histogram.
+struct HistogramSnapshot {
+  std::string name;
+  std::string labels;
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  // exact (0 when empty)
+  std::int64_t max = 0;  // exact (0 when empty)
+  /// True when every shard's exact tracker held: `values` is the complete
+  /// value↦count multiset and percentiles are exact.
+  bool exact = false;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> values;  // sorted by value
+  std::vector<HistogramBucket> buckets;                        // non-zero only
+
+  /// Nearest-rank percentile, q in [0, 1]: the smallest recorded value
+  /// whose cumulative count reaches ceil(q·count). Exact when `exact`;
+  /// otherwise the containing bucket's lower bound (relative error ≤ 2^-8).
+  [[nodiscard]] std::int64_t percentile(double q) const;
+};
+
+/// Log-bucketed latency histogram with an exact bounded value tracker.
+/// record() is wait-free on the shard fast path: count/sum/bucket
+/// fetch_adds plus a bounded scan of the exact slots.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(std::int64_t v) noexcept { record_n(v, 1); }
+
+  /// Record `n` observations of the same value with one pass over the
+  /// shard state — what instrumentation that batches locally (per-run
+  /// tallies flushed at quiescence) uses to keep hot loops free of
+  /// atomic RMWs.
+  void record_n(std::int64_t v, std::uint64_t n) noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  void reset() noexcept;
+
+ private:
+  struct ExactSlot {
+    std::atomic<std::int64_t> value{kEmptySlot};
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::int64_t> sum{0};
+    std::atomic<bool> overflowed{false};
+    std::array<ExactSlot, kExactCapacity> exact{};
+    std::vector<std::atomic<std::uint64_t>> buckets;  // kBucketEntries
+  };
+
+  static constexpr std::int64_t kEmptySlot = INT64_MIN;
+
+  /// True iff the value landed in the shard's exact tracker.
+  static bool exact_insert(Shard& s, std::int64_t v, std::uint64_t n) noexcept;
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::int64_t> min_{INT64_MAX};
+  std::atomic<std::int64_t> max_{INT64_MIN};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::string labels;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::string labels;
+  std::int64_t value = 0;
+};
+
+/// Full registry snapshot, instruments in (name, labels) order.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] const CounterSnapshot* find_counter(
+      std::string_view name, std::string_view labels = {}) const;
+  [[nodiscard]] const HistogramSnapshot* find_histogram(
+      std::string_view name, std::string_view labels = {}) const;
+  /// Sum of every counter named `name` across all label sets (e.g. the
+  /// per-device family flashsim.device.requests).
+  [[nodiscard]] std::uint64_t counter_family_total(std::string_view name) const;
+};
+
+/// Instrument registry. Instruments are created on first lookup and live
+/// for the registry's lifetime, so call sites may cache references.
+/// Lookups take a mutex — resolve once (static local / constructor), not
+/// per event. `labels` is a pre-formatted Prometheus label body, e.g.
+/// `device="3"`.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation site uses.
+  /// Intentionally leaked so handles cached in static storage stay valid
+  /// through shutdown.
+  [[nodiscard]] static MetricRegistry& global();
+
+  [[nodiscard]] Counter& counter(std::string_view name, std::string_view labels = {});
+  [[nodiscard]] Gauge& gauge(std::string_view name, std::string_view labels = {});
+  [[nodiscard]] LatencyHistogram& histogram(std::string_view name,
+                                            std::string_view labels = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every instrument in place (handles stay valid). Callers must be
+  /// quiescent — no concurrent writers; meant for tests and the verifier.
+  void reset();
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace flashqos::obs

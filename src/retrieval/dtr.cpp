@@ -4,11 +4,34 @@
 #include <numeric>
 
 #include "design/block_design.hpp"
+#include "obs/metrics.hpp"
 #include "retrieval/maxflow.hpp"
 #include "util/expect.hpp"
 
 namespace flashqos::retrieval {
 namespace {
+
+/// Registry handles resolved once. Identity the verifier audits:
+/// fast_path + max_flow_fallback == invocations (every retrieve() call
+/// either returns the DTR schedule directly or invokes the exact solver).
+/// Degraded retrievals bypass retrieve() proper and are counted apart.
+struct RetrievalMetrics {
+  obs::Counter& invocations;
+  obs::Counter& fast_path;
+  obs::Counter& max_flow_fallback;
+  obs::Counter& degraded;
+  obs::Counter& remap_moves;
+
+  static RetrievalMetrics& get() {
+    auto& reg = obs::MetricRegistry::global();
+    static RetrievalMetrics m{reg.counter("retrieval.invocations"),
+                              reg.counter("retrieval.fast_path"),
+                              reg.counter("retrieval.max_flow_fallback"),
+                              reg.counter("retrieval.degraded"),
+                              reg.counter("retrieval.remap_moves")};
+    return m;
+  }
+};
 
 /// Pack per-device request lists into round numbers: the i-th request served
 /// by a device runs in round i.
@@ -50,6 +73,7 @@ Schedule dtr_schedule(std::span<const BucketId> batch,
   // Remapping sweeps: pull requests off the currently most-loaded devices
   // onto replicas whose load is at least two lower (a move that cannot
   // increase the makespan and strictly reduces the mover's device load).
+  std::uint64_t moves = 0;
   for (std::uint32_t pass = 0; pass < opts.max_passes; ++pass) {
     bool moved = false;
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -66,9 +90,13 @@ Schedule dtr_schedule(std::span<const BucketId> batch,
         ++load[best];
         a.device = best;
         moved = true;
+        ++moves;
       }
     }
     if (!moved) break;
+  }
+  if constexpr (obs::kEnabled) {
+    if (moves > 0) RetrievalMetrics::get().remap_moves.inc(moves);
   }
 
   assign_rounds(s, n);
@@ -79,10 +107,15 @@ Schedule dtr_schedule(std::span<const BucketId> batch,
 Schedule retrieve(std::span<const BucketId> batch,
                   const decluster::AllocationScheme& scheme,
                   const DtrOptions& opts) {
+  if constexpr (obs::kEnabled) RetrievalMetrics::get().invocations.inc();
   Schedule fast = dtr_schedule(batch, scheme, opts);
   const auto lower = static_cast<std::uint32_t>(
       design::optimal_accesses(batch.size(), scheme.devices()));
-  if (fast.rounds <= lower) return fast;
+  if (fast.rounds <= lower) {
+    if constexpr (obs::kEnabled) RetrievalMetrics::get().fast_path.inc();
+    return fast;
+  }
+  if constexpr (obs::kEnabled) RetrievalMetrics::get().max_flow_fallback.inc();
   Schedule exact = optimal_schedule(batch, scheme);
   // Max-flow is optimal by construction; DTR can only tie or lose.
   return exact.rounds < fast.rounds ? exact : fast;
@@ -97,6 +130,7 @@ std::optional<Schedule> retrieve(std::span<const BucketId> batch,
   // primary-first heuristic has no meaning when the primary may be down,
   // and degraded batches are the rare case where latency of the scheduler
   // itself is not the bottleneck.
+  if constexpr (obs::kEnabled) RetrievalMetrics::get().degraded.inc();
   (void)opts;
   return optimal_schedule(batch, scheme, available);
 }

@@ -167,6 +167,7 @@ std::optional<Schedule> optimal_schedule(std::span<const BucketId> batch,
       design::optimal_accesses(batch.size(), scheme.devices()));
   for (;; ++m) {
     if (auto s = feasible_in_rounds(batch, scheme, m, available)) {
+      s->via = SolvedBy::kMaxFlow;
       return std::move(*s);
     }
     FLASHQOS_ASSERT(m <= batch.size(),

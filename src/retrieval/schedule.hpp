@@ -23,9 +23,15 @@ struct Assignment {
   std::uint32_t round = 0;
 };
 
+/// Which solver produced a schedule. Purely informational (observability:
+/// the pipeline records whether the DTR fast path sufficed or the max-flow
+/// fallback ran); never consulted by the scheduling logic itself.
+enum class SolvedBy : std::uint8_t { kDtr = 0, kMaxFlow = 1 };
+
 struct Schedule {
   std::vector<Assignment> assignments;  // parallel to the request batch
   std::uint32_t rounds = 0;
+  SolvedBy via = SolvedBy::kDtr;
 
   [[nodiscard]] bool empty() const noexcept { return assignments.empty(); }
 };

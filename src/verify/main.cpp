@@ -19,6 +19,7 @@
 #include "design/catalog.hpp"
 #include "verify/guarantee.hpp"
 #include "verify/invariants.hpp"
+#include "verify/obs_check.hpp"
 #include "verify/replay_equivalence.hpp"
 
 namespace {
@@ -38,6 +39,10 @@ void usage(const char* argv0) {
       "                    (every mode combination, failure windows, sweep\n"
       "                    sharding) on the (9,3,1) and (13,3,1) schemes\n"
       "  --replay-threads N  parallel engine width for --replay (default 4)\n"
+      "  --obs             audit the observability registry: replay a set of\n"
+      "                    pipeline configs on the (9,3,1) scheme and check the\n"
+      "                    recorded metrics and trace spans against the\n"
+      "                    returned outcomes (skipped when FLASHQOS_OBS=OFF)\n"
       "  --list            list catalog designs and exit\n"
       "  --verbose         print passing checks, not only failures\n"
       "  --help            this text\n",
@@ -62,6 +67,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> only;
   bool verbose = false;
   bool replay = false;
+  bool obs = false;
   flashqos::verify::ReplayEquivalenceParams replay_params;
   flashqos::verify::CatalogCheckParams params;
 
@@ -95,6 +101,8 @@ int main(int argc, char** argv) {
       params.retrieval.seed = seed;
     } else if (std::strcmp(argv[i], "--replay") == 0) {
       replay = true;
+    } else if (std::strcmp(argv[i], "--obs") == 0) {
+      obs = true;
     } else if (std::strcmp(argv[i], "--replay-threads") == 0) {
       replay_params.threads = static_cast<std::size_t>(
           parse_u64("--replay-threads", need_value("--replay-threads")));
@@ -156,6 +164,21 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (obs) {
+    // Observability self-audit: the registry's numbers must be derivable
+    // from the replay results they claim to describe.
+    for (const auto& e : flashqos::design::catalog()) {
+      if (e.name != "(9,3,1)") continue;
+      const auto d = e.make();
+      const flashqos::decluster::DesignTheoretic scheme(d, true);
+      const auto report = flashqos::verify::verify_observability(scheme);
+      std::printf("%s\n", report.to_string(verbose).c_str());
+      std::fflush(stdout);
+      all_ok = all_ok && report.passed();
+      ++checked;
+    }
+  }
+
   std::printf("%s: %zu design%s checked\n", all_ok ? "OK" : "FAILED", checked,
               checked == 1 ? "" : "s");
   return all_ok ? 0 : 1;

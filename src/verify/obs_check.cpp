@@ -1,0 +1,311 @@
+#include "verify/obs_check.hpp"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/qos_pipeline.hpp"
+#include "core/sampler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/workload.hpp"
+
+namespace flashqos::verify {
+namespace {
+
+inline constexpr std::size_t kPathCount = 9;
+
+/// Ground truth recomputed from the replay results the registry claims to
+/// describe — the same fold record_outcome_observability performs.
+struct Tally {
+  std::uint64_t requests = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t deferred = 0;
+  std::uint64_t violations = 0;
+  std::int64_t response_sum = 0;
+  std::array<std::uint64_t, kPathCount> by_path{};
+};
+
+void tally(const core::PipelineResult& r, Tally& t) {
+  t.requests += r.outcomes.size();
+  t.violations += r.deadline_violations;
+  for (const auto& o : r.outcomes) {
+    ++t.by_path[static_cast<std::size_t>(o.path)];
+    if (o.failed) {
+      ++t.failed;
+      continue;
+    }
+    if (o.is_write) {
+      ++t.writes;
+      continue;
+    }
+    ++t.reads;
+    t.response_sum += o.response();
+    if (o.deferred()) ++t.deferred;
+  }
+}
+
+void check_eq(Report& report, const std::string& name, std::uint64_t got,
+              std::uint64_t want) {
+  report.add(name, got == want,
+             got == want ? std::string{}
+                         : std::to_string(got) + " != expected " +
+                               std::to_string(want));
+}
+
+std::uint64_t cval(const obs::MetricsSnapshot& snap, std::string_view name,
+                   std::string_view labels = {}) {
+  const auto* c = snap.find_counter(name, labels);
+  return c != nullptr ? c->value : 0;
+}
+
+/// Every histogram must account for exactly the events recorded into it:
+/// bucket counts sum to `count`, the exact multiset (when held) sums to it
+/// too, and nearest-rank percentiles are monotone and bounded by max.
+void check_histogram_consistency(Report& report, const obs::MetricsSnapshot& snap) {
+  for (const auto& h : snap.histograms) {
+    const std::string label =
+        h.labels.empty() ? h.name : h.name + "{" + h.labels + "}";
+    std::uint64_t bucket_sum = 0;
+    for (const auto& b : h.buckets) bucket_sum += b.count;
+    check_eq(report, label + ": bucket counts sum to count", bucket_sum, h.count);
+    if (h.exact) {
+      std::uint64_t value_sum = 0;
+      for (const auto& [v, c] : h.values) value_sum += c;
+      check_eq(report, label + ": exact values sum to count", value_sum, h.count);
+    }
+    if (h.count > 0) {
+      const auto p50 = h.percentile(0.50);
+      const auto p95 = h.percentile(0.95);
+      const auto p99 = h.percentile(0.99);
+      const bool monotone = p50 <= p95 && p95 <= p99 && p99 <= h.max &&
+                            (!h.exact || (h.min <= p50 && h.percentile(1.0) == h.max));
+      report.add(label + ": percentiles monotone within [min, max]", monotone,
+                 monotone ? std::string{}
+                          : "p50=" + std::to_string(p50) +
+                                " p95=" + std::to_string(p95) +
+                                " p99=" + std::to_string(p99) +
+                                " min=" + std::to_string(h.min) +
+                                " max=" + std::to_string(h.max));
+    }
+  }
+}
+
+}  // namespace
+
+Report verify_observability(const decluster::AllocationScheme& scheme,
+                            const ObsCheckParams& params) {
+  Report report("observability N=" + std::to_string(scheme.devices()));
+  if constexpr (!obs::kEnabled) {
+    report.add("skipped (FLASHQOS_OBS=OFF)", true,
+               "instrumentation compiled out of this build");
+    return report;
+  } else {
+    auto& reg = obs::MetricRegistry::global();
+    auto& tracer = obs::Tracer::global();
+    const bool tracer_was_enabled = tracer.enabled();
+    tracer.set_enabled(false);
+    reg.reset();
+
+    // Traces: a bucket-domain synthetic stream, the Exchange-style block
+    // stream, and an Exchange variant with writes mixed in.
+    trace::SyntheticParams sp;
+    sp.bucket_pool = scheme.buckets();
+    sp.requests_per_interval = 4;
+    sp.total_requests = 2000;
+    sp.seed = params.seed;
+    const auto synthetic = trace::generate_synthetic(sp);
+    const auto exchange = trace::generate_workload(
+        trace::exchange_params(params.trace_scale, params.seed));
+    auto wp = trace::exchange_params(params.trace_scale, params.seed);
+    wp.write_fraction = 0.2;
+    const auto with_writes = trace::generate_workload(wp);
+
+    const auto p_table = core::sample_optimal_probabilities(
+        scheme, 24, {.samples_per_size = params.p_samples, .seed = params.seed});
+
+    // Serial replays chosen to exercise every retrieval path and every
+    // instrumented subsystem at least once. The tally mirrors the
+    // registry's own post-run fold, from the returned outcomes.
+    Tally want;
+    const auto run = [&](const core::PipelineConfig& cfg, const trace::Trace& t) {
+      tally(core::QosPipeline(scheme, cfg).run(t), want);
+    };
+
+    core::PipelineConfig online_det;  // slot matching, the flat line
+    run(online_det, synthetic);
+
+    core::PipelineConfig aligned_none;  // batch DTR + max-flow, no admission
+    aligned_none.retrieval = core::RetrievalMode::kIntervalAligned;
+    aligned_none.admission = core::AdmissionMode::kNone;
+    aligned_none.mapping = core::MappingMode::kModulo;
+    run(aligned_none, exchange);
+
+    core::PipelineConfig online_stat;  // statistical admission: Q series
+    online_stat.admission = core::AdmissionMode::kStatistical;
+    online_stat.epsilon = 0.01;
+    online_stat.p_table = p_table;
+    run(online_stat, exchange);
+
+    core::PipelineConfig aligned_failures;  // degraded retrieval
+    aligned_failures.retrieval = core::RetrievalMode::kIntervalAligned;
+    aligned_failures.failures.push_back(
+        {.device = 0, .fail_at = from_ms(1.0), .recover_at = from_ms(6.0)});
+    aligned_failures.failures.push_back(
+        {.device = scheme.devices() - 1,
+         .fail_at = from_ms(2.0),
+         .recover_at = core::DeviceFailure::kNeverRecovers});
+    run(aligned_failures, exchange);
+
+    core::PipelineConfig online_writes;  // replicated page programs
+    run(online_writes, with_writes);
+
+    core::PipelineConfig primary_only;  // the RAID-1 baseline path
+    primary_only.scheduler = core::SchedulerMode::kPrimaryOnly;
+    run(primary_only, synthetic);
+
+    const auto snap = reg.snapshot();
+
+    // Pipeline counters against the outcome tallies.
+    check_eq(report, "pipeline.requests == replayed requests",
+             cval(snap, "pipeline.requests"), want.requests);
+    check_eq(report, "pipeline.reads_served == read outcomes",
+             cval(snap, "pipeline.reads_served"), want.reads);
+    check_eq(report, "pipeline.writes == write outcomes",
+             cval(snap, "pipeline.writes"), want.writes);
+    check_eq(report, "pipeline.failed == failed outcomes",
+             cval(snap, "pipeline.failed"), want.failed);
+    check_eq(report, "pipeline.deferred == deferred outcomes",
+             cval(snap, "pipeline.deferred"), want.deferred);
+    check_eq(report, "pipeline.deadline_violations == result field",
+             cval(snap, "pipeline.deadline_violations"), want.violations);
+    check_eq(report, "pipeline.dispatches == reads served",
+             cval(snap, "pipeline.dispatches"), want.reads);
+
+    // Latency histograms fold exactly the served-read population.
+    const auto* resp = snap.find_histogram("pipeline.response_ns");
+    report.add("pipeline.response_ns present", resp != nullptr);
+    if (resp != nullptr) {
+      check_eq(report, "pipeline.response_ns count == reads served",
+               resp->count, want.reads);
+      check_eq(report, "pipeline.response_ns sum == sum of responses",
+               static_cast<std::uint64_t>(resp->sum),
+               static_cast<std::uint64_t>(want.response_sum));
+    }
+    const auto* delay = snap.find_histogram("pipeline.delay_ns");
+    check_eq(report, "pipeline.delay_ns count == deferred reads",
+             delay != nullptr ? delay->count : 0, want.deferred);
+    const auto* e2e = snap.find_histogram("pipeline.e2e_ns");
+    check_eq(report, "pipeline.e2e_ns count == reads served",
+             e2e != nullptr ? e2e->count : 0, want.reads);
+
+    // Path accounting: every request took exactly one path, none was left
+    // unclassified, and the configs above exercised each serving path.
+    std::uint64_t path_total = 0;
+    for (std::size_t i = 0; i < kPathCount; ++i) {
+      const auto path = static_cast<core::RetrievalPath>(i);
+      const std::string labels =
+          std::string("path=\"") + core::to_string(path) + "\"";
+      const auto got = cval(snap, "pipeline.path", labels);
+      path_total += got;
+      check_eq(report, "pipeline.path{" + labels + "} == outcome count", got,
+               want.by_path[i]);
+    }
+    check_eq(report, "pipeline.path family covers every request", path_total,
+             want.requests);
+    check_eq(report, "no request left path=unset",
+             want.by_path[static_cast<std::size_t>(core::RetrievalPath::kUnset)],
+             0);
+    for (const auto path :
+         {core::RetrievalPath::kPrimary, core::RetrievalPath::kSlotMatched,
+          core::RetrievalPath::kSurplus, core::RetrievalPath::kDegraded,
+          core::RetrievalPath::kWrite}) {
+      const auto i = static_cast<std::size_t>(path);
+      report.add(std::string("path exercised: ") + core::to_string(path),
+                 want.by_path[i] > 0);
+    }
+    report.add("path exercised: aligned (dtr or max-flow)",
+               want.by_path[static_cast<std::size_t>(
+                   core::RetrievalPath::kAlignedDtr)] +
+                       want.by_path[static_cast<std::size_t>(
+                           core::RetrievalPath::kAlignedMaxFlow)] >
+                   0);
+
+    // Device accounting: per-device service counters sum to total array
+    // accesses, which equal submissions, which equal read dispatches plus
+    // per-replica write ops.
+    const auto submits = cval(snap, "flashsim.submits");
+    const auto completions = cval(snap, "flashsim.completions");
+    check_eq(report, "sum(flashsim.device.requests) == flashsim.completions",
+             snap.counter_family_total("flashsim.device.requests"), completions);
+    check_eq(report, "flashsim.completions == flashsim.submits", completions,
+             submits);
+    check_eq(report, "flashsim.submits == dispatches + write replica ops",
+             submits,
+             cval(snap, "pipeline.dispatches") +
+                 cval(snap, "pipeline.write_replica_ops"));
+    const auto* qd = snap.find_histogram("flashsim.queue_depth");
+    check_eq(report, "flashsim.queue_depth count == flashsim.submits",
+             qd != nullptr ? qd->count : 0, submits);
+
+    // Retrieval identity: every retrieve() call either took the DTR fast
+    // path or fell back to max-flow; degraded retrievals are counted apart
+    // and must have been exercised by the failure config.
+    check_eq(report, "retrieval fast path + max-flow fallback == invocations",
+             cval(snap, "retrieval.fast_path") +
+                 cval(snap, "retrieval.max_flow_fallback"),
+             cval(snap, "retrieval.invocations"));
+    report.add("retrieval.degraded exercised",
+               cval(snap, "retrieval.degraded") > 0);
+
+    // Statistical admission: one Q sample per over-limit interval.
+    const auto* q_hist = snap.find_histogram("admission.q_ppm");
+    check_eq(report, "admission.q_ppm count == over-limit intervals",
+             q_hist != nullptr ? q_hist->count : 0,
+             cval(snap, "admission.over_limit_intervals"));
+
+    check_histogram_consistency(report, snap);
+
+    // Trace-ring audit on a fresh small run: one arrival/admission/retrieval
+    // span triple per request, one service slice per completed array access,
+    // nothing dropped.
+    reg.reset();
+    tracer.clear();
+    tracer.set_enabled(true);
+    const auto traced = core::QosPipeline(scheme, online_det).run(synthetic);
+    tracer.set_enabled(false);
+    const auto events = tracer.events();
+    const auto traced_snap = reg.snapshot();
+    std::array<std::uint64_t, 5> by_kind{};
+    std::uint64_t malformed = 0;
+    for (const auto& e : events) {
+      ++by_kind[static_cast<std::size_t>(e.kind)];
+      if (e.end < e.start) ++malformed;
+    }
+    const auto traced_requests = static_cast<std::uint64_t>(traced.outcomes.size());
+    check_eq(report, "trace: one arrival event per request",
+             by_kind[static_cast<std::size_t>(obs::EventKind::kArrival)],
+             traced_requests);
+    check_eq(report, "trace: one admission verdict per request",
+             by_kind[static_cast<std::size_t>(obs::EventKind::kAdmission)],
+             traced_requests);
+    check_eq(report, "trace: one retrieval span per request",
+             by_kind[static_cast<std::size_t>(obs::EventKind::kRetrieval)],
+             traced_requests);
+    check_eq(report, "trace: one service slice per completed access",
+             by_kind[static_cast<std::size_t>(obs::EventKind::kDeviceService)],
+             cval(traced_snap, "flashsim.completions"));
+    check_eq(report, "trace: no events dropped", tracer.dropped(), 0);
+    check_eq(report, "trace: spans well-formed (end >= start)", malformed, 0);
+    tracer.clear();
+    tracer.set_enabled(tracer_was_enabled);
+
+    return report;
+  }
+}
+
+}  // namespace flashqos::verify

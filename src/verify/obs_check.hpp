@@ -1,0 +1,42 @@
+// Observability self-audit: the metric registry's numbers must be
+// *accountable* — derivable from the replay results they claim to
+// describe — or the observability layer is reporting fiction.
+//
+// verify_observability resets the global registry, replays a set of
+// pipeline configurations (admission modes, retrieval modes, failures,
+// writes) serially, tallies the expected totals from the returned
+// outcomes, and checks:
+//
+//   * pipeline counters equal the outcome tallies (requests, reads served,
+//     writes, failures, dispatches);
+//   * every histogram is internally consistent (bucket counts sum to the
+//     recorded count, the exact value multiset sums to it too, percentiles
+//     are monotone between min and max) and the response histogram's
+//     count/sum match the outcome fold exactly;
+//   * per-device service counters sum to total array accesses, which equal
+//     submissions, which equal dispatches + per-replica write ops;
+//   * retrieval fast-path + max-flow fallback invocations equal total
+//     retrieve() invocations;
+//   * the trace ring holds one arrival/admission/retrieval span triple per
+//     request and one service slice per completion, with nothing dropped.
+//
+// In a FLASHQOS_OBS=OFF build the instrumentation is compiled out; the
+// audit degenerates to a single (passing) "skipped" check so the CLI works
+// in both configurations.
+#pragma once
+
+#include "decluster/allocation.hpp"
+#include "verify/invariants.hpp"
+
+namespace flashqos::verify {
+
+struct ObsCheckParams {
+  std::uint64_t seed = 1;
+  double trace_scale = 0.05;       // exchange workload scale
+  std::size_t p_samples = 200;     // P_k sampling for the statistical config
+};
+
+[[nodiscard]] Report verify_observability(
+    const decluster::AllocationScheme& scheme, const ObsCheckParams& params = {});
+
+}  // namespace flashqos::verify

@@ -74,7 +74,11 @@ bool results_identical(const core::PipelineResult& a, const core::PipelineResult
         !count_eq(static_cast<std::uint64_t>(x.failed),
                   static_cast<std::uint64_t>(y.failed), "failed flag", i, why) ||
         !count_eq(static_cast<std::uint64_t>(x.is_write),
-                  static_cast<std::uint64_t>(y.is_write), "is_write", i, why)) {
+                  static_cast<std::uint64_t>(y.is_write), "is_write", i, why) ||
+        !count_eq(static_cast<std::uint64_t>(x.path),
+                  static_cast<std::uint64_t>(y.path), "path", i, why) ||
+        !count_eq(static_cast<std::uint64_t>(x.q_ppm),
+                  static_cast<std::uint64_t>(y.q_ppm), "q_ppm", i, why)) {
       return false;
     }
   }
