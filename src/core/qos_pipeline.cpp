@@ -460,10 +460,24 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     if constexpr (obs::kEnabled) ++dispatches_tally;
   };
 
+  // Per-instant buffers, hoisted out of the dispatch loop so steady-state
+  // scheduling reuses their capacity instead of reallocating every group.
+  std::vector<Pending> group;
+  std::vector<BucketId> buckets;
+  std::vector<bool> available;
+  std::vector<Pending> live;
+  std::vector<BucketId> live_buckets;
+  std::vector<Pending> reads;
+  std::vector<BucketId> read_buckets;
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> matched_members;  // indices into group/buckets
+  std::vector<std::size_t> surplus_members;
+  std::vector<SimTime> cursor;
+
   while (!queue.empty()) {
     // Pop the group of requests dispatching at the same instant.
     const SimTime now = queue.top().dispatch;
-    std::vector<Pending> group;
+    group.clear();
     while (!queue.empty() && queue.top().dispatch == now) {
       group.push_back(queue.top());
       queue.pop();
@@ -518,7 +532,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
 
     // Resolve buckets through the mapper; record dispatch tentatively (a
     // deferred request's outcome is overwritten on its next pass).
-    std::vector<BucketId> buckets(group.size());
+    buckets.resize(group.size());
     for (std::size_t i = 0; i < group.size(); ++i) {
       const auto m = mapper.map(t.events[group[i].idx].block);
       buckets[i] = m.bucket;
@@ -537,8 +551,8 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
 
     // Device availability at this instant. Requests whose replicas are all
     // down either wait for the earliest recovery (re-queued) or, when no
-    // replica ever comes back, are marked failed.
-    std::vector<bool> available;
+    // replica ever comes back, are marked failed. (`available` stays empty
+    // — meaning all-up — unless failures are configured.)
     if (!cfg_.failures.empty()) {
       available.assign(scheme_.devices(), true);
       for (const auto& f : cfg_.failures) {
@@ -546,8 +560,8 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
           available[f.device] = false;
         }
       }
-      std::vector<Pending> live;
-      std::vector<BucketId> live_buckets;
+      live.clear();
+      live_buckets.clear();
       for (std::size_t i = 0; i < group.size(); ++i) {
         const auto reps = scheme_.replicas(buckets[i]);
         if (std::any_of(reps.begin(), reps.end(),
@@ -580,8 +594,8 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         p.dispatch = std::max((qi + 1) * T, next_interval_start(recovery, T));
         queue.push(p);
       }
-      group = std::move(live);
-      buckets = std::move(live_buckets);
+      std::swap(group, live);
+      std::swap(buckets, live_buckets);
       if (group.empty()) continue;
     }
 
@@ -590,8 +604,8 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     // matcher sees the updated free times and defers reads accordingly.
     // Processed before the group's reads (pessimistic for read QoS).
     {
-      std::vector<Pending> reads;
-      std::vector<BucketId> read_buckets;
+      reads.clear();
+      read_buckets.clear();
       bool any_write = false;
       for (std::size_t i = 0; i < group.size(); ++i) {
         if (t.events[group[i].idx].is_read) {
@@ -629,8 +643,8 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         o.finish = last_finish;
       }
       if (any_write) {
-        group = std::move(reads);
-        buckets = std::move(read_buckets);
+        std::swap(group, reads);
+        std::swap(buckets, read_buckets);
         if (group.empty()) continue;
       }
     }
@@ -690,9 +704,9 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       if (n_accept == 0) continue;
       buckets.resize(n_accept);
 
-      const auto degraded =
-          retrieval::retrieve(buckets, scheme_, available, {});
-      FLASHQOS_ASSERT(degraded.has_value(), "filter left a dead request");
+      const retrieval::Schedule* degraded =
+          retrieval::retrieve(buckets, scheme_, available, {}, scratch_);
+      FLASHQOS_ASSERT(degraded != nullptr, "filter left a dead request");
       const auto& schedule = *degraded;
       const RetrievalPath batch_path =
           !available.empty() ? RetrievalPath::kDegraded
@@ -700,7 +714,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
               ? RetrievalPath::kAlignedMaxFlow
               : RetrievalPath::kAlignedDtr;
       // Requests on one device start back to back in round order.
-      std::vector<std::size_t> order(n_accept);
+      order.resize(n_accept);
       for (std::size_t i = 0; i < n_accept; ++i) order[i] = i;
       std::stable_sort(order.begin(), order.end(),
                        [&](std::size_t a, std::size_t b) {
@@ -723,8 +737,8 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     // surplus beyond S: admitted while Q < ε and served from the earliest-
     // finishing replica, queueing allowed (the Fig. 10 response-time cost).
     SlotMatcher matcher(scheme_, free_at, now, L, cfg_.access_budget, available);
-    std::vector<std::size_t> matched_members;  // indices into group/buckets
-    std::vector<std::size_t> surplus_members;
+    matched_members.clear();
+    surplus_members.clear();
     bool matching_open = true;
     for (std::size_t i = 0; i < group.size(); ++i) {
       const bool in_budget =
@@ -753,7 +767,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     // Materialize the matched placements: per device, slot order follows
     // FIFO (matched_members is already in seq order).
     const auto assignment = matcher.assignment();
-    std::vector<SimTime> cursor(free_at.size(), -1);
+    cursor.assign(free_at.size(), -1);
     for (std::size_t a = 0; a < matched_members.size(); ++a) {
       const std::size_t i = matched_members[a];
       const DeviceId dev = assignment[a];

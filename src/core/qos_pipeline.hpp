@@ -32,6 +32,7 @@
 #include "decluster/allocation.hpp"
 #include "fim/transaction.hpp"
 #include "flashsim/flash_array.hpp"
+#include "retrieval/workspace.hpp"
 #include "trace/event.hpp"
 
 namespace flashqos::core {
@@ -194,6 +195,10 @@ class QosPipeline {
  private:
   const decluster::AllocationScheme& scheme_;
   PipelineConfig cfg_;
+  /// Retrieval solver scratch, reused across every batch the pipeline
+  /// schedules. One per pipeline is one per thread: the parallel replay
+  /// engine constructs a fresh QosPipeline inside each job.
+  retrieval::RetrievalScratch scratch_;
 };
 
 /// Baseline: replay a trace on its original volumes (the paper's "original

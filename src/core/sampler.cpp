@@ -1,12 +1,30 @@
 #include "core/sampler.hpp"
 
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
 #include "design/block_design.hpp"
+#include "obs/metrics.hpp"
 #include "retrieval/maxflow.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace flashqos::core {
 namespace {
+
+struct PkCacheMetrics {
+  obs::Counter& hit;
+  obs::Counter& miss;
+
+  static PkCacheMetrics& get() {
+    auto& reg = obs::MetricRegistry::global();
+    static PkCacheMetrics m{reg.counter("retrieval.pk_cache.hit"),
+                            reg.counter("retrieval.pk_cache.miss")};
+    return m;
+  }
+};
 
 double estimate_one_size(const decluster::AllocationScheme& scheme, std::uint32_t k,
                          std::size_t samples, std::uint64_t seed) {
@@ -17,21 +35,20 @@ double estimate_one_size(const decluster::AllocationScheme& scheme, std::uint32_
   const auto lower =
       static_cast<std::uint32_t>(design::optimal_accesses(k, scheme.devices()));
   std::size_t optimal = 0;
+  // One flow workspace per size: the sampler only needs the feasibility
+  // bit, so it skips schedule extraction entirely, and after the first
+  // sample every solve reuses the workspace buffers allocation-free.
+  retrieval::FlowWorkspace ws;
   for (std::size_t s = 0; s < samples; ++s) {
     for (auto& b : batch) b = static_cast<BucketId>(rng.below(scheme.buckets()));
-    if (retrieval::feasible_in_rounds(batch, scheme, lower).has_value()) {
-      ++optimal;
-    }
+    if (ws.solve(batch, scheme, lower)) ++optimal;
   }
   return static_cast<double>(optimal) / static_cast<double>(samples);
 }
 
-}  // namespace
-
-std::vector<double> sample_optimal_probabilities(
-    const decluster::AllocationScheme& scheme, std::uint32_t max_k,
-    const SamplerParams& params) {
-  FLASHQOS_EXPECT(params.samples_per_size > 0, "sampler needs samples");
+std::vector<double> compute_probabilities(const decluster::AllocationScheme& scheme,
+                                          std::uint32_t max_k,
+                                          const SamplerParams& params) {
   std::vector<double> p(max_k + 1, 1.0);
   if (max_k == 0) return p;
   if (params.threads == 1) {
@@ -46,6 +63,71 @@ std::vector<double> sample_optimal_probabilities(
     p[k] = estimate_one_size(scheme, k, params.samples_per_size, params.seed);
   });
   return p;
+}
+
+/// Everything that determines the sampled table bit for bit: the scheme's
+/// geometry and full replica table, plus the sampling parameters.
+/// `threads` is excluded on purpose (per-size RNG streams make the result
+/// thread-count invariant — see SamplerParams).
+struct PkKey {
+  std::uint32_t devices;
+  std::uint32_t copies;
+  std::uint32_t max_k;
+  std::size_t samples;
+  std::uint64_t seed;
+  std::vector<DeviceId> table;
+
+  friend bool operator<(const PkKey& a, const PkKey& b) {
+    return std::tie(a.devices, a.copies, a.max_k, a.samples, a.seed, a.table) <
+           std::tie(b.devices, b.copies, b.max_k, b.samples, b.seed, b.table);
+  }
+};
+
+/// One memo slot. The value is computed under a once_flag so concurrent
+/// sweep jobs asking for the same key dedupe: the first computes (outside
+/// the map mutex), the rest block on the flag and then share the table.
+struct PkEntry {
+  std::once_flag once;
+  std::vector<double> table;
+};
+
+}  // namespace
+
+std::vector<double> sample_optimal_probabilities(
+    const decluster::AllocationScheme& scheme, std::uint32_t max_k,
+    const SamplerParams& params) {
+  FLASHQOS_EXPECT(params.samples_per_size > 0, "sampler needs samples");
+  if (!params.cache) return compute_probabilities(scheme, max_k, params);
+
+  PkKey key{scheme.devices(), scheme.copies(), max_k, params.samples_per_size,
+            params.seed, {}};
+  key.table.reserve(static_cast<std::size_t>(scheme.buckets()) * scheme.copies());
+  for (BucketId b = 0; b < scheme.buckets(); ++b) {
+    const auto reps = scheme.replicas(b);
+    key.table.insert(key.table.end(), reps.begin(), reps.end());
+  }
+
+  static std::mutex mutex;
+  static std::map<PkKey, std::shared_ptr<PkEntry>> memo;
+  std::shared_ptr<PkEntry> entry;
+  bool inserted = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    auto [it, fresh] = memo.try_emplace(std::move(key));
+    if (fresh) it->second = std::make_shared<PkEntry>();
+    entry = it->second;
+    inserted = fresh;
+  }
+  if constexpr (obs::kEnabled) {
+    if (inserted) {
+      PkCacheMetrics::get().miss.inc();
+    } else {
+      PkCacheMetrics::get().hit.inc();
+    }
+  }
+  std::call_once(entry->once,
+                 [&] { entry->table = compute_probabilities(scheme, max_k, params); });
+  return entry->table;
 }
 
 }  // namespace flashqos::core

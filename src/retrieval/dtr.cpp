@@ -34,9 +34,10 @@ struct RetrievalMetrics {
 };
 
 /// Pack per-device request lists into round numbers: the i-th request served
-/// by a device runs in round i.
-void assign_rounds(Schedule& s, std::uint32_t devices) {
-  std::vector<std::uint32_t> next_round(devices, 0);
+/// by a device runs in round i. `next_round` is caller-owned scratch.
+void assign_rounds(Schedule& s, std::uint32_t devices,
+                   std::vector<std::uint32_t>& next_round) {
+  next_round.assign(devices, 0);
   std::uint32_t max_rounds = 0;
   for (auto& a : s.assignments) {
     a.round = next_round[a.device]++;
@@ -47,15 +48,18 @@ void assign_rounds(Schedule& s, std::uint32_t devices) {
 
 }  // namespace
 
-Schedule dtr_schedule(std::span<const BucketId> batch,
-                      const decluster::AllocationScheme& scheme,
-                      const DtrOptions& opts) {
-  Schedule s;
-  s.assignments.resize(batch.size());
+const Schedule& dtr_schedule(std::span<const BucketId> batch,
+                             const decluster::AllocationScheme& scheme,
+                             const DtrOptions& opts, RetrievalScratch& scratch) {
+  Schedule& s = scratch.dtr;
+  s.via = SolvedBy::kDtr;
+  s.rounds = 0;
+  s.assignments.assign(batch.size(), Assignment{});
   if (batch.empty()) return s;
 
   const std::uint32_t n = scheme.devices();
-  std::vector<std::uint32_t> load(n, 0);
+  auto& load = scratch.load;
+  load.assign(n, 0);
 
   // Initial mapping.
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -99,16 +103,23 @@ Schedule dtr_schedule(std::span<const BucketId> batch,
     if (moves > 0) RetrievalMetrics::get().remap_moves.inc(moves);
   }
 
-  assign_rounds(s, n);
+  assign_rounds(s, n, scratch.rounds);
   FLASHQOS_ASSERT(valid_schedule(batch, scheme, s), "DTR produced invalid schedule");
   return s;
 }
 
-Schedule retrieve(std::span<const BucketId> batch,
-                  const decluster::AllocationScheme& scheme,
-                  const DtrOptions& opts) {
+Schedule dtr_schedule(std::span<const BucketId> batch,
+                      const decluster::AllocationScheme& scheme,
+                      const DtrOptions& opts) {
+  RetrievalScratch scratch;
+  return dtr_schedule(batch, scheme, opts, scratch);
+}
+
+const Schedule& retrieve(std::span<const BucketId> batch,
+                         const decluster::AllocationScheme& scheme,
+                         const DtrOptions& opts, RetrievalScratch& scratch) {
   if constexpr (obs::kEnabled) RetrievalMetrics::get().invocations.inc();
-  Schedule fast = dtr_schedule(batch, scheme, opts);
+  const Schedule& fast = dtr_schedule(batch, scheme, opts, scratch);
   const auto lower = static_cast<std::uint32_t>(
       design::optimal_accesses(batch.size(), scheme.devices()));
   if (fast.rounds <= lower) {
@@ -116,23 +127,45 @@ Schedule retrieve(std::span<const BucketId> batch,
     return fast;
   }
   if constexpr (obs::kEnabled) RetrievalMetrics::get().max_flow_fallback.inc();
-  Schedule exact = optimal_schedule(batch, scheme);
+  [[maybe_unused]] const bool ok =
+      optimal_schedule(batch, scheme, {}, scratch.flow, scratch.exact);
+  FLASHQOS_ASSERT(ok, "all-devices-up scheduling cannot fail");
   // Max-flow is optimal by construction; DTR can only tie or lose.
-  return exact.rounds < fast.rounds ? exact : fast;
+  return scratch.exact.rounds < fast.rounds ? scratch.exact : fast;
 }
 
-std::optional<Schedule> retrieve(std::span<const BucketId> batch,
-                                 const decluster::AllocationScheme& scheme,
-                                 const std::vector<bool>& available,
-                                 const DtrOptions& opts) {
-  if (available.empty()) return retrieve(batch, scheme, opts);
+Schedule retrieve(std::span<const BucketId> batch,
+                  const decluster::AllocationScheme& scheme,
+                  const DtrOptions& opts) {
+  RetrievalScratch scratch;
+  return retrieve(batch, scheme, opts, scratch);
+}
+
+const Schedule* retrieve(std::span<const BucketId> batch,
+                         const decluster::AllocationScheme& scheme,
+                         const std::vector<bool>& available, const DtrOptions& opts,
+                         RetrievalScratch& scratch) {
+  if (available.empty()) return &retrieve(batch, scheme, opts, scratch);
   // Degraded mode goes straight to the exact solver: the DTR fast path's
   // primary-first heuristic has no meaning when the primary may be down,
   // and degraded batches are the rare case where latency of the scheduler
   // itself is not the bottleneck.
   if constexpr (obs::kEnabled) RetrievalMetrics::get().degraded.inc();
   (void)opts;
-  return optimal_schedule(batch, scheme, available);
+  if (!optimal_schedule(batch, scheme, available, scratch.flow, scratch.exact)) {
+    return nullptr;
+  }
+  return &scratch.exact;
+}
+
+std::optional<Schedule> retrieve(std::span<const BucketId> batch,
+                                 const decluster::AllocationScheme& scheme,
+                                 const std::vector<bool>& available,
+                                 const DtrOptions& opts) {
+  RetrievalScratch scratch;
+  const Schedule* s = retrieve(batch, scheme, available, opts, scratch);
+  if (s == nullptr) return std::nullopt;
+  return *s;
 }
 
 }  // namespace flashqos::retrieval

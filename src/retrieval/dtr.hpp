@@ -13,6 +13,7 @@
 #include <span>
 
 #include "retrieval/schedule.hpp"
+#include "retrieval/workspace.hpp"
 
 namespace flashqos::retrieval {
 
@@ -30,6 +31,13 @@ struct DtrOptions {
                                     const decluster::AllocationScheme& scheme,
                                     const DtrOptions& opts = {});
 
+/// Scratch-reusing form: the returned reference points into the scratch
+/// and stays valid until its next use. Zero heap allocations once warm.
+[[nodiscard]] const Schedule& dtr_schedule(std::span<const BucketId> batch,
+                                           const decluster::AllocationScheme& scheme,
+                                           const DtrOptions& opts,
+                                           RetrievalScratch& scratch);
+
 /// The paper's combined retrieval: DTR first; if its round count exceeds
 /// the optimum lower bound ⌈b/N⌉, solve max-flow for the true optimum.
 /// The result is always a minimum-round schedule.
@@ -37,11 +45,26 @@ struct DtrOptions {
                                 const decluster::AllocationScheme& scheme,
                                 const DtrOptions& opts = {});
 
+/// Scratch-reusing combined retrieval; same result, no allocations warm.
+[[nodiscard]] const Schedule& retrieve(std::span<const BucketId> batch,
+                                       const decluster::AllocationScheme& scheme,
+                                       const DtrOptions& opts,
+                                       RetrievalScratch& scratch);
+
 /// Degraded-mode combined retrieval: only devices with available[d] may
 /// serve (empty mask = all up). nullopt iff some request has no live
 /// replica — the caller decides between waiting for recovery and failing.
 [[nodiscard]] std::optional<Schedule> retrieve(
     std::span<const BucketId> batch, const decluster::AllocationScheme& scheme,
     const std::vector<bool>& available, const DtrOptions& opts);
+
+/// Scratch-reusing degraded retrieval: nullptr iff some request has no
+/// live replica; otherwise points into the scratch (valid until its next
+/// use).
+[[nodiscard]] const Schedule* retrieve(std::span<const BucketId> batch,
+                                       const decluster::AllocationScheme& scheme,
+                                       const std::vector<bool>& available,
+                                       const DtrOptions& opts,
+                                       RetrievalScratch& scratch);
 
 }  // namespace flashqos::retrieval

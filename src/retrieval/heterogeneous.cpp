@@ -9,55 +9,19 @@
 namespace flashqos::retrieval {
 namespace {
 
-/// Device capacities for makespan t: cap[d] = floor(t / service[d]).
-std::vector<std::int64_t> capacities(std::span<const SimTime> service, SimTime t) {
-  std::vector<std::int64_t> cap(service.size());
+/// Device capacities for makespan t into caller-owned scratch:
+/// cap[d] = floor(t / service[d]).
+void fill_capacities(std::span<const SimTime> service, SimTime t,
+                     std::vector<std::int64_t>& cap) {
+  cap.resize(service.size());
   for (std::size_t d = 0; d < service.size(); ++d) cap[d] = t / service[d];
-  return cap;
-}
-
-/// Feasibility flow: can `batch` be fully assigned under `cap`? On success
-/// fills `out_device` with each request's device.
-bool assignable(std::span<const BucketId> batch,
-                const decluster::AllocationScheme& scheme,
-                std::span<const std::int64_t> cap,
-                std::vector<DeviceId>* out_device) {
-  const auto b = static_cast<std::uint32_t>(batch.size());
-  const std::uint32_t n = scheme.devices();
-  const std::uint32_t source = 0;
-  const std::uint32_t sink = b + n + 1;
-  MaxFlow mf(sink + 1);
-  std::vector<std::vector<std::uint32_t>> replica_edges(b);
-  for (std::uint32_t i = 0; i < b; ++i) {
-    mf.add_edge(source, 1 + i, 1);
-    for (const auto dev : scheme.replicas(batch[i])) {
-      replica_edges[i].push_back(mf.add_edge(1 + i, b + 1 + dev, 1));
-    }
-  }
-  for (std::uint32_t d = 0; d < n; ++d) {
-    mf.add_edge(b + 1 + d, sink, std::max<std::int64_t>(cap[d], 0));
-  }
-  if (mf.run(source, sink) != b) return false;
-  if (out_device != nullptr) {
-    out_device->assign(b, kInvalidDevice);
-    for (std::uint32_t i = 0; i < b; ++i) {
-      const auto reps = scheme.replicas(batch[i]);
-      for (std::size_t j = 0; j < reps.size(); ++j) {
-        if (mf.flow_on(replica_edges[i][j]) > 0) {
-          (*out_device)[i] = reps[j];
-          break;
-        }
-      }
-    }
-  }
-  return true;
 }
 
 }  // namespace
 
 HeterogeneousSchedule optimal_makespan_schedule(
     std::span<const BucketId> batch, const decluster::AllocationScheme& scheme,
-    std::span<const SimTime> service) {
+    std::span<const SimTime> service, RetrievalScratch& scratch) {
   FLASHQOS_EXPECT(service.size() == scheme.devices(),
                   "service vector must cover every device");
   for (const auto s : service) FLASHQOS_EXPECT(s > 0, "service times must be positive");
@@ -69,7 +33,8 @@ HeterogeneousSchedule optimal_makespan_schedule(
   // (between two consecutive candidates no capacity changes). Collect
   // k·service[d] for k up to the batch size, dedupe, binary search the
   // smallest feasible.
-  std::vector<SimTime> candidates;
+  auto& candidates = scratch.candidates;
+  candidates.clear();
   candidates.reserve(service.size() * batch.size());
   for (const auto s : service) {
     for (std::size_t k = 1; k <= batch.size(); ++k) {
@@ -80,31 +45,44 @@ HeterogeneousSchedule optimal_makespan_schedule(
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
 
+  // Every probe solves the same network (request and replica edges depend
+  // only on the batch) with different device capacities: build it once,
+  // swap capacities in place for each subsequent candidate.
+  bool built = false;
+  const auto assignable = [&](SimTime t) {
+    fill_capacities(service, t, scratch.caps);
+    if (!built) {
+      built = true;
+      return scratch.flow.solve_capacities(batch, scheme, scratch.caps);
+    }
+    return scratch.flow.resolve_capacities(scratch.caps);
+  };
+
   std::size_t lo = 0, hi = candidates.size() - 1;
   // The largest candidate is always feasible: the fastest device alone can
   // serialize the whole batch within max(service)·b >= service[fast]·b...
   // not necessarily through replicas — fall back to widening if needed.
-  while (!assignable(batch, scheme, capacities(service, candidates[hi]), nullptr)) {
+  while (!assignable(candidates[hi])) {
     candidates.push_back(candidates.back() * 2);
     hi = candidates.size() - 1;
   }
   while (lo < hi) {
     const std::size_t mid = (lo + hi) / 2;
-    if (assignable(batch, scheme, capacities(service, candidates[mid]), nullptr)) {
+    if (assignable(candidates[mid])) {
       hi = mid;
     } else {
       lo = mid + 1;
     }
   }
 
-  std::vector<DeviceId> device;
-  [[maybe_unused]] const bool ok =
-      assignable(batch, scheme, capacities(service, candidates[lo]), &device);
+  [[maybe_unused]] const bool ok = assignable(candidates[lo]);
   FLASHQOS_ASSERT(ok, "binary search must land on a feasible makespan");
+  scratch.flow.extract_devices(batch, scheme, scratch.devices);
   out.makespan = 0;
-  std::vector<SimTime> cursor(scheme.devices(), 0);
+  auto& cursor = scratch.cursor;
+  cursor.assign(scheme.devices(), 0);
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    const DeviceId d = device[i];
+    const DeviceId d = scratch.devices[i];
     out.assignments[i] = {d, cursor[d]};
     cursor[d] += service[d];
     out.makespan = std::max(out.makespan, cursor[d]);
@@ -112,6 +90,13 @@ HeterogeneousSchedule optimal_makespan_schedule(
   FLASHQOS_ASSERT(out.makespan <= candidates[lo],
                   "realized makespan cannot exceed the feasibility bound");
   return out;
+}
+
+HeterogeneousSchedule optimal_makespan_schedule(
+    std::span<const BucketId> batch, const decluster::AllocationScheme& scheme,
+    std::span<const SimTime> service) {
+  RetrievalScratch scratch;
+  return optimal_makespan_schedule(batch, scheme, service, scratch);
 }
 
 bool valid_heterogeneous_schedule(std::span<const BucketId> batch,

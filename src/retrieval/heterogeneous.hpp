@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "retrieval/schedule.hpp"
+#include "retrieval/workspace.hpp"
 #include "util/time.hpp"
 
 namespace flashqos::retrieval {
@@ -37,6 +38,13 @@ struct HeterogeneousSchedule {
 [[nodiscard]] HeterogeneousSchedule optimal_makespan_schedule(
     std::span<const BucketId> batch, const decluster::AllocationScheme& scheme,
     std::span<const SimTime> service);
+
+/// Scratch-reusing form: the makespan binary search builds the feasibility
+/// network once and swaps device capacities in place per probe, and all
+/// search buffers live in the scratch. Bit-identical to the value form.
+[[nodiscard]] HeterogeneousSchedule optimal_makespan_schedule(
+    std::span<const BucketId> batch, const decluster::AllocationScheme& scheme,
+    std::span<const SimTime> service, RetrievalScratch& scratch);
 
 /// Validity check: every request on one of its replicas, per-device
 /// sequences consistent with the device's service time, makespan correct.

@@ -34,12 +34,14 @@ std::vector<Decision> OnlineRetriever::submit_batch(std::span<const BucketId> ba
     out[0] = submit(batch[0], arrival);
     return out;
   }
-  const Schedule s = retrieve(batch, scheme_);
+  const Schedule& s = retrieve(batch, scheme_, {}, scratch_);
   // Per-device dispatch: requests on one device run back to back in round
   // order, starting when the device frees up (or at arrival).
-  std::vector<SimTime> device_cursor(free_at_.size(), -1);
+  auto& device_cursor = device_cursor_;
+  device_cursor.assign(free_at_.size(), -1);
   // Process in round order so earlier rounds get earlier slots.
-  std::vector<std::size_t> order(batch.size());
+  auto& order = order_;
+  order.resize(batch.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return s.assignments[a].round < s.assignments[b].round;

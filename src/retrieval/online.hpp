@@ -58,6 +58,11 @@ class OnlineRetriever {
   const decluster::AllocationScheme& scheme_;
   SimTime service_time_;
   std::vector<SimTime> free_at_;
+  // Batch-dispatch scratch, reused across submit_batch calls so the
+  // steady-state path does not allocate (beyond the returned vector).
+  RetrievalScratch scratch_;
+  std::vector<SimTime> device_cursor_;
+  std::vector<std::size_t> order_;
 };
 
 }  // namespace flashqos::retrieval

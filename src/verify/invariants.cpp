@@ -463,6 +463,27 @@ bool check_schedule(std::span<const BucketId> batch,
   return true;
 }
 
+namespace {
+
+/// Exact equality — device, round, rounds, and solver label all match.
+/// The reused-workspace oracle demands bit-identical schedules, not merely
+/// equivalent ones.
+bool schedules_equal(const retrieval::Schedule& a, const retrieval::Schedule& b) {
+  if (a.rounds != b.rounds || a.via != b.via ||
+      a.assignments.size() != b.assignments.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+    if (a.assignments[i].device != b.assignments[i].device ||
+        a.assignments[i].round != b.assignments[i].round) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 Report verify_retrieval(const decluster::AllocationScheme& s,
                         const RetrievalParams& params) {
   Report r(format("retrieval on {} (N={}, {} trials)", s.name(), s.devices(),
@@ -479,10 +500,17 @@ Report verify_retrieval(const decluster::AllocationScheme& s,
   std::size_t combined_off = 0;
   std::size_t integrated_off = 0;
   std::size_t degraded_bad = 0;
+  std::size_t ws_diverged = 0;
   std::string first_why;
   auto note = [&](std::size_t& counter, std::string why) {
     if (counter++ == 0 && first_why.empty()) first_why = std::move(why);
   };
+
+  // One scratch carried across every trial (batch sizes interleave, the
+  // degraded mask comes and goes): any state leaking between solves would
+  // make a reused-workspace schedule diverge from its fresh-solver twin.
+  retrieval::RetrievalScratch scratch;
+  retrieval::Schedule ws_out;
 
   for (std::size_t trial = 0; trial < params.trials; ++trial) {
     const std::size_t k = 1 + rng.below(max_batch);
@@ -494,9 +522,16 @@ Report verify_retrieval(const decluster::AllocationScheme& s,
     if (!check_schedule(batch, s, fast, &why)) {
       note(dtr_invalid, "dtr: " + why);
     }
+    if (!schedules_equal(retrieval::dtr_schedule(batch, s, {}, scratch), fast)) {
+      note(ws_diverged, "reused-scratch dtr_schedule differs from fresh");
+    }
     const auto exact = retrieval::optimal_schedule(batch, s);
     if (!check_schedule(batch, s, exact, &why)) {
       note(opt_invalid, "optimal: " + why);
+    }
+    if (!retrieval::optimal_schedule(batch, s, {}, scratch.flow, ws_out) ||
+        !schedules_equal(ws_out, exact)) {
+      note(ws_diverged, "reused-workspace optimal_schedule differs from fresh");
     }
     const auto lower = design::optimal_accesses(k, s.devices());
     if (exact.rounds < lower) {
@@ -504,11 +539,20 @@ Report verify_retrieval(const decluster::AllocationScheme& s,
                                exact.rounds, lower));
     }
     // Minimality certificate: one round fewer must be infeasible.
-    if (exact.rounds >= 2 &&
-        retrieval::feasible_in_rounds(batch, s, exact.rounds - 1).has_value()) {
-      note(not_minimal, format("schedule of {} rounds is not minimal — {} "
-                               "rounds suffice",
-                               exact.rounds, exact.rounds - 1));
+    if (exact.rounds >= 2) {
+      const auto fresh_feasible =
+          retrieval::feasible_in_rounds(batch, s, exact.rounds - 1);
+      if (fresh_feasible.has_value()) {
+        note(not_minimal, format("schedule of {} rounds is not minimal — {} "
+                                 "rounds suffice",
+                                 exact.rounds, exact.rounds - 1));
+      }
+      const bool ws_feasible = retrieval::feasible_in_rounds(
+          batch, s, exact.rounds - 1, {}, scratch.flow, ws_out);
+      if (ws_feasible != fresh_feasible.has_value() ||
+          (ws_feasible && !schedules_equal(ws_out, *fresh_feasible))) {
+        note(ws_diverged, "reused-workspace feasible_in_rounds differs from fresh");
+      }
     }
     if (fast.rounds < exact.rounds) {
       note(dtr_beats_opt, format("dtr found {} rounds, 'optimal' {}",
@@ -519,12 +563,19 @@ Report verify_retrieval(const decluster::AllocationScheme& s,
       note(combined_off, format("retrieve() gives {} rounds, optimum {}",
                                 combined.rounds, exact.rounds));
     }
+    if (!schedules_equal(retrieval::retrieve(batch, s, {}, scratch), combined)) {
+      note(ws_diverged, "reused-scratch retrieve() differs from fresh");
+    }
     const auto integrated = retrieval::integrated_optimal_schedule(batch, s);
     if (integrated.rounds != exact.rounds ||
         !check_schedule(batch, s, integrated)) {
       note(integrated_off, format("integrated solver gives {} rounds, optimum "
                                   "{}",
                                   integrated.rounds, exact.rounds));
+    }
+    retrieval::integrated_optimal_schedule(batch, s, scratch.flow, ws_out);
+    if (!schedules_equal(ws_out, integrated)) {
+      note(ws_diverged, "reused-workspace integrated solver differs from fresh");
     }
 
     // Degraded mode: fail one device; surviving replicas must carry the
@@ -546,6 +597,12 @@ Report verify_retrieval(const decluster::AllocationScheme& s,
                format("degraded schedule routes to failed device {}", dead));
         }
       }
+      const retrieval::Schedule* ws_degraded =
+          retrieval::retrieve(batch, s, available, {}, scratch);
+      if ((ws_degraded != nullptr) != degraded.has_value() ||
+          (ws_degraded != nullptr && !schedules_equal(*ws_degraded, *degraded))) {
+        note(ws_diverged, "reused-scratch degraded retrieve() differs from fresh");
+      }
     }
   }
 
@@ -564,6 +621,7 @@ Report verify_retrieval(const decluster::AllocationScheme& s,
   add("retrieve() lands on the optimum", combined_off);
   add("integrated solver matches the optimum", integrated_off);
   add("degraded mode avoids failed devices", degraded_bad);
+  add("reused workspace schedules == fresh solver schedules", ws_diverged);
   return r;
 }
 

@@ -1,16 +1,20 @@
 #include "verify/obs_check.hpp"
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "core/qos_pipeline.hpp"
 #include "core/sampler.hpp"
+#include "design/block_design.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "retrieval/maxflow.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/workload.hpp"
+#include "util/rng.hpp"
 
 namespace flashqos::verify {
 namespace {
@@ -303,6 +307,71 @@ Report verify_observability(const decluster::AllocationScheme& scheme,
     check_eq(report, "trace: spans well-formed (end >= start)", malformed, 0);
     tracer.clear();
     tracer.set_enabled(tracer_was_enabled);
+
+    // P_k memo audit. The memo is process-global (it survives registry
+    // resets), so the cross-check is delta-based on a key no prior call can
+    // have touched: a process-unique seed guarantees the first call misses
+    // and the second hits, and the cached table must be bit-identical to
+    // both the first call's and an uncached recomputation.
+    {
+      static std::atomic<std::uint64_t> audit_seed{0x9E3779B97F4A7C15ULL};
+      const auto seed = audit_seed.fetch_add(1, std::memory_order_relaxed);
+      const core::SamplerParams pk_params{.samples_per_size = 64, .seed = seed};
+      const auto before = reg.snapshot();
+      const auto first = core::sample_optimal_probabilities(scheme, 8, pk_params);
+      const auto second = core::sample_optimal_probabilities(scheme, 8, pk_params);
+      core::SamplerParams uncached = pk_params;
+      uncached.cache = false;
+      const auto recomputed = core::sample_optimal_probabilities(scheme, 8, uncached);
+      const auto after = reg.snapshot();
+      check_eq(report, "pk_cache: fresh key misses exactly once",
+               cval(after, "retrieval.pk_cache.miss") -
+                   cval(before, "retrieval.pk_cache.miss"),
+               1);
+      check_eq(report, "pk_cache: repeated key hits exactly once",
+               cval(after, "retrieval.pk_cache.hit") -
+                   cval(before, "retrieval.pk_cache.hit"),
+               1);
+      report.add("pk_cache: cached table bit-identical to recomputation",
+                 first == second && first == recomputed);
+    }
+
+    // Flow-workspace reuse audit. optimal_schedule over a workspace builds
+    // the network once and re-solves in place per extra round, so across
+    // the controlled calls below: builds == calls, reuses == sum over calls
+    // of (result rounds − lower bound ⌈b/N⌉) — each counted from the
+    // returned schedules, not from the implementation.
+    {
+      retrieval::FlowWorkspace ws;
+      retrieval::Schedule out;
+      Rng rng(params.seed);
+      std::uint64_t expect_builds = 0;
+      std::uint64_t expect_reuses = 0;
+      bool all_solvable = true;
+      const auto before = reg.snapshot();
+      for (std::size_t trial = 0; trial < 16; ++trial) {
+        const std::size_t k = 1 + rng.below(2 * scheme.devices());
+        std::vector<BucketId> batch(k);
+        for (auto& b : batch) b = static_cast<BucketId>(rng.below(scheme.buckets()));
+        if (!retrieval::optimal_schedule(batch, scheme, {}, ws, out)) {
+          all_solvable = false;
+          break;
+        }
+        ++expect_builds;
+        expect_reuses += out.rounds - static_cast<std::uint32_t>(
+                                          design::optimal_accesses(k, scheme.devices()));
+      }
+      const auto after = reg.snapshot();
+      report.add("flow_ws: all-up optimal_schedule solvable", all_solvable);
+      check_eq(report, "flow_ws: builds == one network per solve",
+               cval(after, "retrieval.flow_ws.builds") -
+                   cval(before, "retrieval.flow_ws.builds"),
+               expect_builds);
+      check_eq(report, "flow_ws: reuses == extra feasibility rounds",
+               cval(after, "retrieval.flow_ws.reuses") -
+                   cval(before, "retrieval.flow_ws.reuses"),
+               expect_reuses);
+    }
 
     return report;
   }
