@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
     cfg.retrieval = core::RetrievalMode::kOnline;
     cfg.admission = core::AdmissionMode::kDeterministic;
     cfg.mapping = core::MappingMode::kModulo;
-    cfg.failures = scenarios[i];
+    cfg.faults.outages = scenarios[i];
     const auto r = core::QosPipeline(scheme, cfg).run(t);
     table.add_row({labels[i], Table::pct(r.overall.pct_deferred, 2),
                    Table::num(r.overall.avg_delay_ms, 4),

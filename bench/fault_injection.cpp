@@ -1,0 +1,91 @@
+// Fault-injection scenario sweep: what does each fault class cost?
+//
+// Replays the same synthetic workload on the (9,3,1) array under a healthy
+// plan and under each fault class the subsystem models — transient outage
+// windows, latency spikes, and a permanent loss with a paced hot-spare
+// rebuild — and reports the QoS cost of each: deferral rate, delay,
+// guarantee violations, and requests lost outright. The adaptive admission
+// layer shrinks the per-interval budget to the surviving sub-design's S'
+// while devices are down, and the slot matcher routes around devices whose
+// spiked service time no longer fits the window — which is why deferral
+// (never violation) is where all the damage shows up.
+#include <cstdio>
+
+#include "bench_flags.hpp"
+#include "core/qos_pipeline.hpp"
+#include "decluster/schemes.hpp"
+#include "design/constructions.hpp"
+#include "fault/fault_plan.hpp"
+#include "trace/synthetic.hpp"
+#include "util/table.hpp"
+
+using namespace flashqos;
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  const auto d = design::make_9_3_1();
+  const decluster::DesignTheoretic scheme(d, true);
+  const auto t = trace::generate_synthetic({.bucket_pool = 36,
+                                            .interval = kBaseInterval,
+                                            .requests_per_interval = 4,
+                                            .total_requests =
+                                                smoke ? 3000u : 40000u,
+                                            .seed = 1717});
+  const SimTime span = t.events.back().time;
+
+  struct Scenario {
+    std::string label;
+    fault::FaultPlan plan;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"healthy", {}});
+  {
+    fault::FaultPlan p;  // seeded transient outage windows
+    p.transient = {.count = 6, .mean_duration = span / 40};
+    p.seed = 9;
+    scenarios.push_back({"6 transient outages", p});
+  }
+  {
+    fault::FaultPlan p;  // seeded latency-spike windows, 4x service time
+    p.latency_spike = {.count = 6, .mean_duration = span / 40, .factor = 4.0};
+    p.seed = 9;
+    scenarios.push_back({"6 latency spikes (4x)", p});
+  }
+  {
+    fault::FaultPlan p;  // permanent loss, no spare: down for the whole run
+    p.outages.push_back({.device = 0, .fail_at = span / 10});
+    scenarios.push_back({"permanent loss d0", p});
+  }
+  {
+    fault::FaultPlan p;  // the same loss, rebuilt onto a hot spare
+    p.outages.push_back({.device = 0, .fail_at = span / 10});
+    p.rebuild.pages_per_second = 20000.0;
+    scenarios.push_back({"loss d0 + rebuild", p});
+  }
+
+  print_banner("Fault-injection sweep: online deterministic QoS, (9,3,1), "
+               "4 requests / 0.133 ms");
+  Table table({"scenario", "% delayed", "avg delay (ms)", "avg resp (ms)",
+               "max resp (ms)", "violations", "lost"});
+  for (const auto& s : scenarios) {
+    core::PipelineConfig cfg;
+    cfg.retrieval = core::RetrievalMode::kOnline;
+    cfg.admission = core::AdmissionMode::kDeterministic;
+    cfg.mapping = core::MappingMode::kModulo;
+    cfg.faults = s.plan;
+    const auto r = core::QosPipeline(scheme, cfg).run(t);
+    table.add_row({s.label, Table::pct(r.overall.pct_deferred, 2),
+                   Table::num(r.overall.avg_delay_ms, 4),
+                   Table::num(r.overall.avg_response_ms, 4),
+                   Table::num(r.overall.max_response_ms, 4),
+                   std::to_string(r.deadline_violations),
+                   std::to_string(r.overall.failed)});
+  }
+  table.print();
+  std::printf("\ntransients and losses cost deferrals (the adaptive budget "
+              "admits only the degraded S'); spiked devices stop fitting the "
+              "matching window, so requests route to healthy replicas instead "
+              "of blowing the bound; the rebuild returns the array to the "
+              "healthy budget mid-run.\n");
+  return 0;
+}

@@ -16,7 +16,7 @@
 #include "util/time.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
-#include "retrieval/dtr.hpp"
+#include "retrieval/retriever.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -34,6 +34,7 @@ int main() {
       S, {{"premium", 3}, {"standard", 1}});  // 1 shared slot remains
 
   Rng rng(99);
+  retrieval::Retriever retriever(scheme);  // scratch reused across intervals
   constexpr int kIntervals = 20000;
   std::uint64_t premium_wanted = 0, standard_wanted = 0;
   std::uint32_t worst_rounds = 0;
@@ -55,8 +56,7 @@ int main() {
            rng.sample_without_replacement(scheme.buckets(), total)) {
         batch.push_back(static_cast<BucketId>(b));
       }
-      worst_rounds = std::max(worst_rounds,
-                              retrieval::retrieve(batch, scheme).rounds);
+      worst_rounds = std::max(worst_rounds, retriever.schedule(batch).rounds);
     }
     admission.end_interval();
   }

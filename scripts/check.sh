@@ -8,9 +8,12 @@
 #   3. the test suite under ThreadSanitizer
 #   4. the design-invariant verifier (flashqos_verify) over every catalog
 #      design with N <= 64, plus the serial ≡ parallel replay-equivalence
-#      audit (every mode combination, failure windows, sweep sharding) and
-#      the observability self-audit (--obs: recorded metrics and trace
-#      spans checked against the replay outcomes they describe)
+#      audit (every mode combination, failure windows, sweep sharding), the
+#      observability self-audit (--obs: recorded metrics and trace spans
+#      checked against the replay outcomes they describe), and the
+#      fault-injection chaos audit (--faults: randomized fault plans with
+#      request-conservation, routing, guarantee-reestablishment, and
+#      serial ≡ parallel checks)
 #   5. clang-tidy over src/ (skipped with a warning if clang-tidy is not
 #      installed — the .clang-tidy baseline is still enforced by review)
 #
@@ -66,8 +69,8 @@ else
   banner "3/5 TSan — SKIPPED (--quick)"
 fi
 
-banner "4/5 design-invariant verifier (catalog, N <= 64) + replay equivalence + obs audit"
-run ./build-werror/src/verify/flashqos_verify --max-devices 64 --replay --obs
+banner "4/5 design-invariant verifier (catalog, N <= 64) + replay equivalence + obs audit + chaos audit"
+run ./build-werror/src/verify/flashqos_verify --max-devices 64 --replay --obs --faults
 
 banner "5/5 clang-tidy"
 if command -v clang-tidy > /dev/null 2>&1; then

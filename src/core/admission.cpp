@@ -58,6 +58,22 @@ std::uint64_t StatisticalAdmission::accept(std::uint64_t already,
   return already >= limit_ ? 0 : limit_ - already;
 }
 
+void StatisticalAdmission::set_budget(std::uint64_t deterministic_limit,
+                                      std::vector<double> p_table) {
+  FLASHQOS_EXPECT(!p_table.empty(), "statistical admission needs a P_k table");
+  for (const double p : p_table) {
+    FLASHQOS_EXPECT(p >= 0.0 && p <= 1.0, "P_k values must be probabilities");
+  }
+  limit_ = deterministic_limit;
+  p_table_ = std::move(p_table);
+  weighted_miss_ = 0.0;
+  for (std::uint64_t k = 0; k < n_k_.size(); ++k) {
+    if (n_k_[k] > 0) {
+      weighted_miss_ += static_cast<double>(n_k_[k]) * miss_probability(k);
+    }
+  }
+}
+
 void StatisticalAdmission::end_interval(std::uint64_t demand, std::uint64_t admitted) {
   if (demand <= limit_) return;
   if (n_k_.size() <= admitted) n_k_.resize(admitted + 1, 0);

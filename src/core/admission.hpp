@@ -93,6 +93,12 @@ class StatisticalAdmission {
   /// with one extra interval of size k added (the admission test value).
   [[nodiscard]] double q_with(std::optional<std::uint64_t> extra_k = std::nullopt) const;
 
+  /// Adaptive degraded mode: swap in the surviving sub-design's budget S'
+  /// and its re-sampled P_k table mid-run. The interval counters N_k / N_t
+  /// are history and stay; the weighted miss sum is recomputed against the
+  /// new table so Q immediately reflects the degraded probabilities.
+  void set_budget(std::uint64_t deterministic_limit, std::vector<double> p_table);
+
   [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
   [[nodiscard]] std::uint64_t deterministic_limit() const noexcept { return limit_; }
 

@@ -164,20 +164,67 @@ Experiment build_experiment(const Config& cfg) {
     fail("unknown scheduler mode: " + scheduler);
   }
 
-  // Failures: "fail = device fail_ms recover_ms" (-1 recover = permanent).
-  for (const auto& spec : cfg.all("failures", "fail")) {
+  // Scripted outages: "fail = device fail_ms recover_ms" (-1 recover =
+  // permanent). The legacy [failures] section and the [faults] section
+  // accept the same lines; both land in the fault plan's outage list.
+  const auto parse_outages = [&](const char* section) {
+    for (const auto& spec : cfg.all(section, "fail")) {
+      std::istringstream ss(spec);
+      std::uint32_t device = 0;
+      double fail_ms = 0.0, recover_ms = -1.0;
+      if (!(ss >> device >> fail_ms)) fail("bad failure spec: " + spec);
+      ss >> recover_ms;
+      fault::DeviceFailure f;
+      f.device = device;
+      f.fail_at = from_ms(fail_ms);
+      f.recover_at = recover_ms < 0 ? fault::DeviceFailure::kNeverRecovers
+                                    : from_ms(recover_ms);
+      e.pipeline.faults.outages.push_back(f);
+    }
+  };
+  parse_outages("failures");
+  parse_outages("faults");
+
+  // The rest of the fault plan: scripted spikes, seeded generators,
+  // rebuild policy, retry timeout.
+  for (const auto& spec : cfg.all("faults", "spike")) {
     std::istringstream ss(spec);
     std::uint32_t device = 0;
-    double fail_ms = 0.0, recover_ms = -1.0;
-    if (!(ss >> device >> fail_ms)) fail("bad failure spec: " + spec);
-    ss >> recover_ms;
-    DeviceFailure f;
-    f.device = device;
-    f.fail_at = from_ms(fail_ms);
-    f.recover_at =
-        recover_ms < 0 ? DeviceFailure::kNeverRecovers : from_ms(recover_ms);
-    e.pipeline.failures.push_back(f);
+    double start_ms = 0.0, end_ms = 0.0, factor = 0.0;
+    if (!(ss >> device >> start_ms >> end_ms >> factor)) {
+      fail("bad spike spec (want: device start_ms end_ms factor): " + spec);
+    }
+    e.pipeline.faults.spikes.push_back(
+        {device, from_ms(start_ms), from_ms(end_ms), factor});
   }
+  if (cfg.has("faults", "transient")) {
+    std::istringstream ss(cfg.get("faults", "transient"));
+    std::uint32_t count = 0;
+    double mean_ms = 0.0;
+    if (!(ss >> count >> mean_ms)) {
+      fail("bad transient spec (want: count mean_ms): " +
+           cfg.get("faults", "transient"));
+    }
+    e.pipeline.faults.transient = {count, from_ms(mean_ms)};
+  }
+  if (cfg.has("faults", "latency_spike")) {
+    std::istringstream ss(cfg.get("faults", "latency_spike"));
+    std::uint32_t count = 0;
+    double mean_ms = 0.0, factor = 0.0;
+    if (!(ss >> count >> mean_ms >> factor)) {
+      fail("bad latency_spike spec (want: count mean_ms factor): " +
+           cfg.get("faults", "latency_spike"));
+    }
+    e.pipeline.faults.latency_spike = {count, from_ms(mean_ms), factor};
+  }
+  e.pipeline.faults.rebuild.pages_per_second =
+      cfg.get_double("faults", "rebuild", 0.0);
+  if (cfg.has("faults", "retry_timeout_ms")) {
+    e.pipeline.faults.retry.timeout =
+        from_ms(cfg.get_double("faults", "retry_timeout_ms", 0.0));
+  }
+  e.pipeline.faults.seed =
+      static_cast<std::uint64_t>(cfg.get_int("faults", "seed", 1));
 
   if (e.pipeline.admission == AdmissionMode::kStatistical) {
     const auto samples = static_cast<std::size_t>(
@@ -186,6 +233,14 @@ Experiment build_experiment(const Config& cfg) {
         static_cast<std::uint32_t>(cfg.get_int("pipeline", "p_table_max_k", 48));
     e.pipeline.p_table = sample_optimal_probabilities(
         *e.scheme, max_k, {.samples_per_size = samples, .seed = 7});
+    e.pipeline.p_table_samples = samples;
+  }
+
+  const auto diags = e.pipeline.validate(e.scheme->devices());
+  if (!diags.empty()) {
+    std::string msg = "invalid experiment config:";
+    for (const auto& d : diags) msg += "\n  - " + d;
+    fail(msg);
   }
 
   e.workload = make_workload(cfg);
@@ -243,8 +298,18 @@ write_fraction = 0.0
 # path = trace.csv        # for disksim / msr kinds
 # volumes = 9
 
-[failures]
-# fail = 3 10.0 50.0      # device, fail-at ms, recover-at ms (-1 = never)
+[faults]
+# seed = 1                      # generator seed; same seed -> same windows
+# fail = 3 10.0 50.0            # device, fail-at ms, recover-at ms (-1 = never)
+# spike = 2 5.0 20.0 4.0        # device, start ms, end ms, service-time factor
+# transient = 4 5.0             # generated outages: count, mean duration ms
+# latency_spike = 2 5.0 4.0     # generated spikes: count, mean ms, factor
+# rebuild = 50000               # hot-spare rebuild pages/second (0 = off)
+# retry_timeout_ms = 10.0       # fail stranded requests past this wait
+
+# Legacy alias for scripted outages, kept for old experiment files:
+# [failures]
+# fail = 3 10.0 50.0
 )";
 }
 

@@ -25,8 +25,19 @@
 //   path = trace.csv          ; disksim / msr kinds
 //   volumes = 9               ; file kinds
 //
-//   [failures]
+//   [faults]
+//   seed = 1                  ; generator seed (same seed -> same windows)
 //   fail = 3 10.0 50.0        ; device, fail-at ms, recover-at ms (-1 = never)
+//   spike = 2 5.0 20.0 4.0    ; device, start ms, end ms, service factor
+//   transient = 4 5.0         ; generated outages: count, mean duration ms
+//   latency_spike = 2 5.0 4.0 ; generated spikes: count, mean ms, factor
+//   rebuild = 50000           ; hot-spare rebuild pages/second (0 = off)
+//   retry_timeout_ms = 10.0   ; fail stranded requests past this wait
+//
+// Legacy [failures] sections with the same `fail =` lines still parse into
+// an equivalent fault plan. build_experiment() runs
+// PipelineConfig::validate() and throws with the joined diagnostics when
+// the combination is incoherent.
 #pragma once
 
 #include <memory>

@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdio>
+#include <map>
 #include <queue>
 
+#include "core/sampler.hpp"
+#include "design/block_design.hpp"
+#include "fault/injector.hpp"
 #include "fim/apriori.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
@@ -74,6 +79,32 @@ struct PipelineMetrics {
         p.by_path[i] = &reg.counter("pipeline.path", label);
       }
       return p;
+    }();
+    return m;
+  }
+};
+
+/// Fault-subsystem registry handles. Tallied in replay-loop locals and
+/// published once per replay, like PipelineMetrics.
+struct FaultMetrics {
+  obs::Counter& injected_outages;
+  obs::Counter& injected_spikes;
+  obs::Counter& degraded_intervals;
+  obs::Counter& retries;
+  obs::Counter& timeouts;
+  obs::Counter& rebuild_reads;
+  obs::Gauge& rebuild_pending;
+
+  static FaultMetrics& get() {
+    static FaultMetrics m = [] {
+      auto& reg = obs::MetricRegistry::global();
+      return FaultMetrics{reg.counter("fault.injected.outages"),
+                          reg.counter("fault.injected.spikes"),
+                          reg.counter("fault.degraded_intervals"),
+                          reg.counter("fault.retries"),
+                          reg.counter("fault.timeouts"),
+                          reg.counter("fault.rebuild.reads"),
+                          reg.gauge("fault.rebuild.pending_reads")};
     }();
     return m;
   }
@@ -228,20 +259,27 @@ struct Pending {
 /// performed" for same-instant batches).
 class SlotMatcher {
  public:
+  /// `service` is the base quantum L defining the guarantee window
+  /// [now, now + M·L]. `per_device` (optional) gives each device's
+  /// *effective* quantum — stretched by a latency-spike window — so a
+  /// degraded device exposes fewer slots inside the same window and the
+  /// admission rule stays honest about what can actually finish in time.
   SlotMatcher(const decluster::AllocationScheme& scheme,
               const std::vector<SimTime>& free_at, SimTime now, SimTime service,
-              std::uint32_t budget, const std::vector<bool>& available)
+              std::uint32_t budget, const std::vector<bool>& available,
+              const std::vector<SimTime>* per_device = nullptr)
       : scheme_(scheme) {
     capacity_.resize(scheme.devices());
     occupants_.resize(scheme.devices());
     const SimTime window_end = now + static_cast<SimTime>(budget) * service;
     for (DeviceId d = 0; d < scheme.devices(); ++d) {
       if (!available.empty() && !available[d]) continue;  // down: 0 slots
+      const SimTime svc = per_device != nullptr ? (*per_device)[d] : service;
       const SimTime start = std::max(free_at[d], now);
       const SimTime room = window_end - start;
       capacity_[d] = room <= 0 ? 0
                                : static_cast<std::uint32_t>(
-                                     std::min<SimTime>(room / service, budget));
+                                     std::min<SimTime>(room / svc, budget));
     }
   }
 
@@ -383,15 +421,42 @@ void finalize_reports(PipelineResult& result, const trace::Trace& t) {
 
 }  // namespace
 
-QosPipeline::QosPipeline(const decluster::AllocationScheme& scheme, PipelineConfig cfg)
-    : scheme_(scheme), cfg_(std::move(cfg)) {
-  FLASHQOS_EXPECT(cfg_.qos_interval > 0, "QoS interval must be positive");
-  FLASHQOS_EXPECT(cfg_.access_budget >= 1, "access budget must be at least 1");
-  FLASHQOS_EXPECT(cfg_.service_time > 0, "service time must be positive");
-  if (cfg_.admission == AdmissionMode::kStatistical) {
-    FLASHQOS_EXPECT(!cfg_.p_table.empty(),
-                    "statistical admission needs a sampled P_k table");
+std::vector<std::string> PipelineConfig::validate(std::uint32_t devices) const {
+  std::vector<std::string> out;
+  if (qos_interval <= 0) out.push_back("qos_interval must be positive");
+  if (access_budget < 1) {
+    out.push_back("access_budget must be at least 1 (a zero budget admits nothing)");
   }
+  if (service_time <= 0) out.push_back("service_time must be positive");
+  if (write_latency <= 0) out.push_back("write_latency must be positive");
+  if (fim_min_support < 1) out.push_back("fim_min_support must be at least 1");
+  if (admission == AdmissionMode::kStatistical) {
+    if (p_table.empty()) {
+      out.push_back(
+          "statistical admission needs a sampled p_table "
+          "(core::sample_optimal_probabilities)");
+    }
+    for (const double p : p_table) {
+      if (p < 0.0 || p > 1.0) {
+        out.push_back("p_table values must be probabilities in [0, 1]");
+        break;
+      }
+    }
+    if (epsilon < 0.0 || epsilon > 1.0) out.push_back("epsilon must be in [0, 1]");
+  }
+  if (p_table_samples == 0) out.push_back("p_table_samples must be positive");
+  for (const auto& d : faults.validate(devices)) out.push_back("faults: " + d);
+  return out;
+}
+
+QosPipeline::QosPipeline(const decluster::AllocationScheme& scheme, PipelineConfig cfg)
+    : scheme_(scheme), cfg_(std::move(cfg)), retriever_(scheme_, cfg_.service_time) {
+  const auto diags = cfg_.validate(scheme_.devices());
+  for (const auto& d : diags) {
+    std::fprintf(stderr, "flashqos: invalid pipeline config: %s\n", d.c_str());
+  }
+  FLASHQOS_EXPECT(diags.empty(),
+                  "invalid pipeline configuration (diagnostics on stderr)");
 }
 
 PipelineResult QosPipeline::run(const trace::Trace& t, FimSource* fim) {
@@ -415,11 +480,83 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     stat.emplace(cfg_.p_table, det.limit(), cfg_.epsilon);
   }
 
+  // Fault state. The compiled plan is a pure function of (plan, scheme,
+  // horizon), so the serial engine and every parallel shard materialize
+  // identical fault schedules — serial ≡ parallel bit-identity holds under
+  // any plan. An empty plan takes none of the branches below.
+  const SimTime horizon = t.events.back().time + T;
+  fault::FaultInjector injector(cfg_.faults, scheme_, horizon);
+  const bool faults_active = injector.active();
+  const SimTime retry_timeout = injector.compiled().retry_timeout;
+
+  // Adaptive degraded-mode budgets. While devices are down, deterministic
+  // admission runs against the surviving sub-design's guarantee
+  // S' = (c-f-1)M² + (c-f)M (f = worst-case dead replicas over buckets
+  // that still have a live copy) and statistical admission re-derives Q
+  // from a P_k table sampled on the degraded array. Recomputed whenever
+  // the down-set changes; tables are memoized per mask.
+  std::uint64_t det_limit_now = det.limit();
+  std::vector<bool> down_mask;     // empty = all devices up
+  std::vector<bool> mask_scratch;
+  std::map<std::vector<bool>, std::vector<double>> degraded_tables;
+
+  std::uint64_t retries_tally = 0;
+  std::uint64_t timeouts_tally = 0;
+  std::uint64_t degraded_interval_tally = 0;
+  std::int64_t last_degraded_qi = -1;
+
+  // Deterministic admission against the *live* budget (S while healthy,
+  // S' while degraded). DeterministicAdmission itself stays fixed at S;
+  // only this wrapper tracks the adaptive limit.
+  const auto accept_det = [&](std::uint64_t already,
+                              std::uint64_t count) -> std::uint64_t {
+    return already >= det_limit_now
+               ? 0
+               : std::min<std::uint64_t>(count, det_limit_now - already);
+  };
+
+  const auto update_budgets = [&]() {
+    if (down_mask.empty()) {
+      det_limit_now = det.limit();
+      if (stat.has_value()) stat->set_budget(det.limit(), cfg_.p_table);
+      return;
+    }
+    std::uint32_t f = 0;
+    for (BucketId b = 0; b < scheme_.buckets(); ++b) {
+      std::uint32_t dead = 0;
+      std::uint32_t alive = 0;
+      for (const auto d : scheme_.replicas(b)) {
+        if (down_mask[d]) {
+          ++alive;
+        } else {
+          ++dead;
+        }
+      }
+      if (alive > 0) f = std::max(f, dead);
+    }
+    const std::uint32_t c_eff = scheme_.copies() > f ? scheme_.copies() - f : 1;
+    det_limit_now = design::guarantee_buckets(c_eff, cfg_.access_budget);
+    if (stat.has_value()) {
+      auto [it, fresh] = degraded_tables.try_emplace(down_mask);
+      if (fresh) {
+        const auto max_k = static_cast<std::uint32_t>(cfg_.p_table.size() - 1);
+        it->second = sample_optimal_probabilities(
+            scheme_, max_k,
+            {.samples_per_size = cfg_.p_table_samples,
+             .seed = cfg_.p_table_seed,
+             .threads = 1},
+            down_mask);
+      }
+      stat->set_budget(det_limit_now, it->second);
+    }
+  };
+
   flashsim::FlashArray array(
       scheme_.devices(),
       std::make_shared<flashsim::FixedLatencyModel>(L, cfg_.write_latency));
-  std::uint64_t next_write_op = result.outcomes.size();  // array ids for
-                                                         // per-replica writes
+  std::uint64_t next_background_op = result.outcomes.size();  // array ids for
+      // per-replica write ops and background rebuild reads — anything whose
+      // completion is not a trace outcome
   std::vector<SimTime> free_at(scheme_.devices(), 0);
 
   // Seed the dispatch queue. Online mode dispatches at arrival; aligned
@@ -449,16 +586,64 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
   std::uint64_t deferrals_tally = 0;
   std::uint64_t write_ops_tally = 0;
 
+  // Effective read service on `dev` for a read starting at `at`: the base
+  // quantum stretched by any covering latency-spike window. Passed to the
+  // simulator as a per-request override so the dispatch model and the
+  // event simulator agree exactly.
+  const auto read_service = [&](DeviceId dev, SimTime at) -> SimTime {
+    if (!faults_active) return L;
+    const double factor = injector.service_multiplier(dev, at);
+    if (factor == 1.0) return L;
+    return std::max<SimTime>(
+        1, static_cast<SimTime>(std::llround(static_cast<double>(L) * factor)));
+  };
+
   const auto dispatch_request = [&](std::size_t idx, DeviceId dev, SimTime start) {
-    array.submit(flashsim::IoRequest{
-        .id = idx, .device = dev, .submit_time = start, .pages = 1});
+    const SimTime svc = read_service(dev, start);
+    array.submit(flashsim::IoRequest{.id = idx,
+                                     .device = dev,
+                                     .submit_time = start,
+                                     .pages = 1,
+                                     .service_override =
+                                         faults_active ? svc : SimTime{0}});
     auto& o = result.outcomes[idx];
     o.device = dev;
     o.start = start;
-    o.finish = start + L;
+    o.finish = start + svc;
     free_at[dev] = std::max(free_at[dev], o.finish);
     if constexpr (obs::kEnabled) ++dispatches_tally;
   };
+
+  // Hot-spare rebuild reads are paced background work: submitted to the
+  // simulator like foreground dispatches (they occupy real device time, so
+  // the dispatch model folds them into free_at), but their completions are
+  // not trace outcomes.
+  const auto submit_rebuild_due = [&](SimTime now) {
+    const auto due = injector.take_rebuild_due(now);
+    for (const auto& rr : due) {
+      const SimTime start = std::max(free_at[rr.source], rr.time);
+      const SimTime svc = read_service(rr.source, start);
+      array.submit(flashsim::IoRequest{.id = next_background_op++,
+                                       .device = rr.source,
+                                       .submit_time = start,
+                                       .pages = 1,
+                                       .service_override = svc});
+      free_at[rr.source] = start + svc;
+    }
+    if constexpr (obs::kEnabled) {
+      if (!due.empty()) {
+        auto& fm = FaultMetrics::get();
+        fm.rebuild_reads.inc(due.size());
+        fm.rebuild_pending.add(-static_cast<std::int64_t>(due.size()));
+      }
+    }
+  };
+  if constexpr (obs::kEnabled) {
+    if (injector.rebuild_reads_total() > 0) {
+      FaultMetrics::get().rebuild_pending.add(
+          static_cast<std::int64_t>(injector.rebuild_reads_total()));
+    }
+  }
 
   // Per-instant buffers, hoisted out of the dispatch loop so steady-state
   // scheduling reuses their capacity instead of reallocating every group.
@@ -473,6 +658,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
   std::vector<std::size_t> matched_members;  // indices into group/buckets
   std::vector<std::size_t> surplus_members;
   std::vector<SimTime> cursor;
+  std::vector<SimTime> svc_now;  // per-device effective quanta under spikes
 
   while (!queue.empty()) {
     // Pop the group of requests dispatching at the same instant.
@@ -482,6 +668,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       group.push_back(queue.top());
       queue.pop();
     }
+    if (faults_active) submit_rebuild_due(now);
     array.run_until(now);
 
     // Reporting-interval rollover: rebuild the FIM mapping from the slice
@@ -550,53 +737,71 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     };
 
     // Device availability at this instant. Requests whose replicas are all
-    // down either wait for the earliest recovery (re-queued) or, when no
-    // replica ever comes back, are marked failed. (`available` stays empty
-    // — meaning all-up — unless failures are configured.)
-    if (!cfg_.failures.empty()) {
-      available.assign(scheme_.devices(), true);
-      for (const auto& f : cfg_.failures) {
-        if (f.device < available.size() && f.fail_at <= now && now < f.recover_at) {
-          available[f.device] = false;
-        }
+    // down either wait for the earliest recovery (re-queued with retry
+    // accounting) or are marked failed — when no replica ever comes back,
+    // or when the wait would blow the plan's retry timeout. (`available`
+    // stays empty — meaning all-up — while zero devices are down, so a
+    // fully recovered array is indistinguishable from a healthy one.)
+    if (faults_active) {
+      const std::uint32_t down =
+          injector.fill_availability(now, scheme_.devices(), mask_scratch);
+      if (down == 0) {
+        available.clear();
+      } else {
+        available = mask_scratch;
       }
-      live.clear();
-      live_buckets.clear();
-      for (std::size_t i = 0; i < group.size(); ++i) {
-        const auto reps = scheme_.replicas(buckets[i]);
-        if (std::any_of(reps.begin(), reps.end(),
-                        [&](DeviceId d) { return available[d]; })) {
-          live.push_back(group[i]);
-          live_buckets.push_back(buckets[i]);
-          continue;
+      if (available != down_mask) {
+        down_mask = available;
+        update_budgets();
+      }
+      if (down > 0) {
+        if (qi != last_degraded_qi) {
+          ++degraded_interval_tally;
+          last_degraded_qi = qi;
         }
-        // Earliest instant any replica is up again: per device the end of
-        // its last covering outage, then the minimum across replicas.
-        SimTime recovery = DeviceFailure::kNeverRecovers;
-        for (const auto d : reps) {
-          SimTime device_up = 0;
-          for (const auto& f : cfg_.failures) {
-            if (f.device == d && f.fail_at <= now && now < f.recover_at) {
-              device_up = std::max(device_up, f.recover_at);
-            }
+        live.clear();
+        live_buckets.clear();
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          const auto reps = scheme_.replicas(buckets[i]);
+          if (std::any_of(reps.begin(), reps.end(),
+                          [&](DeviceId d) { return available[d]; })) {
+            live.push_back(group[i]);
+            live_buckets.push_back(buckets[i]);
+            continue;
           }
-          recovery = std::min(recovery, device_up);
-        }
-        if (recovery == DeviceFailure::kNeverRecovers) {
+          // Stranded: earliest instant any replica is up again (chasing
+          // chained windows), pushed out to the next interval boundary.
+          SimTime recovery = DeviceFailure::kNeverRecovers;
+          for (const auto d : reps) {
+            recovery = std::min(recovery, injector.device_up_at(d, now));
+          }
           auto& o = result.outcomes[group[i].idx];
-          o.failed = true;
-          o.start = now;
-          o.finish = now;
-          o.path = RetrievalPath::kFailed;
-          continue;
+          SimTime next_dispatch = 0;
+          if (recovery != DeviceFailure::kNeverRecovers) {
+            next_dispatch =
+                std::max((qi + 1) * T, next_interval_start(recovery, T));
+          }
+          const bool timed_out =
+              recovery != DeviceFailure::kNeverRecovers &&
+              retry_timeout != fault::RetryPolicy::kNoTimeout &&
+              next_dispatch - o.arrival > retry_timeout;
+          if (recovery == DeviceFailure::kNeverRecovers || timed_out) {
+            o.failed = true;
+            o.start = now;
+            o.finish = now;
+            o.path = RetrievalPath::kFailed;
+            if (timed_out) ++timeouts_tally;
+            continue;
+          }
+          Pending p = group[i];
+          p.dispatch = next_dispatch;
+          queue.push(p);
+          ++retries_tally;
         }
-        Pending p = group[i];
-        p.dispatch = std::max((qi + 1) * T, next_interval_start(recovery, T));
-        queue.push(p);
+        std::swap(group, live);
+        std::swap(buckets, live_buckets);
+        if (group.empty()) continue;
       }
-      std::swap(group, live);
-      std::swap(buckets, live_buckets);
-      if (group.empty()) continue;
     }
 
     // Writes (extension): replicate the program to every live copy. They
@@ -624,7 +829,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
           if (!available.empty() && !available[dev]) continue;
           const SimTime start = std::max(free_at[dev], now);
           const SimTime finish = start + cfg_.write_latency;
-          array.submit(flashsim::IoRequest{.id = next_write_op++,
+          array.submit(flashsim::IoRequest{.id = next_background_op++,
                                            .device = dev,
                                            .submit_time = now,
                                            .pages = 1,
@@ -659,7 +864,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
             ok = 1;
             break;
           case AdmissionMode::kDeterministic:
-            ok = det.accept(admitted, 1);
+            ok = accept_det(admitted, 1);
             break;
           case AdmissionMode::kStatistical:
             ok = stat->accept(admitted, 1);
@@ -693,7 +898,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         case AdmissionMode::kNone:
           break;
         case AdmissionMode::kDeterministic:
-          n_accept = det.accept(admitted, group.size());
+          n_accept = accept_det(admitted, group.size());
           break;
         case AdmissionMode::kStatistical:
           n_accept = stat->accept(admitted, group.size());
@@ -704,8 +909,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       if (n_accept == 0) continue;
       buckets.resize(n_accept);
 
-      const retrieval::Schedule* degraded =
-          retrieval::retrieve(buckets, scheme_, available, {}, scratch_);
+      const retrieval::Schedule* degraded = retriever_.schedule(buckets, available);
       FLASHQOS_ASSERT(degraded != nullptr, "filter left a dead request");
       const auto& schedule = *degraded;
       const RetrievalPath batch_path =
@@ -736,13 +940,22 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     // guarantee exactly (the paper's flat 0.132507 ms line). Statistical
     // surplus beyond S: admitted while Q < ε and served from the earliest-
     // finishing replica, queueing allowed (the Fig. 10 response-time cost).
-    SlotMatcher matcher(scheme_, free_at, now, L, cfg_.access_budget, available);
+    const std::vector<SimTime>* svc_ptr = nullptr;
+    if (faults_active && injector.any_spike_at(now)) {
+      svc_now.resize(scheme_.devices());
+      for (DeviceId d = 0; d < scheme_.devices(); ++d) {
+        svc_now[d] = read_service(d, now);
+      }
+      svc_ptr = &svc_now;
+    }
+    SlotMatcher matcher(scheme_, free_at, now, L, cfg_.access_budget, available,
+                        svc_ptr);
     matched_members.clear();
     surplus_members.clear();
     bool matching_open = true;
     for (std::size_t i = 0; i < group.size(); ++i) {
       const bool in_budget =
-          cfg_.admission == AdmissionMode::kNone || admitted < det.limit();
+          cfg_.admission == AdmissionMode::kNone || admitted < det_limit_now;
       if (in_budget && matching_open && matcher.add(buckets[i])) {
         matched_members.push_back(i);
         ++admitted;
@@ -754,8 +967,8 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         surplus_members.push_back(i);
         continue;
       }
-      if (cfg_.admission == AdmissionMode::kStatistical && admitted >= det.limit() &&
-          stat->accept(admitted, 1) > 0) {
+      if (cfg_.admission == AdmissionMode::kStatistical &&
+          admitted >= det_limit_now && stat->accept(admitted, 1) > 0) {
         matching_open = false;  // placements below invalidate the slot view
         surplus_members.push_back(i);
         ++admitted;
@@ -776,7 +989,9 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       if (c < 0) c = std::max(free_at[dev], now);
       result.outcomes[group[i].idx].path = RetrievalPath::kSlotMatched;
       dispatch_request(group[i].idx, dev, c);
-      c += L;
+      // Advance by the *actual* finish — under a latency spike the slot is
+      // wider than L, and the next slot on this device starts after it.
+      c = result.outcomes[group[i].idx].finish;
     }
     // Statistical surplus / no-admission overflow: earliest finish replica.
     for (const auto i : surplus_members) {
@@ -815,6 +1030,20 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     m.dispatches.inc(dispatches_tally);
     m.deferral_events.inc(deferrals_tally);
     m.write_replica_ops.inc(write_ops_tally);
+    if (faults_active) {
+      auto& fm = FaultMetrics::get();
+      fm.injected_outages.inc(injector.compiled().outages.size());
+      fm.injected_spikes.inc(injector.compiled().spikes.size());
+      if (degraded_interval_tally > 0) fm.degraded_intervals.inc(degraded_interval_tally);
+      if (retries_tally > 0) fm.retries.inc(retries_tally);
+      if (timeouts_tally > 0) fm.timeouts.inc(timeouts_tally);
+      // Rebuild reads due after the last dispatch instant never run (the
+      // trace ended); return their pending-gauge contribution so the gauge
+      // reads 0 between replays.
+      const auto leftover = static_cast<std::int64_t>(
+          injector.rebuild_reads_total() - injector.rebuild_reads_issued());
+      if (leftover > 0) fm.rebuild_pending.add(-leftover);
+    }
     record_outcome_observability(result);
   }
   return result;

@@ -25,14 +25,16 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/admission.hpp"
 #include "core/block_mapper.hpp"
 #include "decluster/allocation.hpp"
+#include "fault/fault_plan.hpp"
 #include "fim/transaction.hpp"
 #include "flashsim/flash_array.hpp"
-#include "retrieval/workspace.hpp"
+#include "retrieval/retriever.hpp"
 #include "trace/event.hpp"
 
 namespace flashqos::core {
@@ -50,17 +52,12 @@ enum class MappingMode { kModulo, kFim };
 ///    concentrates each group's load on one device and collapses.
 enum class SchedulerMode { kReplicaScheduled, kPrimaryOnly };
 
-/// A device outage window. Requests are never routed to a down device;
-/// replication serves them from surviving copies (degraded mode). A request
-/// whose replicas are all down waits for the earliest recovery, or is
-/// marked failed if none of them ever comes back.
-struct DeviceFailure {
-  DeviceId device = 0;
-  SimTime fail_at = 0;
-  SimTime recover_at = kNeverRecovers;
-
-  static constexpr SimTime kNeverRecovers = INT64_MAX;
-};
+/// A device outage window (now defined by the fault subsystem; the core
+/// spelling remains for existing code). Requests are never routed to a
+/// down device; replication serves them from surviving copies (degraded
+/// mode). A request whose replicas are all down waits for the earliest
+/// recovery, or is marked failed if none of them ever comes back.
+using DeviceFailure = fault::DeviceFailure;
 
 struct PipelineConfig {
   SimTime qos_interval = kBaseInterval;  // T
@@ -73,11 +70,27 @@ struct PipelineConfig {
   std::vector<double> p_table;           // P_k for statistical admission
   MappingMode mapping = MappingMode::kFim;
   std::uint64_t fim_min_support = 1;
-  std::vector<DeviceFailure> failures;   // injected outages
+  /// Everything that can go wrong during the replay: scripted outage and
+  /// latency-spike windows, seeded generators, hot-spare rebuild, retry
+  /// timeouts. Empty plan (the default) = healthy array, bit-identical to
+  /// a run without the fault subsystem. Scripted outages live in
+  /// `faults.outages` (the former `failures` vector).
+  fault::FaultPlan faults;
+  /// Monte-Carlo effort and stream for the *degraded* P_k tables the
+  /// adaptive statistical admission re-samples when devices go down (the
+  /// healthy table arrives pre-sampled in `p_table`).
+  std::size_t p_table_samples = 400;
+  std::uint64_t p_table_seed = 7;
   /// Page program time for write requests (extension; the paper's
   /// evaluation is read-only). Writes go to every live replica and bypass
   /// read admission, but they occupy devices — reads defer around them.
   SimTime write_latency = flashsim::kPageWriteLatency;
+
+  /// Readable diagnostics; empty means the config is coherent. `devices`
+  /// bounds fault-plan device ids when nonzero. QosPipeline's constructor
+  /// and build_experiment() both call this, so an invalid combination
+  /// fails at the boundary with context instead of deep inside the run.
+  [[nodiscard]] std::vector<std::string> validate(std::uint32_t devices = 0) const;
 };
 
 /// Which serving path a request took. Recorded for observability but part
@@ -195,10 +208,10 @@ class QosPipeline {
  private:
   const decluster::AllocationScheme& scheme_;
   PipelineConfig cfg_;
-  /// Retrieval solver scratch, reused across every batch the pipeline
-  /// schedules. One per pipeline is one per thread: the parallel replay
-  /// engine constructs a fresh QosPipeline inside each job.
-  retrieval::RetrievalScratch scratch_;
+  /// Retrieval facade owning the solver scratch, reused across every batch
+  /// the pipeline schedules. One per pipeline is one per thread: the
+  /// parallel replay engine constructs a fresh QosPipeline inside each job.
+  retrieval::Retriever retriever_;
 };
 
 /// Baseline: replay a trace on its original volumes (the paper's "original

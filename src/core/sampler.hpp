@@ -44,4 +44,15 @@ struct SamplerParams {
     const decluster::AllocationScheme& scheme, std::uint32_t max_k,
     const SamplerParams& params = {});
 
+/// Degraded-mode P_k: only devices with available[d] == true may serve,
+/// batches are drawn from the buckets that still have a live replica, and
+/// "optimal" means ⌈k / live-devices⌉ accesses — the surviving sub-array's
+/// optimum. An empty mask is exactly the healthy overload (same memo key),
+/// so callers can pass their current availability unconditionally. The
+/// adaptive statistical admission re-derives its Q from these tables when
+/// devices go down.
+[[nodiscard]] std::vector<double> sample_optimal_probabilities(
+    const decluster::AllocationScheme& scheme, std::uint32_t max_k,
+    const SamplerParams& params, const std::vector<bool>& available);
+
 }  // namespace flashqos::core

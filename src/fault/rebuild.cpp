@@ -1,10 +1,10 @@
-#include "core/rebuild.hpp"
+#include "fault/rebuild.hpp"
 
 #include <algorithm>
 
 #include "util/expect.hpp"
 
-namespace flashqos::core {
+namespace flashqos::fault {
 
 SimTime RebuildPlan::estimated_duration(double pages_per_second) const {
   FLASHQOS_EXPECT(pages_per_second > 0.0, "rebuild rate must be positive");
@@ -53,7 +53,7 @@ trace::Trace rebuild_trace(const RebuildPlan& plan, SimTime start,
   return t;
 }
 
-}  // namespace flashqos::core
+}  // namespace flashqos::fault
 
 namespace flashqos::trace {
 

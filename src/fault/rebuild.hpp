@@ -1,0 +1,55 @@
+// Replica rebuild after a device failure.
+//
+// When a device dies permanently, every bucket that kept a copy on it is
+// down to c-1 replicas; a second correlated failure could start losing
+// data (see the degraded-mode benches). The rebuild planner enumerates the
+// affected buckets, picks a *surviving* source replica for each with the
+// read load balanced across source devices, and emits the rebuild reads as
+// a paced trace that can be merged with the foreground workload — so the
+// QoS impact of rebuilding is a measurable, first-class experiment rather
+// than an afterthought. FaultPlan's RebuildPolicy drives the same planner
+// from inside the pipeline (see fault_plan.hpp).
+#pragma once
+
+#include <vector>
+
+#include "decluster/allocation.hpp"
+#include "trace/event.hpp"
+
+namespace flashqos::fault {
+
+struct RebuildItem {
+  BucketId bucket = 0;
+  DeviceId source = kInvalidDevice;  // surviving replica to read from
+};
+
+struct RebuildPlan {
+  DeviceId failed = kInvalidDevice;
+  std::vector<RebuildItem> items;  // one per affected bucket
+
+  /// Wall-clock lower bound at `pages_per_second` of rebuild bandwidth.
+  [[nodiscard]] SimTime estimated_duration(double pages_per_second) const;
+};
+
+/// Plan the rebuild of `failed`: every bucket with a replica there gets a
+/// surviving source, chosen to even out the per-device read load
+/// (min-load greedy; exact balance is a trivial matching here because the
+/// λ <= 1 property spreads the affected buckets).
+[[nodiscard]] RebuildPlan plan_rebuild(const decluster::AllocationScheme& scheme,
+                                       DeviceId failed);
+
+/// Emit the plan as a read trace: one read per affected bucket, paced at
+/// `pages_per_second`, starting at `start`. Block ids are bucket ids (use
+/// MappingMode::kModulo when feeding a pipeline).
+[[nodiscard]] trace::Trace rebuild_trace(const RebuildPlan& plan, SimTime start,
+                                         double pages_per_second);
+
+}  // namespace flashqos::fault
+
+namespace flashqos::trace {
+
+/// Merge two traces into one time-sorted stream (stable: `a` wins ties).
+/// Metadata (name/volumes/report_interval) comes from `a`.
+[[nodiscard]] Trace merge(const Trace& a, const Trace& b);
+
+}  // namespace flashqos::trace

@@ -5,6 +5,13 @@
 #include <string>
 
 namespace flashqos::flashsim {
+namespace {
+
+SimTime service_of(const ModuleModel& model, const IoRequest& req) {
+  return req.service_override > 0 ? req.service_override : model.service_time(req);
+}
+
+}  // namespace
 
 FlashArray::FlashArray(std::uint32_t devices, std::shared_ptr<const ModuleModel> model)
     : model_(std::move(model)), modules_(devices) {
@@ -130,7 +137,7 @@ void FlashArray::try_start(DeviceId d, SimTime at) {
     const IoRequest req = m.queue.front();
     m.queue.pop_front();
     const SimTime start = std::max(at, *it);
-    const SimTime finish = start + model_->service_time(req);
+    const SimTime finish = start + service_of(*model_, req);
     *it = finish;
     ++m.busy_ways;
     events_.push(Event{.time = finish,
@@ -154,7 +161,7 @@ SimTime FlashArray::device_free_at(DeviceId d) const {
   // queued work. For the common ways == 1 case this is exact.
   SimTime free = *std::min_element(m.package_free.begin(), m.package_free.end());
   free = std::max(free, now_);
-  for (const auto& q : m.queue) free += model_->service_time(q);
+  for (const auto& q : m.queue) free += service_of(*model_, q);
   return free;
 }
 

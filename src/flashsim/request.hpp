@@ -13,6 +13,11 @@ struct IoRequest {
   SimTime submit_time = 0;    // when the I/O driver issues the request
   std::uint32_t pages = 1;    // 8 KB pages to read or program
   bool is_write = false;      // flash page program instead of read
+
+  /// Per-request service-time override in ns; 0 asks the module model.
+  /// Fault injection uses this to stretch service during latency-spike
+  /// windows without teaching every timing model about faults.
+  SimTime service_override = 0;
 };
 
 struct IoCompletion {

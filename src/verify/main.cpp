@@ -17,6 +17,7 @@
 
 #include "decluster/schemes.hpp"
 #include "design/catalog.hpp"
+#include "verify/fault_oracle.hpp"
 #include "verify/guarantee.hpp"
 #include "verify/invariants.hpp"
 #include "verify/obs_check.hpp"
@@ -43,6 +44,11 @@ void usage(const char* argv0) {
       "                    pipeline configs on the (9,3,1) scheme and check the\n"
       "                    recorded metrics and trace spans against the\n"
       "                    returned outcomes (skipped when FLASHQOS_OBS=OFF)\n"
+      "  --faults          chaos-audit the fault subsystem: randomized fault\n"
+      "                    plans (outages, spikes, rebuild, retry timeouts)\n"
+      "                    replayed on every selected design, checking request\n"
+      "                    conservation, down-device routing, guarantee\n"
+      "                    re-establishment, and serial == parallel identity\n"
       "  --list            list catalog designs and exit\n"
       "  --verbose         print passing checks, not only failures\n"
       "  --help            this text\n",
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool replay = false;
   bool obs = false;
+  bool faults = false;
   flashqos::verify::ReplayEquivalenceParams replay_params;
   flashqos::verify::CatalogCheckParams params;
 
@@ -103,6 +110,8 @@ int main(int argc, char** argv) {
       replay = true;
     } else if (std::strcmp(argv[i], "--obs") == 0) {
       obs = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = true;
     } else if (std::strcmp(argv[i], "--replay-threads") == 0) {
       replay_params.threads = static_cast<std::size_t>(
           parse_u64("--replay-threads", need_value("--replay-threads")));
@@ -172,6 +181,23 @@ int main(int argc, char** argv) {
       const auto d = e.make();
       const flashqos::decluster::DesignTheoretic scheme(d, true);
       const auto report = flashqos::verify::verify_observability(scheme);
+      std::printf("%s\n", report.to_string(verbose).c_str());
+      std::fflush(stdout);
+      all_ok = all_ok && report.passed();
+      ++checked;
+    }
+  }
+  if (faults) {
+    // Chaos audit: randomized fault plans over every selected design.
+    for (const auto& e : flashqos::design::catalog()) {
+      if (only.empty()) {
+        if (e.devices > max_devices) continue;
+      } else if (std::find(only.begin(), only.end(), e.name) == only.end()) {
+        continue;
+      }
+      const auto d = e.make();
+      const flashqos::decluster::DesignTheoretic scheme(d, true);
+      const auto report = flashqos::verify::verify_fault_tolerance(scheme);
       std::printf("%s\n", report.to_string(verbose).c_str());
       std::fflush(stdout);
       all_ok = all_ok && report.passed();

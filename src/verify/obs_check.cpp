@@ -157,9 +157,9 @@ Report verify_observability(const decluster::AllocationScheme& scheme,
 
     core::PipelineConfig aligned_failures;  // degraded retrieval
     aligned_failures.retrieval = core::RetrievalMode::kIntervalAligned;
-    aligned_failures.failures.push_back(
+    aligned_failures.faults.outages.push_back(
         {.device = 0, .fail_at = from_ms(1.0), .recover_at = from_ms(6.0)});
-    aligned_failures.failures.push_back(
+    aligned_failures.faults.outages.push_back(
         {.device = scheme.devices() - 1,
          .fail_at = from_ms(2.0),
          .recover_at = core::DeviceFailure::kNeverRecovers});

@@ -173,10 +173,10 @@ Report verify_replay_equivalence(const decluster::AllocationScheme& scheme,
     cfg.retrieval = retrieval;
     cfg.admission = core::AdmissionMode::kDeterministic;
     cfg.mapping = core::MappingMode::kFim;
-    cfg.failures.push_back({.device = 0,
-                            .fail_at = from_ms(1.0),
-                            .recover_at = from_ms(6.0)});
-    cfg.failures.push_back({.device = scheme.devices() - 1,
+    cfg.faults.outages.push_back({.device = 0,
+                                  .fail_at = from_ms(1.0),
+                                  .recover_at = from_ms(6.0)});
+    cfg.faults.outages.push_back({.device = scheme.devices() - 1,
                             .fail_at = from_ms(2.0),
                             .recover_at = core::DeviceFailure::kNeverRecovers});
     check_one(std::string(rname) + "/det/fim/replica +failures @exchange", cfg,

@@ -151,11 +151,11 @@ TEST(Experiment, ParsesFailures) {
       "[workload]\nkind = synthetic\ntotal_requests = 10\n"
       "[failures]\nfail = 3 10.0 50.0\nfail = 4 0.0\n");
   const auto e = core::build_experiment(cfg);
-  ASSERT_EQ(e.pipeline.failures.size(), 2u);
-  EXPECT_EQ(e.pipeline.failures[0].device, 3u);
-  EXPECT_EQ(e.pipeline.failures[0].fail_at, 10 * kMillisecond);
-  EXPECT_EQ(e.pipeline.failures[0].recover_at, 50 * kMillisecond);
-  EXPECT_EQ(e.pipeline.failures[1].recover_at,
+  ASSERT_EQ(e.pipeline.faults.outages.size(), 2u);
+  EXPECT_EQ(e.pipeline.faults.outages[0].device, 3u);
+  EXPECT_EQ(e.pipeline.faults.outages[0].fail_at, 10 * kMillisecond);
+  EXPECT_EQ(e.pipeline.faults.outages[0].recover_at, 50 * kMillisecond);
+  EXPECT_EQ(e.pipeline.faults.outages[1].recover_at,
             core::DeviceFailure::kNeverRecovers);
 }
 

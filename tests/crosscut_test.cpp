@@ -62,7 +62,7 @@ TEST(StatisticalWithFailures, SurplusNeverRoutesToDownDevices) {
   cfg.mapping = MappingMode::kModulo;
   cfg.epsilon = 0.5;  // generous: force the surplus path to exercise
   cfg.p_table = p_table;
-  cfg.failures = {{.device = 2, .fail_at = 0}};
+  cfg.faults.outages = {{.device = 2, .fail_at = 0}};
   const auto t = trace::generate_synthetic({.bucket_pool = 36,
                                             .requests_per_interval = 8,
                                             .total_requests = 8000,

@@ -147,7 +147,7 @@ TEST(PipelineFailure, TransientOutageNeverRoutesToDownDevice) {
   cfg.mapping = MappingMode::kModulo;
   const SimTime fail_at = 50 * kBaseInterval;
   const SimTime recover_at = 150 * kBaseInterval;
-  cfg.failures = {{.device = 3, .fail_at = fail_at, .recover_at = recover_at}};
+  cfg.faults.outages = {{.device = 3, .fail_at = fail_at, .recover_at = recover_at}};
   QosPipeline pipe(scheme931(), cfg);
   const auto r = pipe.run(boundary_trace(300, 4, 9));
 
@@ -176,7 +176,7 @@ TEST(PipelineFailure, PermanentTripleFailureLosesOnlyDeadBuckets) {
   // Devices 0,1,2 die immediately and never recover: buckets 0,1,2 (the
   // rotations of block (0,1,2)) become unreachable; every other bucket
   // keeps at least one live replica.
-  cfg.failures = {{.device = 0, .fail_at = 0},
+  cfg.faults.outages = {{.device = 0, .fail_at = 0},
                   {.device = 1, .fail_at = 0},
                   {.device = 2, .fail_at = 0}};
   QosPipeline pipe(scheme931(), cfg);
@@ -200,7 +200,7 @@ TEST(PipelineFailure, RecoveryWaitersDispatchAfterRecovery) {
   cfg.admission = AdmissionMode::kDeterministic;
   cfg.mapping = MappingMode::kModulo;
   const SimTime recover_at = 10 * kBaseInterval;
-  cfg.failures = {{.device = 0, .fail_at = 0, .recover_at = recover_at},
+  cfg.faults.outages = {{.device = 0, .fail_at = 0, .recover_at = recover_at},
                   {.device = 1, .fail_at = 0, .recover_at = recover_at},
                   {.device = 2, .fail_at = 0, .recover_at = recover_at}};
   QosPipeline pipe(scheme931(), cfg);
@@ -222,7 +222,7 @@ TEST(PipelineFailure, AlignedModeAlsoDegrades) {
   cfg.retrieval = RetrievalMode::kIntervalAligned;
   cfg.admission = AdmissionMode::kDeterministic;
   cfg.mapping = MappingMode::kModulo;
-  cfg.failures = {{.device = 5, .fail_at = 0}};
+  cfg.faults.outages = {{.device = 5, .fail_at = 0}};
   QosPipeline pipe(scheme931(), cfg);
   const auto r = pipe.run(boundary_trace(200, 3, 13));
   for (const auto& o : r.outcomes) {
@@ -239,7 +239,7 @@ TEST(PipelineFailure, OutageIncreasesDeferralNotViolations) {
   cfg.admission = AdmissionMode::kDeterministic;
   cfg.mapping = MappingMode::kModulo;
   QosPipeline healthy(scheme931(), cfg);
-  cfg.failures = {{.device = 0, .fail_at = 0},
+  cfg.faults.outages = {{.device = 0, .fail_at = 0},
                   {.device = 4, .fail_at = 0},
                   {.device = 8, .fail_at = 0}};
   QosPipeline degraded(scheme931(), cfg);
@@ -259,7 +259,7 @@ TEST(PipelineFailure, PrimaryOnlyBaselineFailsOverToLiveReplica) {
   cfg.admission = AdmissionMode::kNone;
   cfg.mapping = MappingMode::kModulo;
   cfg.scheduler = core::SchedulerMode::kPrimaryOnly;
-  cfg.failures = {{.device = 0, .fail_at = 0}};
+  cfg.faults.outages = {{.device = 0, .fail_at = 0}};
   QosPipeline pipe(scheme931(), cfg);
   trace::Trace t;
   t.report_interval = kSecond;

@@ -110,14 +110,50 @@ TEST(ParallelReplayEquivalence, DeviceFailureWindows) {
     auto cfg = aligned_fim();
     cfg.retrieval = retrieval;
     cfg.mapping = core::MappingMode::kModulo;  // bucket-domain trace
-    cfg.failures.push_back(
+    cfg.faults.outages.push_back(
         {.device = 2, .fail_at = 0, .recover_at = from_ms(50.0)});
-    cfg.failures.push_back({.device = 5,
+    cfg.faults.outages.push_back({.device = 5,
                             .fail_at = from_ms(10.0),
                             .recover_at = core::DeviceFailure::kNeverRecovers});
     const auto serial = core::QosPipeline(scheme931(), cfg).run(t);
     core::ParallelReplayEngine engine({.threads = 3});
     expect_identical(serial, engine.run(scheme931(), cfg, t), "failures");
+  }
+}
+
+// Randomized full fault plans — scripted outages plus seeded transient /
+// spike generators, rebuild, and retry timeouts — must also replay
+// bit-identically: the compiled schedule is a pure function of the config,
+// so every shard sees the same faults.
+TEST(ParallelReplayEquivalence, RandomizedFaultPlans) {
+  const auto t = synthetic_small();
+  Rng g(331);
+  core::ParallelReplayEngine engine({.threads = 3});
+  for (int round = 0; round < 4; ++round) {
+    auto cfg = aligned_fim();
+    cfg.retrieval = round % 2 == 0 ? core::RetrievalMode::kOnline
+                                   : core::RetrievalMode::kIntervalAligned;
+    cfg.mapping = core::MappingMode::kModulo;  // bucket-domain trace
+    cfg.faults.seed = g.below(1000);
+    cfg.faults.transient = {.count = static_cast<std::uint32_t>(1 + g.below(3)),
+                            .mean_duration = from_ms(2.0)};
+    cfg.faults.latency_spike = {
+        .count = static_cast<std::uint32_t>(g.below(3)),
+        .mean_duration = from_ms(1.0),
+        .factor = 2.0 + static_cast<double>(g.below(3))};
+    if (round % 2 == 0) {
+      cfg.faults.outages.push_back(
+          {.device = static_cast<DeviceId>(g.below(9)),
+           .fail_at = from_ms(5.0),
+           .recover_at = core::DeviceFailure::kNeverRecovers});
+      cfg.faults.rebuild.pages_per_second = 30000.0;
+    }
+    if (round == 3) cfg.faults.retry.timeout = from_ms(3.0);
+    const auto serial = core::QosPipeline(scheme931(), cfg).run(t);
+    std::ostringstream what;
+    what << "fault plan round " << round;
+    expect_identical(serial, engine.run(scheme931(), cfg, t),
+                     what.str().c_str());
   }
 }
 

@@ -101,7 +101,7 @@ TEST(RebuildEndToEnd, RebuildTrafficServesFromPlannedSurvivors) {
   cfg.retrieval = RetrievalMode::kOnline;
   cfg.admission = AdmissionMode::kDeterministic;
   cfg.mapping = MappingMode::kModulo;
-  cfg.failures = {{.device = dead, .fail_at = 0}};
+  cfg.faults.outages = {{.device = dead, .fail_at = 0}};
   const auto r = QosPipeline(scheme, cfg).run(merged);
   EXPECT_EQ(r.overall.failed, 0u);
   EXPECT_EQ(r.deadline_violations, 0u);
@@ -120,7 +120,7 @@ TEST(RebuildEndToEnd, RebuildRateTradesSpeedForDeferral) {
   cfg.retrieval = RetrievalMode::kOnline;
   cfg.admission = AdmissionMode::kDeterministic;
   cfg.mapping = MappingMode::kModulo;
-  cfg.failures = {{.device = dead, .fail_at = 0}};
+  cfg.faults.outages = {{.device = dead, .fail_at = 0}};
 
   double slow_deferral = 0.0, fast_deferral = 0.0;
   for (const double rate : {2000.0, 20000.0}) {

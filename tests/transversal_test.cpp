@@ -108,7 +108,7 @@ TEST(Transversal, WholeRackFailureLosesNothing) {
   cfg.admission = core::AdmissionMode::kDeterministic;
   cfg.mapping = core::MappingMode::kModulo;
   for (const auto dev : rack_devices(1, 5)) {
-    cfg.failures.push_back({.device = dev, .fail_at = 0});
+    cfg.faults.outages.push_back({.device = dev, .fail_at = 0});
   }
   const auto t = trace::generate_synthetic({.bucket_pool = scheme.buckets(),
                                             .requests_per_interval = 4,
@@ -136,7 +136,7 @@ TEST(Transversal, SteinerSchemeLosesDataOnCorrelatedFailure) {
   // Kill rack 0 (devices 0,1,2) — the same devices whose loss destroys
   // bucket (0,1,2) under the paper's (9,3,1) design.
   for (const auto dev : rack_devices(0, 3)) {
-    cfg.failures.push_back({.device = dev, .fail_at = 0});
+    cfg.faults.outages.push_back({.device = dev, .fail_at = 0});
   }
   const auto t = trace::generate_synthetic({.bucket_pool = scheme.buckets(),
                                             .requests_per_interval = 3,
