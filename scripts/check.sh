@@ -4,9 +4,15 @@
 # Runs, in order:
 #   1. warnings-as-errors build of everything (libs, tests, benches, examples)
 #      and the plain ctest suite
-#   2. the test suite under AddressSanitizer + UndefinedBehaviorSanitizer
-#   3. the test suite under ThreadSanitizer
-#   4. the design-invariant verifier (flashqos_verify) over every catalog
+#   2. flashqos_lint over src/ against the committed baseline (in-tree
+#      contract linter: sanctioned logging, zero-alloc hot paths, seeded
+#      randomness, SimTime-only simulation code, include hygiene)
+#   3. schedule-exhaustive model checking (flashqos_verify --model): every
+#      interleaving of the bounded ThreadPool / HandoffQueue / MetricRegistry
+#      models, with vector-clock race, deadlock, and lost-wakeup detection
+#   4. the test suite under AddressSanitizer + UndefinedBehaviorSanitizer
+#   5. the test suite under ThreadSanitizer
+#   6. the design-invariant verifier (flashqos_verify) over every catalog
 #      design with N <= 64, plus the serial ≡ parallel replay-equivalence
 #      audit (every mode combination, failure windows, sweep sharding), the
 #      observability self-audit (--obs: recorded metrics and trace spans
@@ -14,8 +20,9 @@
 #      fault-injection chaos audit (--faults: randomized fault plans with
 #      request-conservation, routing, guarantee-reestablishment, and
 #      serial ≡ parallel checks)
-#   5. clang-tidy over src/ (skipped with a warning if clang-tidy is not
-#      installed — the .clang-tidy baseline is still enforced by review)
+#   7. clang-tidy over src/ (skipped with a warning if clang-tidy is not
+#      installed — stages 2–3 are the always-on static gate; clang-tidy is
+#      an extra when a clang toolchain is around)
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick: skip the TSan pass (the slowest stage) — NOT sufficient for
@@ -42,13 +49,20 @@ banner() {
   echo "==================================================================="
 }
 
-banner "1/5 warnings-as-errors build + ctest"
+banner "1/7 warnings-as-errors build + ctest"
 run cmake -B build-werror -S . -DFLASHQOS_WERROR=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 run cmake --build build-werror -j "$JOBS"
 run ctest --test-dir build-werror --output-on-failure -j "$JOBS"
 
-banner "2/5 ASan + UBSan"
+banner "2/7 flashqos_lint (contract linter)"
+run ./build-werror/src/lint/flashqos_lint --root src \
+  --baseline scripts/lint_baseline.txt
+
+banner "3/7 schedule-exhaustive model checking"
+run ./build-werror/src/verify/flashqos_verify --model
+
+banner "4/7 ASan + UBSan"
 run cmake -B build-asan -S . -DFLASHQOS_WERROR=ON -DFLASHQOS_SANITIZE=address \
   -DFLASHQOS_BUILD_BENCH=OFF -DFLASHQOS_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
@@ -58,7 +72,7 @@ UBSAN_OPTIONS="print_stacktrace=1" \
   run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 if [[ $QUICK -eq 0 ]]; then
-  banner "3/5 TSan"
+  banner "5/7 TSan"
   run cmake -B build-tsan -S . -DFLASHQOS_WERROR=ON -DFLASHQOS_SANITIZE=thread \
     -DFLASHQOS_BUILD_BENCH=OFF -DFLASHQOS_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
@@ -66,20 +80,21 @@ if [[ $QUICK -eq 0 ]]; then
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     run ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 else
-  banner "3/5 TSan — SKIPPED (--quick)"
+  banner "5/7 TSan — SKIPPED (--quick)"
 fi
 
-banner "4/5 design-invariant verifier (catalog, N <= 64) + replay equivalence + obs audit + chaos audit"
+banner "6/7 design-invariant verifier (catalog, N <= 64) + replay equivalence + obs audit + chaos audit"
 run ./build-werror/src/verify/flashqos_verify --max-devices 64 --replay --obs --faults
 
-banner "5/5 clang-tidy"
+banner "7/7 clang-tidy (optional extra)"
 if command -v clang-tidy > /dev/null 2>&1; then
   run cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   find src -name '*.cpp' -print0 \
     | xargs -0 -n 1 -P "$JOBS" clang-tidy -p build-tidy --quiet --warnings-as-errors='*'
 else
-  echo "WARNING: clang-tidy not found on PATH; lint stage skipped." >&2
+  echo "NOTE: clang-tidy not found on PATH; skipping the optional pass" >&2
+  echo "      (the in-tree flashqos_lint gate already ran in stage 2/7)." >&2
 fi
 
 banner "all checks passed"

@@ -1,0 +1,421 @@
+#include "check/sched.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace flashqos::check {
+
+namespace {
+// The exploration driving the calling host thread (null on ordinary
+// threads, including the controller's own).
+thread_local Sched* tl_sched = nullptr;
+thread_local ThreadId tl_tid = kNoThread;
+}  // namespace
+
+const char* to_string(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kThreadStart: return "thread-start";
+    case OpKind::kThreadJoin: return "thread-join";
+    case OpKind::kMutexLock: return "mutex-lock";
+    case OpKind::kMutexUnlock: return "mutex-unlock";
+    case OpKind::kCvRelease: return "cv-wait-release";
+    case OpKind::kCvWake: return "cv-wake";
+    case OpKind::kCvNotifyOne: return "cv-notify-one";
+    case OpKind::kCvNotifyAll: return "cv-notify-all";
+    case OpKind::kAtomicLoad: return "atomic-load";
+    case OpKind::kAtomicStore: return "atomic-store";
+    case OpKind::kAtomicRmw: return "atomic-rmw";
+    case OpKind::kYield: return "yield";
+  }
+  return "?";
+}
+
+Sched* Sched::current() noexcept { return tl_sched; }
+
+ThreadId Sched::current_tid() const noexcept { return tl_tid; }
+
+VectorClock& Sched::clock_of(ThreadId t) noexcept { return recs_[t].clock; }
+
+std::size_t Sched::object_id(const void* obj) {
+  if (obj == nullptr) return 0;
+  const auto [it, inserted] =
+      object_ids_.emplace(obj, object_ids_.size() + 1);
+  (void)inserted;
+  return it->second;
+}
+
+// --- decisions -------------------------------------------------------------
+
+std::size_t Sched::choose(std::size_t arity) {
+  if (aborting_ || arity <= 1) return 0;
+  if (depth_ < stack_.size()) {
+    Decision& d = stack_[depth_];
+    if (d.arity != static_cast<std::uint32_t>(arity)) {
+      fail("model is nondeterministic: decision arity changed on replay "
+           "(model state must depend only on scheduling)");
+      return 0;
+    }
+    ++depth_;
+    return d.chosen;
+  }
+  stack_.push_back({0, static_cast<std::uint32_t>(arity)});
+  ++depth_;
+  return 0;
+}
+
+bool Sched::backtrack() {
+  while (!stack_.empty() &&
+         stack_.back().chosen + 1 >= stack_.back().arity) {
+    stack_.pop_back();
+  }
+  if (stack_.empty()) return false;
+  ++stack_.back().chosen;
+  return true;
+}
+
+// --- failure ---------------------------------------------------------------
+
+void Sched::fail(std::string what) {
+  aborting_ = true;
+  if (failed_) return;
+  failed_ = true;
+  result_.ok = false;
+  result_.failure = std::move(what);
+  result_.failure += "\n";
+  result_.failure += format_trace();
+}
+
+std::string Sched::format_trace() const {
+  std::string out = "schedule trace (oldest first):";
+  constexpr std::size_t kMaxLines = 64;
+  const std::size_t begin =
+      trace_.size() > kMaxLines ? trace_.size() - kMaxLines : 0;
+  if (begin > 0) out += "\n  ... (" + std::to_string(begin) + " earlier)";
+  for (std::size_t i = begin; i < trace_.size(); ++i) {
+    const TraceEntry& e = trace_[i];
+    out += "\n  T" + std::to_string(e.tid) + " " + to_string(e.kind);
+    if (e.obj != 0) out += " obj" + std::to_string(e.obj);
+  }
+  for (ThreadId t = 0; t < nthreads_; ++t) {
+    const ThreadRec& rec = recs_[t];
+    if (rec.state == TState::kBlockedCv) {
+      out += "\n  T" + std::to_string(t) + " is blocked in a condvar wait";
+    } else if (rec.state == TState::kReady) {
+      out += "\n  T" + std::to_string(t) + " is blocked at " +
+             to_string(rec.pending.kind);
+    }
+  }
+  return out;
+}
+
+void model_expect(bool cond, const char* msg) {
+  if (cond) return;
+  if (Sched* s = Sched::current()) {
+    if (!s->aborting()) {
+      s->fail(std::string("model assertion failed: ") + msg);
+    }
+    throw ModelAbort{};
+  }
+  FLASHQOS_EXPECT(cond, msg);
+}
+
+// --- happens-before / race detection --------------------------------------
+
+void Sched::hb_release(VectorClock& into) {
+  VectorClock& mine = recs_[tl_tid].clock;
+  into = mine;
+  ++mine.c[tl_tid];
+}
+
+void Sched::hb_release_join(VectorClock& into) {
+  VectorClock& mine = recs_[tl_tid].clock;
+  into.join(mine);
+  ++mine.c[tl_tid];
+}
+
+void Sched::hb_acquire(const VectorClock& from) {
+  recs_[tl_tid].clock.join(from);
+}
+
+void Sched::on_shared_read(SharedState& s) {
+  if (aborting_) return;
+  ThreadRec& me = recs_[tl_tid];
+  if (!me.clock.covers(s.writes)) {
+    fail("data race: read of shared state obj" +
+         std::to_string(object_id(&s)) +
+         " is concurrent with a write (no happens-before edge orders them)");
+    throw ModelAbort{};
+  }
+  s.reads.c[tl_tid] = me.clock.c[tl_tid];
+}
+
+void Sched::on_shared_write(SharedState& s) {
+  if (aborting_) return;
+  ThreadRec& me = recs_[tl_tid];
+  if (!me.clock.covers(s.writes) || !me.clock.covers(s.reads)) {
+    fail("data race: write to shared state obj" +
+         std::to_string(object_id(&s)) +
+         " is concurrent with another access (no happens-before edge)");
+    throw ModelAbort{};
+  }
+  s.writes.c[tl_tid] = me.clock.c[tl_tid];
+}
+
+// --- condvar bookkeeping ---------------------------------------------------
+
+void Sched::enqueue_cv_waiter(CvState& cv) { cv.waiters.push_back(tl_tid); }
+
+void Sched::wake_one_waiter(CvState& cv) {
+  if (cv.waiters.empty()) return;  // notify with no waiter: lost by design
+  const std::size_t idx = choose(cv.waiters.size());
+  const ThreadId target = cv.waiters[idx];
+  cv.waiters.erase(cv.waiters.begin() +
+                   static_cast<std::ptrdiff_t>(idx));
+  recs_[target].state = TState::kReady;
+  recs_[target].pending = PendingOp{OpKind::kCvWake, nullptr, nullptr,
+                                    kNoThread};
+}
+
+void Sched::wake_all_waiters(CvState& cv) {
+  for (const ThreadId target : cv.waiters) {
+    recs_[target].state = TState::kReady;
+    recs_[target].pending = PendingOp{OpKind::kCvWake, nullptr, nullptr,
+                                      kNoThread};
+  }
+  cv.waiters.clear();
+}
+
+// --- thread control --------------------------------------------------------
+
+void Sched::park_current() {
+  controller_.release();
+  hosts_[tl_tid].go.acquire();
+}
+
+void Sched::transition(const PendingOp& op) {
+  ThreadRec& me = recs_[tl_tid];
+  const bool unwinding = std::uncaught_exceptions() > 0;
+  if (aborting_) {
+    if (!unwinding) throw ModelAbort{};
+    // Pass-through mode: the thread is unwinding after a failure (its
+    // destructors may legitimately lock/unlock/join). No decisions are
+    // taken; blocking ops re-park until the free-run scheduler lets the
+    // enabling thread finish.
+    me.pending = op;
+    me.state = TState::kReady;
+    while (!enabled(me)) park_current();
+    me.state = TState::kRunning;
+    return;
+  }
+  me.pending = op;
+  me.state = TState::kReady;
+  park_current();
+  if (aborting_ && std::uncaught_exceptions() == 0) throw ModelAbort{};
+  me.state = TState::kRunning;
+}
+
+void Sched::block_on_cv() {
+  ThreadRec& me = recs_[tl_tid];
+  me.state = TState::kBlockedCv;
+  park_current();
+  // Woken either by a notify (state set to kReady + kCvWake and granted)
+  // or by the abort free-run.
+  if (aborting_ && std::uncaught_exceptions() == 0) throw ModelAbort{};
+  me.state = TState::kRunning;
+}
+
+ThreadId Sched::spawn(std::function<void()> fn) {
+  if (nthreads_ >= kMaxThreads) {
+    fail("model spawns more than kMaxThreads virtual threads");
+    throw ModelAbort{};
+  }
+  const ThreadId child = nthreads_++;
+  ThreadRec& rec = recs_[child];
+  rec.state = TState::kReady;
+  rec.pending = PendingOp{OpKind::kThreadStart, nullptr, nullptr, kNoThread};
+  rec.entry = std::move(fn);
+  if (tl_tid != kNoThread) {
+    // Creation edge: the child sees everything its parent did.
+    rec.clock = recs_[tl_tid].clock;
+    ++recs_[tl_tid].clock.c[tl_tid];
+  } else {
+    rec.clock.clear();
+  }
+  ++rec.clock.c[child];
+  HostSlot& host = hosts_[child];
+  if (!host.created) {
+    host.created = true;
+    host.host = std::thread([this, child] { host_loop(child); });
+  }
+  return child;
+}
+
+void Sched::host_loop(std::size_t slot) {
+  for (;;) {
+    hosts_[slot].go.acquire();
+    if (hosts_[slot].shutdown) return;
+    trampoline(slot);
+  }
+}
+
+void Sched::trampoline(ThreadId tid) {
+  tl_sched = this;
+  tl_tid = tid;
+  ThreadRec& me = recs_[tid];
+  me.state = TState::kRunning;
+  try {
+    me.entry();
+  } catch (const ModelAbort&) {
+    // Failing execution unwound cleanly.
+  } catch (const std::exception& e) {
+    if (!aborting_) fail(std::string("model body threw: ") + e.what());
+  } catch (...) {
+    if (!aborting_) fail("model body threw a non-std exception");
+  }
+  me.state = TState::kFinished;
+  tl_sched = nullptr;
+  tl_tid = kNoThread;
+  controller_.release();
+}
+
+// --- controller ------------------------------------------------------------
+
+bool Sched::enabled(const ThreadRec& rec) const {
+  switch (rec.pending.kind) {
+    case OpKind::kMutexLock:
+      return rec.pending.mutex != nullptr && !rec.pending.mutex->locked;
+    case OpKind::kThreadJoin:
+      return rec.pending.target != kNoThread &&
+             recs_[rec.pending.target].state == TState::kFinished;
+    default:
+      return true;
+  }
+}
+
+void Sched::grant(ThreadId tid) { hosts_[tid].go.release(); }
+
+void Sched::reset_execution_state() {
+  for (ThreadRec& rec : recs_) {
+    rec.state = TState::kUnused;
+    rec.pending = PendingOp{};
+    rec.clock.clear();
+    rec.entry = nullptr;
+  }
+  nthreads_ = 0;
+  depth_ = 0;
+  steps_ = 0;
+  aborting_ = false;
+  trace_.clear();
+  object_ids_.clear();
+  exec_digest_.clear();
+}
+
+void Sched::run_one_execution(const std::function<std::string()>& body) {
+  reset_execution_state();
+  (void)spawn([this, &body] { exec_digest_ = body(); });
+
+  std::size_t abort_cursor = 0;
+  std::uint64_t abort_spins = 0;
+  for (;;) {
+    if (aborting_) {
+      // Free-run: grant live threads round-robin until everything has
+      // unwound and finished. No decisions are recorded.
+      ThreadId pick = kNoThread;
+      for (std::size_t i = 0; i < nthreads_; ++i) {
+        const ThreadId t = (abort_cursor + i) % nthreads_;
+        const TState st = recs_[t].state;
+        if (st == TState::kReady || st == TState::kBlockedCv) {
+          pick = t;
+          break;
+        }
+      }
+      if (pick == kNoThread) break;  // all finished
+      abort_cursor = (pick + 1) % nthreads_;
+      if (++abort_spins > 1000000) {
+        // flashqos-lint: allow(adhoc-logging): last words before abort()
+        std::fprintf(stderr,
+                     "check::Sched: abort free-run wedged; harness bug\n");
+        std::abort();
+      }
+      grant(pick);
+      controller_.acquire();
+      continue;
+    }
+
+    bool all_finished = true;
+    std::array<ThreadId, kMaxThreads> en{};
+    std::size_t n_enabled = 0;
+    for (ThreadId t = 0; t < nthreads_; ++t) {
+      const ThreadRec& rec = recs_[t];
+      if (rec.state == TState::kFinished) continue;
+      all_finished = false;
+      if (rec.state == TState::kReady && enabled(rec)) en[n_enabled++] = t;
+    }
+    if (all_finished) break;
+    if (n_enabled == 0) {
+      fail("deadlock: live threads but none runnable (lost wakeup or lock "
+           "cycle)");
+      continue;
+    }
+    const ThreadId pick = en[choose(n_enabled)];
+    ++steps_;
+    if (steps_ > options_.max_steps) {
+      fail("per-execution step budget exceeded (livelock?)");
+      continue;
+    }
+    trace_.push_back(
+        {pick, recs_[pick].pending.kind, object_id(recs_[pick].pending.obj)});
+    grant(pick);
+    controller_.acquire();
+  }
+}
+
+SchedResult Sched::run(const std::function<std::string()>& body) {
+  for (;;) {
+    ++result_.executions;
+    run_one_execution(body);
+    result_.transitions += steps_;
+    if (failed_) break;
+    if (!have_digest_) {
+      first_digest_ = exec_digest_;
+      have_digest_ = true;
+    } else if (exec_digest_ != first_digest_) {
+      failed_ = true;
+      result_.ok = false;
+      result_.failure =
+          "schedule-dependent result: first schedule produced\n  \"" +
+          first_digest_ + "\"\nbut this schedule produced\n  \"" +
+          exec_digest_ + "\"\n" + format_trace();
+      break;
+    }
+    if (!backtrack()) break;  // space exhausted
+    if (result_.executions >= options_.max_executions) {
+      result_.exhausted = false;
+      break;
+    }
+  }
+  return result_;
+}
+
+Sched::~Sched() {
+  for (HostSlot& host : hosts_) {
+    if (!host.created) continue;
+    host.shutdown = true;
+    host.go.release();
+    host.host.join();
+  }
+}
+
+SchedResult explore(const std::function<std::string()>& body,
+                    const SchedOptions& options) {
+  FLASHQOS_EXPECT(tl_sched == nullptr,
+                  "check::explore cannot nest inside a model");
+  Sched sched(options);
+  return sched.run(body);
+}
+
+}  // namespace flashqos::check

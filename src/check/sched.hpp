@@ -1,0 +1,286 @@
+// Deterministic schedule explorer (loom/relacy-style, CHESS-scheduled).
+//
+// `check::explore(body)` runs `body` — a small bounded concurrent model
+// built from check::ModelSyncPolicy primitives (src/check/model_sync.hpp) —
+// over EVERY thread interleaving its synchronization operations admit, and
+// checks each one for:
+//
+//   * data races      — vector-clock happens-before on every access to
+//                       Sync::Shared<T> plain state; relaxed atomics
+//                       deliberately publish no happens-before edge, so
+//                       "synchronizing" plain data through a relaxed flag
+//                       is caught;
+//   * deadlocks       — a scheduling point with live threads but no
+//                       runnable one (this is also how lost wakeups
+//                       surface: the forgotten waiter blocks forever);
+//   * lost wakeups    — see above; condvar wait models the atomic
+//                       release-and-sleep, notify-one enumerates *which*
+//                       waiter wakes as a scheduling decision;
+//   * result non-determinism — `body` returns a string digest of the
+//                       execution's observable outcome; every interleaving
+//                       must produce the same digest (this is how snapshot
+//                       determinism of the sharded metric registry is
+//                       machine-checked);
+//   * model assertions — check::model_expect(cond, msg).
+//
+// How it works: each virtual thread runs on a host std::thread, but only
+// one runs at a time. Every sync operation (atomic access, mutex lock /
+// unlock, condvar wait / notify, thread create / join) first parks the
+// thread and hands control to the controller, which picks the next thread
+// to run from the enabled set. The pick is a *decision*; a DFS over the
+// decision stack replays the execution prefix and explores every
+// alternative until the space is exhausted (or a bound trips). Executions
+// are replayed from scratch, so model bodies must be deterministic apart
+// from scheduling (no wall clock, no global RNG — the same rules
+// flashqos_lint enforces on src/).
+//
+// Memory model: the explorer serializes execution, so it checks the
+// sequentially-consistent interleavings of the model. It does NOT model
+// weak-memory reordering; what it adds over TSan is *exhaustiveness* over
+// schedules plus deadlock/lost-wakeup/determinism checks TSan cannot do.
+// Happens-before edges for race detection do follow C++ semantics: mutex
+// release→acquire, atomic release-store→acquire-load (with release
+// sequences through RMWs), thread create/join. Spurious condvar wakeups
+// are not modeled (every in-tree wait is predicated, which makes them
+// unobservable anyway).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace flashqos::check {
+
+using ThreadId = std::size_t;
+
+/// Virtual threads per model. Bounded models use 2–4; the cap keeps vector
+/// clocks flat arrays.
+inline constexpr std::size_t kMaxThreads = 8;
+inline constexpr ThreadId kNoThread = static_cast<ThreadId>(-1);
+
+/// Flat vector clock over virtual thread ids.
+struct VectorClock {
+  std::array<std::uint64_t, kMaxThreads> c{};
+
+  void join(const VectorClock& o) noexcept {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+    }
+  }
+  /// True iff every component of `o` is visible to (≤) this clock.
+  [[nodiscard]] bool covers(const VectorClock& o) const noexcept {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      if (o.c[i] > c[i]) return false;
+    }
+    return true;
+  }
+  void clear() noexcept { c.fill(0); }
+};
+
+/// Model-object state blocks. They live inside the ModelSyncPolicy
+/// primitives; the scheduler reads them for enabledness and clock edges.
+struct MutexState {
+  bool locked = false;
+  ThreadId owner = kNoThread;
+  VectorClock clock;  // released-clock accumulator (release = copy-in)
+};
+
+struct CvState {
+  std::vector<ThreadId> waiters;  // arrival order — deterministic
+};
+
+struct AtomicState {
+  VectorClock clock;  // release-sequence clock (see op rules in sched.cpp)
+};
+
+struct SharedState {
+  VectorClock writes;  // per-thread epoch of the latest write
+  VectorClock reads;   // per-thread epoch of the latest read
+};
+
+/// Thrown on the failing execution to unwind model threads cleanly; caught
+/// by the per-thread trampoline. Model code must let it pass.
+struct ModelAbort {};
+
+enum class OpKind : std::uint8_t {
+  kThreadStart,
+  kThreadJoin,
+  kMutexLock,
+  kMutexUnlock,
+  kCvRelease,  // atomic "release mutex + enqueue as waiter" step of wait()
+  kCvWake,     // waiter resuming after a notify (before mutex reacquire)
+  kCvNotifyOne,
+  kCvNotifyAll,
+  kAtomicLoad,
+  kAtomicStore,
+  kAtomicRmw,
+  kYield,
+};
+
+[[nodiscard]] const char* to_string(OpKind k) noexcept;
+
+struct PendingOp {
+  OpKind kind = OpKind::kYield;
+  const void* obj = nullptr;        // state block of the touched object
+  const MutexState* mutex = nullptr;  // kMutexLock enabledness
+  ThreadId target = kNoThread;        // kThreadJoin enabledness
+};
+
+struct SchedOptions {
+  /// Hard cap on distinct schedules; `exhausted` is false when hit.
+  std::uint64_t max_executions = 1u << 22;
+  /// Per-execution transition cap (livelock guard).
+  std::uint64_t max_steps = 50000;
+};
+
+struct SchedResult {
+  bool ok = true;
+  bool exhausted = true;        // every schedule explored (no cap hit)
+  std::uint64_t executions = 0;  // distinct schedules run
+  std::uint64_t transitions = 0; // total scheduling decisions taken
+  std::string failure;           // first failure + schedule trace ("" if ok)
+};
+
+/// Run `body` under every schedule. `body` returns a digest of the
+/// execution's observable result; all interleavings must agree on it.
+[[nodiscard]] SchedResult explore(const std::function<std::string()>& body,
+                                  const SchedOptions& options = {});
+
+/// Model-side assertion: records the failure (with the current schedule
+/// trace) and aborts the exploration. Outside an active exploration it
+/// falls back to a fatal contract check.
+void model_expect(bool cond, const char* msg);
+
+/// Schedule controller. Model code talks to it through the static entry
+/// points below (routed via a thread-local to the active exploration);
+/// user-facing API is check::explore().
+class Sched {
+ public:
+  /// The exploration driving the calling (virtual) thread, or nullptr.
+  [[nodiscard]] static Sched* current() noexcept;
+
+  // --- called by ModelSyncPolicy primitives on virtual threads ---------
+
+  /// Declare the next operation, park, and return once granted. After it
+  /// returns the calling thread runs exclusively until its next
+  /// transition, so op effects are applied lock-free by the caller.
+  void transition(const PendingOp& op);
+
+  /// Park as a condvar waiter (after the kCvRelease transition's effects).
+  /// Returns once a notify granted this thread its kCvWake.
+  void block_on_cv();
+
+  /// Pick one of `arity` alternatives (DFS decision). Used for the
+  /// scheduler's thread pick and for notify-one waiter selection.
+  [[nodiscard]] std::size_t choose(std::size_t arity);
+
+  /// Spawn a virtual thread; returns its id. Called from a running thread
+  /// (after its kThreadStart/... transition granted the creation).
+  [[nodiscard]] ThreadId spawn(std::function<void()> fn);
+
+  /// Record a failure (first one wins) and switch to abort mode.
+  void fail(std::string what);
+
+  [[nodiscard]] bool aborting() const noexcept { return aborting_; }
+  [[nodiscard]] ThreadId current_tid() const noexcept;
+  [[nodiscard]] VectorClock& clock_of(ThreadId t) noexcept;
+
+  /// Vector-clock race checks for Shared<T> accesses (not schedule points).
+  void on_shared_read(SharedState& s);
+  void on_shared_write(SharedState& s);
+
+  /// Happens-before edge helpers used by op effects.
+  void hb_release(VectorClock& into);   // into = C_t (copy), then tick t
+  void hb_release_join(VectorClock& into);  // into ⊔= C_t, then tick t
+  void hb_acquire(const VectorClock& from);  // C_t ⊔= from
+
+  /// Stable per-execution id of a model object (creation-order small int,
+  /// used in trace lines).
+  [[nodiscard]] std::size_t object_id(const void* obj);
+
+  /// Mark the calling thread finished-with-op bookkeeping for cv state.
+  void enqueue_cv_waiter(CvState& cv);
+  /// Notify effects: wake one (chosen) / all waiters of `cv`.
+  void wake_one_waiter(CvState& cv);
+  void wake_all_waiters(CvState& cv);
+
+ private:
+  friend SchedResult explore(const std::function<std::string()>&,
+                             const SchedOptions&);
+
+  enum class TState : std::uint8_t {
+    kUnused,
+    kReady,      // parked with a declared pending op
+    kRunning,    // holds the run token
+    kBlockedCv,  // parked as a condvar waiter, no pending op
+    kFinished,
+  };
+
+  struct HostSlot {
+    std::thread host;
+    std::binary_semaphore go{0};
+    bool created = false;
+    bool shutdown = false;
+  };
+
+  struct ThreadRec {
+    TState state = TState::kUnused;
+    PendingOp pending;
+    VectorClock clock;
+    std::function<void()> entry;
+  };
+
+  struct Decision {
+    std::uint32_t chosen = 0;
+    std::uint32_t arity = 0;
+  };
+
+  struct TraceEntry {
+    ThreadId tid;
+    OpKind kind;
+    std::size_t obj;
+  };
+
+  explicit Sched(const SchedOptions& options) : options_(options) {}
+  ~Sched();
+
+  SchedResult run(const std::function<std::string()>& body);
+  void run_one_execution(const std::function<std::string()>& body);
+  void reset_execution_state();
+  [[nodiscard]] bool enabled(const ThreadRec& rec) const;
+  void grant(ThreadId tid);
+  void park_current();
+  void host_loop(std::size_t slot);
+  void trampoline(ThreadId tid);
+  [[nodiscard]] bool backtrack();
+  [[nodiscard]] std::string format_trace() const;
+
+  SchedOptions options_;
+  SchedResult result_;
+
+  std::array<HostSlot, kMaxThreads> hosts_;
+  std::array<ThreadRec, kMaxThreads> recs_;
+  std::size_t nthreads_ = 0;
+  std::binary_semaphore controller_{0};
+
+  std::vector<Decision> stack_;
+  std::size_t depth_ = 0;
+  std::uint64_t steps_ = 0;
+  bool aborting_ = false;
+  bool failed_ = false;
+
+  std::vector<TraceEntry> trace_;
+  std::unordered_map<const void*, std::size_t> object_ids_;
+
+  std::string first_digest_;
+  bool have_digest_ = false;
+  std::string exec_digest_;
+};
+
+}  // namespace flashqos::check

@@ -37,8 +37,10 @@ struct EngineMetrics {
 
 /// Wall-clock nanoseconds since `t0`, for stage-timing histograms.
 [[nodiscard]] std::int64_t elapsed_ns(
+    // flashqos-lint: allow(wall-clock): stage-timing metric, never a result
     std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             // flashqos-lint: allow(wall-clock): stage-timing metric only
              std::chrono::steady_clock::now() - t0)
       .count();
 }
@@ -153,6 +155,7 @@ PipelineResult ParallelReplayEngine::run_pipelined(
     for (std::size_t i = 0; i < slices.size(); ++i) {
       miners.push_back(pool_.submit_with_future([&, i] {
         try {
+          // flashqos-lint: allow(wall-clock): miner stage-timing metric
           const auto t0 = std::chrono::steady_clock::now();
           MinedSlice m{i, mine_event_range(t, slices[i].first, slices[i].second,
                                            cfg.qos_interval, cfg.fim_min_support)};
@@ -177,6 +180,7 @@ PipelineResult ParallelReplayEngine::run_pipelined(
   QosPipeline pipe(scheme, cfg);
   QueueFimSource source(queue, slices.size());
   PipelineResult result;
+  // flashqos-lint: allow(wall-clock): replay stage-timing metric
   const auto replay_t0 = std::chrono::steady_clock::now();
   try {
     result = pipe.replay(t, mine ? &source : nullptr);
@@ -196,6 +200,7 @@ PipelineResult ParallelReplayEngine::run_pipelined(
   // Metric stage, sharded: each reporting slice folds into its pre-sized
   // slot; the fold order inside a slice is the index range, so every
   // report is bit-identical to the serial finalize path.
+  // flashqos-lint: allow(wall-clock): summarize stage-timing metric
   const auto summarize_t0 = std::chrono::steady_clock::now();
   result.intervals.assign(slices.size(), IntervalReport{});
   parallel_for(pool_, slices.size(), [&](std::size_t i) {

@@ -453,6 +453,7 @@ QosPipeline::QosPipeline(const decluster::AllocationScheme& scheme, PipelineConf
     : scheme_(scheme), cfg_(std::move(cfg)), retriever_(scheme_, cfg_.service_time) {
   const auto diags = cfg_.validate(scheme_.devices());
   for (const auto& d : diags) {
+    // flashqos-lint: allow(adhoc-logging): diagnostics before the contract abort
     std::fprintf(stderr, "flashqos: invalid pipeline config: %s\n", d.c_str());
   }
   FLASHQOS_EXPECT(diags.empty(),

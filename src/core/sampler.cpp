@@ -64,6 +64,7 @@ std::vector<double> compute_probabilities(const decluster::AllocationScheme& sch
   std::vector<BucketId> pool;
   pool.reserve(scheme.buckets());
   if (available.empty()) {
+    // flashqos-lint: allow(hot-path-alloc): setup fill into the reserve()d pool
     for (BucketId b = 0; b < scheme.buckets(); ++b) pool.push_back(b);
   } else {
     live_devices = 0;
@@ -74,6 +75,7 @@ std::vector<double> compute_probabilities(const decluster::AllocationScheme& sch
       const auto reps = scheme.replicas(b);
       if (std::any_of(reps.begin(), reps.end(),
                       [&](DeviceId d) { return available[d]; })) {
+        // flashqos-lint: allow(hot-path-alloc): setup fill into the reserve()d pool
         pool.push_back(b);
       }
     }
@@ -146,6 +148,7 @@ std::vector<double> sample_optimal_probabilities(
   key.table.reserve(static_cast<std::size_t>(scheme.buckets()) * scheme.copies());
   for (BucketId b = 0; b < scheme.buckets(); ++b) {
     const auto reps = scheme.replicas(b);
+    // flashqos-lint: allow(hot-path-alloc): memo-key build into the reserve()d table
     key.table.insert(key.table.end(), reps.begin(), reps.end());
   }
 
@@ -156,6 +159,7 @@ std::vector<double> sample_optimal_probabilities(
   {
     const std::lock_guard<std::mutex> lock(mutex);
     auto [it, fresh] = memo.try_emplace(std::move(key));
+    // flashqos-lint: allow(hot-path-alloc): memo miss; once per configuration
     if (fresh) it->second = std::make_shared<PkEntry>();
     entry = it->second;
     inserted = fresh;

@@ -11,6 +11,7 @@
 namespace flashqos::fim {
 namespace {
 
+// flashqos-lint: allow(wall-clock): miner self-timing (elapsed_seconds metric)
 using Clock = std::chrono::steady_clock;
 
 /// Pass 1 shared by both miners: item supports, then a dense re-id of the

@@ -166,6 +166,7 @@ std::vector<Itemset> mine_itemsets_fpgrowth(const TransactionDb& db,
 }
 
 MiningResult mine_pairs_fpgrowth(const TransactionDb& db, std::uint64_t min_support) {
+  // flashqos-lint: allow(wall-clock): miner self-timing (elapsed_seconds metric)
   const auto t0 = std::chrono::steady_clock::now();
   MiningResult res;
   res.transactions = db.size();
@@ -182,6 +183,7 @@ MiningResult mine_pairs_fpgrowth(const TransactionDb& db, std::uint64_t min_supp
               return a.a != b.a ? a.a < b.a : a.b < b.b;
             });
   res.elapsed_seconds =
+      // flashqos-lint: allow(wall-clock): miner self-timing (elapsed_seconds metric)
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   res.peak_memory_bytes = peak_rss_bytes();
   return res;

@@ -1,0 +1,180 @@
+// flashqos_lint — run the contract linter over src/ (or explicit files).
+//
+// Exit 0 when every finding is covered by the baseline (normally: when
+// there are no findings at all), 1 on new findings, 2 on usage/IO errors.
+// The pre-merge gate (scripts/check.sh) runs:
+//
+//   flashqos_lint --root src --baseline scripts/lint_baseline.txt
+//
+// The committed baseline is expected to stay empty — inline allow-comments
+// are the sanctioned escape hatch — but the mechanism exists so an
+// unavoidable transitional violation can be landed without weakening the
+// gate for everyone else. Stale baseline entries are reported (not fatal)
+// so they get cleaned up.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace fs = std::filesystem;
+using flashqos::lint::Finding;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options] [file...]\n"
+      "  --root DIR       lint every .cpp/.hpp under DIR (default: src);\n"
+      "                   rule scoping uses DIR-relative paths\n"
+      "  --baseline FILE  accepted findings, one `rule path` per line;\n"
+      "                   findings in the baseline do not fail the run\n"
+      "  --list-rules     print rule names and exit\n"
+      "  --help           this text\n"
+      "Explicit file arguments are linted instead of --root; their rule\n"
+      "scope path is the argument with any leading `src/` stripped.\n",
+      argv0);
+}
+
+[[nodiscard]] bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+[[nodiscard]] std::string scope_path(std::string arg) {
+  std::replace(arg.begin(), arg.end(), '\\', '/');
+  if (arg.rfind("./", 0) == 0) arg.erase(0, 2);
+  const std::size_t src = arg.rfind("src/");
+  if (src != std::string::npos) arg.erase(0, src + 4);
+  return arg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = "src";
+  std::string baseline_path;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flashqos_lint: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--root") == 0) {
+      root = need_value("--root");
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline_path = need_value("--baseline");
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const auto& name : flashqos::lint::rule_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "flashqos_lint: unknown option '%s'\n", argv[i]);
+      usage(argv[0]);
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+
+  // Baseline: multiset of (rule, path) pairs a finding may consume.
+  std::map<std::pair<std::string, std::string>, int> baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "flashqos_lint: cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls(line);
+      std::string rule, path;
+      if (ls >> rule >> path) ++baseline[{rule, path}];
+    }
+  }
+
+  // Work list: (filesystem path, rule-scope path), sorted for stable output.
+  std::vector<std::pair<fs::path, std::string>> work;
+  if (!files.empty()) {
+    for (const auto& f : files) work.emplace_back(f, scope_path(f));
+  } else {
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      const std::string rel =
+          fs::relative(it->path(), root).generic_string();
+      work.emplace_back(it->path(), rel);
+    }
+    if (ec || work.empty()) {
+      std::fprintf(stderr, "flashqos_lint: nothing to lint under '%s'\n",
+                   root.c_str());
+      return 2;
+    }
+  }
+  std::sort(work.begin(), work.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  std::size_t checked = 0;
+  std::size_t baselined = 0;
+  std::vector<Finding> fresh;
+  for (const auto& [path, scope] : work) {
+    std::string content;
+    if (!read_file(path, content)) {
+      std::fprintf(stderr, "flashqos_lint: cannot read '%s'\n",
+                   path.string().c_str());
+      return 2;
+    }
+    ++checked;
+    for (auto& f : flashqos::lint::lint_file(scope, content)) {
+      const auto it = baseline.find({f.rule, f.path});
+      if (it != baseline.end() && it->second > 0) {
+        --it->second;
+        ++baselined;
+        continue;
+      }
+      fresh.push_back(std::move(f));
+    }
+  }
+
+  for (const auto& f : fresh) {
+    std::printf("%s\n", flashqos::lint::format(f).c_str());
+  }
+  for (const auto& [key, remaining] : baseline) {
+    for (int k = 0; k < remaining; ++k) {
+      std::fprintf(stderr,
+                   "flashqos_lint: stale baseline entry: %s %s (fixed? "
+                   "remove it)\n",
+                   key.first.c_str(), key.second.c_str());
+    }
+  }
+
+  std::printf("flashqos_lint: %zu file%s, %zu finding%s%s\n", checked,
+              checked == 1 ? "" : "s", fresh.size(),
+              fresh.size() == 1 ? "" : "s",
+              baselined > 0 ? " (+baselined)" : "");
+  return fresh.empty() ? 0 : 1;
+}

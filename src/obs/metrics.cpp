@@ -187,64 +187,4 @@ std::uint64_t MetricsSnapshot::counter_family_total(
   return total;
 }
 
-// --- MetricRegistry --------------------------------------------------------
-
-MetricRegistry& MetricRegistry::global() {
-  // Leaked: instrumentation handles cached in function-local statics must
-  // stay valid during static destruction.
-  static auto* registry = new MetricRegistry();
-  return *registry;
-}
-
-Counter& MetricRegistry::counter(std::string_view name,
-                                 std::string_view labels) {
-  const std::scoped_lock lock(mutex_);
-  auto& slot = counters_[Key{std::string(name), std::string(labels)}];
-  if (!slot) slot = std::make_unique<Counter>();
-  return *slot;
-}
-
-Gauge& MetricRegistry::gauge(std::string_view name, std::string_view labels) {
-  const std::scoped_lock lock(mutex_);
-  auto& slot = gauges_[Key{std::string(name), std::string(labels)}];
-  if (!slot) slot = std::make_unique<Gauge>();
-  return *slot;
-}
-
-LatencyHistogram& MetricRegistry::histogram(std::string_view name,
-                                            std::string_view labels) {
-  const std::scoped_lock lock(mutex_);
-  auto& slot = histograms_[Key{std::string(name), std::string(labels)}];
-  if (!slot) slot = std::make_unique<LatencyHistogram>();
-  return *slot;
-}
-
-MetricsSnapshot MetricRegistry::snapshot() const {
-  const std::scoped_lock lock(mutex_);
-  MetricsSnapshot snap;
-  snap.counters.reserve(counters_.size());
-  for (const auto& [key, counter] : counters_) {
-    snap.counters.push_back({key.first, key.second, counter->value()});
-  }
-  snap.gauges.reserve(gauges_.size());
-  for (const auto& [key, gauge] : gauges_) {
-    snap.gauges.push_back({key.first, key.second, gauge->value()});
-  }
-  snap.histograms.reserve(histograms_.size());
-  for (const auto& [key, hist] : histograms_) {
-    HistogramSnapshot h = hist->snapshot();
-    h.name = key.first;
-    h.labels = key.second;
-    snap.histograms.push_back(std::move(h));
-  }
-  return snap;
-}
-
-void MetricRegistry::reset() {
-  const std::scoped_lock lock(mutex_);
-  for (auto& [key, counter] : counters_) counter->reset();
-  for (auto& [key, gauge] : gauges_) gauge->reset();
-  for (auto& [key, hist] : histograms_) hist->reset();
-}
-
 }  // namespace flashqos::obs

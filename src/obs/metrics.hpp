@@ -27,6 +27,14 @@
 // writers (relaxed reads; a snapshot is then a consistent-enough live
 // view); exact identities are only guaranteed at quiescence.
 //
+// Counter/Gauge/MetricRegistry are templates over a sync policy
+// (util/sync.hpp); production code uses the un-suffixed aliases
+// (StdSyncPolicy — raw std::atomic/std::mutex). The model checker
+// (src/check) instantiates the same templates with ModelSyncPolicy and
+// verifies the register+fold protocol over every interleaving — including
+// the sharp edge of the relaxed-ordering contract spelled out on
+// BasicCounter below.
+//
 // Instrumentation call sites compile to nothing when the project is
 // configured with -DFLASHQOS_OBS=OFF: guard them with
 // `if constexpr (obs::kEnabled)`. The registry itself stays functional in
@@ -39,11 +47,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 #ifndef FLASHQOS_OBS_ENABLED
 #define FLASHQOS_OBS_ENABLED 1
@@ -62,66 +72,91 @@ inline constexpr std::size_t kShards = 8;
 
 /// Shard slot of the calling thread (assigned once, round-robin).
 [[nodiscard]] inline std::size_t thread_shard() noexcept {
-  thread_local const std::size_t slot = [] {
-    static std::atomic<std::size_t> next{0};
-    return next.fetch_add(1, std::memory_order_relaxed) % kShards;
-  }();
-  return slot;
+  return util::StdSyncPolicy::thread_index() % kShards;
 }
 
+// The whole sharded-slot design presumes a plain lock-free RMW per event;
+// if uint64 atomics ever needed a lock on a target, the "one uncontended
+// fetch_add" cost model (and the signal-safety of inc()) would be gone.
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "sharded counters require lock-free 64-bit atomics");
+
 namespace detail {
-struct alignas(64) PaddedU64 {
-  std::atomic<std::uint64_t> v{0};
-};
-struct alignas(64) PaddedI64 {
-  std::atomic<std::int64_t> v{0};
+template <typename Sync, typename V>
+struct alignas(64) PaddedSlot {
+  typename Sync::template Atomic<V> v{0};
 };
 }  // namespace detail
 
 /// Monotone event counter.
-class Counter {
+///
+/// Ordering contract (verified by check::models — "metrics registry
+/// fold determinism"): slot increments are RELAXED atomic RMWs and the
+/// fold in value() reads RELAXED. Relaxed RMWs never lose increments
+/// (read-modify-write atomicity is unconditional), so value() is always a
+/// sum of *some* prefix of each thread's increments — monotone, never
+/// garbage. But relaxed operations publish no happens-before edge, so a
+/// fold is only guaranteed to equal the full recorded total when every
+/// inc() happens-before the value() call through some EXTERNAL
+/// synchronization edge — in this codebase always a ThreadPool::wait() /
+/// thread join / HandoffQueue pop of the producer's last batch. A fold
+/// without such an edge is a legitimate *live* read (monitoring exporters
+/// use it), not an exact total, and code asserting exact counts off a
+/// concurrent fold is wrong even on x86. The model checker enforces the
+/// distinction mechanically: the modeled fold-after-join digest is
+/// schedule-invariant, while a fold racing an inc() is flagged if any
+/// plain state piggybacks on it.
+template <typename Sync>
+class BasicCounter {
  public:
-  void inc(std::uint64_t n = 1) noexcept {
-    shards_[thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  void inc(std::uint64_t n = 1) {
+    shards_[Sync::thread_index() % kShards].v.fetch_add(
+        n, std::memory_order_relaxed);
   }
 
   /// Deterministic fold: slots summed in index order.
-  [[nodiscard]] std::uint64_t value() const noexcept {
+  [[nodiscard]] std::uint64_t value() const {
     std::uint64_t total = 0;
     for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
     return total;
   }
 
-  void reset() noexcept {
+  void reset() {
     for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::array<detail::PaddedU64, kShards> shards_{};
+  std::array<detail::PaddedSlot<Sync, std::uint64_t>, kShards> shards_{};
 };
 
 /// Signed up/down counter (occupancy-style; value() is the net sum).
-class Gauge {
+/// Same relaxed-ordering contract as BasicCounter.
+template <typename Sync>
+class BasicGauge {
  public:
-  void add(std::int64_t delta) noexcept {
-    shards_[thread_shard()].v.fetch_add(delta, std::memory_order_relaxed);
+  void add(std::int64_t delta) {
+    shards_[Sync::thread_index() % kShards].v.fetch_add(
+        delta, std::memory_order_relaxed);
   }
-  void inc() noexcept { add(1); }
-  void dec() noexcept { add(-1); }
+  void inc() { add(1); }
+  void dec() { add(-1); }
 
-  [[nodiscard]] std::int64_t value() const noexcept {
+  [[nodiscard]] std::int64_t value() const {
     std::int64_t total = 0;
     for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
     return total;
   }
 
-  void reset() noexcept {
+  void reset() {
     for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::array<detail::PaddedI64, kShards> shards_{};
+  std::array<detail::PaddedSlot<Sync, std::int64_t>, kShards> shards_{};
 };
+
+using Counter = BasicCounter<util::StdSyncPolicy>;
+using Gauge = BasicGauge<util::StdSyncPolicy>;
 
 // ---------------------------------------------------------------------------
 // Log-bucket layout (HDR-style): values in [0, 256) map to unit-width
@@ -212,6 +247,11 @@ struct HistogramSnapshot {
 /// Log-bucketed latency histogram with an exact bounded value tracker.
 /// record() is wait-free on the shard fast path: count/sum/bucket
 /// fetch_adds plus a bounded scan of the exact slots.
+///
+/// Deliberately NOT sync-policy-templated: its lock-free probe/CAS guts
+/// are checked by TSan + stress tests, and modeling every bucket slot
+/// would blow up the model checker's state space for no protocol insight.
+/// The modeled registry swaps it for NullHistogram below.
 class LatencyHistogram {
  public:
   LatencyHistogram();
@@ -252,6 +292,17 @@ class LatencyHistogram {
   std::atomic<std::int64_t> max_{INT64_MIN};
 };
 
+/// Histogram stand-in for registry instantiations that do not exercise
+/// latency recording (the model checker's BasicMetricRegistry
+/// instantiation uses it to keep the explored state space at protocol
+/// granularity).
+struct NullHistogram {
+  void record(std::int64_t) noexcept {}
+  void record_n(std::int64_t, std::uint64_t) noexcept {}
+  [[nodiscard]] HistogramSnapshot snapshot() const { return {}; }
+  void reset() noexcept {}
+};
+
 struct CounterSnapshot {
   std::string name;
   std::string labels;
@@ -284,35 +335,89 @@ struct MetricsSnapshot {
 /// Lookups take a mutex — resolve once (static local / constructor), not
 /// per event. `labels` is a pre-formatted Prometheus label body, e.g.
 /// `device="3"`.
-class MetricRegistry {
+template <typename Sync, typename Histogram = LatencyHistogram>
+class BasicMetricRegistry {
  public:
-  MetricRegistry() = default;
-  MetricRegistry(const MetricRegistry&) = delete;
-  MetricRegistry& operator=(const MetricRegistry&) = delete;
+  BasicMetricRegistry() = default;
+  BasicMetricRegistry(const BasicMetricRegistry&) = delete;
+  BasicMetricRegistry& operator=(const BasicMetricRegistry&) = delete;
 
   /// The process-wide registry every built-in instrumentation site uses.
   /// Intentionally leaked so handles cached in static storage stay valid
   /// through shutdown.
-  [[nodiscard]] static MetricRegistry& global();
+  [[nodiscard]] static BasicMetricRegistry& global() {
+    static auto* registry = new BasicMetricRegistry();
+    return *registry;
+  }
 
-  [[nodiscard]] Counter& counter(std::string_view name, std::string_view labels = {});
-  [[nodiscard]] Gauge& gauge(std::string_view name, std::string_view labels = {});
-  [[nodiscard]] LatencyHistogram& histogram(std::string_view name,
-                                            std::string_view labels = {});
+  [[nodiscard]] BasicCounter<Sync>& counter(std::string_view name,
+                                            std::string_view labels = {}) {
+    const typename Sync::LockGuard lock(mutex_);
+    auto& slot = counters_.rw()[Key{std::string(name), std::string(labels)}];
+    if (!slot) slot = std::make_unique<BasicCounter<Sync>>();
+    return *slot;
+  }
 
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] BasicGauge<Sync>& gauge(std::string_view name,
+                                        std::string_view labels = {}) {
+    const typename Sync::LockGuard lock(mutex_);
+    auto& slot = gauges_.rw()[Key{std::string(name), std::string(labels)}];
+    if (!slot) slot = std::make_unique<BasicGauge<Sync>>();
+    return *slot;
+  }
+
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::string_view labels = {}) {
+    const typename Sync::LockGuard lock(mutex_);
+    auto& slot = histograms_.rw()[Key{std::string(name), std::string(labels)}];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const {
+    const typename Sync::LockGuard lock(mutex_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.rd().size());
+    for (const auto& [key, counter] : counters_.rd()) {
+      snap.counters.push_back({key.first, key.second, counter->value()});
+    }
+    snap.gauges.reserve(gauges_.rd().size());
+    for (const auto& [key, gauge] : gauges_.rd()) {
+      snap.gauges.push_back({key.first, key.second, gauge->value()});
+    }
+    snap.histograms.reserve(histograms_.rd().size());
+    for (const auto& [key, hist] : histograms_.rd()) {
+      HistogramSnapshot h = hist->snapshot();
+      h.name = key.first;
+      h.labels = key.second;
+      snap.histograms.push_back(std::move(h));
+    }
+    return snap;
+  }
 
   /// Zero every instrument in place (handles stay valid). Callers must be
   /// quiescent — no concurrent writers; meant for tests and the verifier.
-  void reset();
+  void reset() {
+    const typename Sync::LockGuard lock(mutex_);
+    for (auto& [key, counter] : counters_.rw()) counter->reset();
+    for (auto& [key, gauge] : gauges_.rw()) gauge->reset();
+    for (auto& [key, hist] : histograms_.rw()) hist->reset();
+  }
 
  private:
   using Key = std::pair<std::string, std::string>;  // (name, labels)
 
-  mutable std::mutex mutex_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<LatencyHistogram>> histograms_;
+  mutable typename Sync::Mutex mutex_;
+  typename Sync::template Shared<
+      std::map<Key, std::unique_ptr<BasicCounter<Sync>>>>
+      counters_ FLASHQOS_GUARDED_BY(mutex_);
+  typename Sync::template Shared<
+      std::map<Key, std::unique_ptr<BasicGauge<Sync>>>>
+      gauges_ FLASHQOS_GUARDED_BY(mutex_);
+  typename Sync::template Shared<std::map<Key, std::unique_ptr<Histogram>>>
+      histograms_ FLASHQOS_GUARDED_BY(mutex_);
 };
+
+using MetricRegistry = BasicMetricRegistry<util::StdSyncPolicy>;
 
 }  // namespace flashqos::obs

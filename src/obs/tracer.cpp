@@ -34,7 +34,7 @@ Tracer::Tracer(std::size_t capacity) : ring_(capacity > 0 ? capacity : 1) {}
 
 void Tracer::record(const TraceEvent& event) {
   if (!enabled_.load(std::memory_order_relaxed)) return;
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard<util::Mutex> lock(mutex_);
   if (size_ == ring_.size()) ++dropped_;  // overwriting the oldest event
   ring_[head_] = event;
   head_ = (head_ + 1) % ring_.size();
@@ -42,12 +42,12 @@ void Tracer::record(const TraceEvent& event) {
 }
 
 std::uint64_t Tracer::dropped() const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard<util::Mutex> lock(mutex_);
   return dropped_;
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard<util::Mutex> lock(mutex_);
   std::vector<TraceEvent> out;
   out.reserve(size_);
   // Oldest event sits at head_ when the ring has wrapped, else at 0.
@@ -59,7 +59,7 @@ std::vector<TraceEvent> Tracer::events() const {
 }
 
 void Tracer::clear() {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard<util::Mutex> lock(mutex_);
   head_ = 0;
   size_ = 0;
   dropped_ = 0;

@@ -18,10 +18,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 #include "util/time.hpp"
 
 namespace flashqos::obs {
@@ -97,11 +98,11 @@ class Tracer {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;
-  std::size_t head_ = 0;      // next write position
-  std::size_t size_ = 0;      // retained events (≤ ring_.size())
-  std::uint64_t dropped_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<TraceEvent> ring_ FLASHQOS_GUARDED_BY(mutex_);
+  std::size_t head_ FLASHQOS_GUARDED_BY(mutex_) = 0;  // next write position
+  std::size_t size_ FLASHQOS_GUARDED_BY(mutex_) = 0;  // retained (≤ capacity)
+  std::uint64_t dropped_ FLASHQOS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace flashqos::obs

@@ -38,6 +38,7 @@ HeterogeneousSchedule optimal_makespan_schedule(
   candidates.reserve(service.size() * batch.size());
   for (const auto s : service) {
     for (std::size_t k = 1; k <= batch.size(); ++k) {
+      // flashqos-lint: allow(hot-path-alloc): fill after reserve() above
       candidates.push_back(s * static_cast<SimTime>(k));
     }
   }
@@ -63,6 +64,7 @@ HeterogeneousSchedule optimal_makespan_schedule(
   // serialize the whole batch within max(service)·b >= service[fast]·b...
   // not necessarily through replicas — fall back to widening if needed.
   while (!assignable(candidates[hi])) {
+    // flashqos-lint: allow(hot-path-alloc): rare widening fallback, not steady state
     candidates.push_back(candidates.back() * 2);
     hi = candidates.size() - 1;
   }
@@ -110,6 +112,7 @@ bool valid_heterogeneous_schedule(std::span<const BucketId> batch,
     const auto& a = s.assignments[i];
     const auto reps = scheme.replicas(batch[i]);
     if (std::find(reps.begin(), reps.end(), a.device) == reps.end()) return false;
+    // flashqos-lint: allow(hot-path-alloc): schedule validator, not the fast path
     starts[a.device].push_back(a.start_offset);
     makespan = std::max(makespan, a.start_offset + service[a.device]);
   }

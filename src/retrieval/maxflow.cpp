@@ -42,6 +42,7 @@ std::uint32_t MaxFlow::add_edge(std::uint32_t from, std::uint32_t to,
   FLASHQOS_EXPECT(capacity >= 0, "capacity must be non-negative");
   FLASHQOS_EXPECT(!built_, "add_edge after run(); begin() a new graph first");
   const auto id = static_cast<std::uint32_t>(staged_.size());
+  // flashqos-lint: allow(hot-path-alloc): staged edges retain capacity across begin()
   staged_.push_back({from, to, capacity});
   return id;
 }
@@ -86,6 +87,7 @@ bool MaxFlow::bfs(std::uint32_t s, std::uint32_t t) {
   level_.assign(nodes_, -1);
   queue_.clear();
   level_[s] = 0;
+  // flashqos-lint: allow(hot-path-alloc): BFS queue retains capacity across runs
   queue_.push_back(s);
   for (std::size_t head = 0; head < queue_.size(); ++head) {
     const auto v = queue_[head];
@@ -94,6 +96,7 @@ bool MaxFlow::bfs(std::uint32_t s, std::uint32_t t) {
       const auto w = to_[i];
       if (cap_[i] > 0 && level_[w] < 0) {
         level_[w] = vl + 1;
+        // flashqos-lint: allow(hot-path-alloc): BFS queue retains capacity across runs
         queue_.push_back(w);
       }
     }
@@ -199,11 +202,13 @@ bool FlowWorkspace::solve(std::span<const BucketId> batch,
     for (const auto dev : scheme.replicas(batch[i])) {
       // A failed replica simply contributes no edge; the request is only
       // servable through live devices.
+      // flashqos-lint: allow(hot-path-alloc): workspace retains capacity across builds
       replica_edges_.push_back(
           mf_.add_edge(1 + i, b_ + 1 + dev, device_up_[dev] ? 1 : 0));
     }
   }
   for (std::uint32_t d = 0; d < n_; ++d) {
+    // flashqos-lint: allow(hot-path-alloc): workspace retains capacity across builds
     device_edges_.push_back(mf_.add_edge(b_ + 1 + d, sink, device_up_[d] ? rounds : 0));
   }
   flow_value_ = mf_.run(source, sink);
@@ -234,10 +239,12 @@ bool FlowWorkspace::solve_capacities(std::span<const BucketId> batch,
   for (std::uint32_t i = 0; i < b_; ++i) {
     mf_.add_edge(source, 1 + i, 1);
     for (const auto dev : scheme.replicas(batch[i])) {
+      // flashqos-lint: allow(hot-path-alloc): workspace retains capacity across builds
       replica_edges_.push_back(mf_.add_edge(1 + i, b_ + 1 + dev, 1));
     }
   }
   for (std::uint32_t d = 0; d < n_; ++d) {
+    // flashqos-lint: allow(hot-path-alloc): workspace retains capacity across builds
     device_edges_.push_back(
         mf_.add_edge(b_ + 1 + d, sink, std::max<std::int64_t>(caps[d], 0)));
   }
@@ -267,6 +274,7 @@ std::uint32_t FlowWorkspace::solve_integrated(std::span<const BucketId> batch,
   for (std::uint32_t i = 0; i < b_; ++i) {
     mf_.add_edge(source, 1 + i, 1);
     for (const auto dev : scheme.replicas(batch[i])) {
+      // flashqos-lint: allow(hot-path-alloc): workspace retains capacity across builds
       replica_edges_.push_back(mf_.add_edge(1 + i, b_ + 1 + dev, 1));
     }
   }
@@ -274,6 +282,7 @@ std::uint32_t FlowWorkspace::solve_integrated(std::span<const BucketId> batch,
   // round at a time; flow routed in earlier iterations is never discarded.
   const auto lower = static_cast<std::uint32_t>(design::optimal_accesses(b_, n_));
   for (std::uint32_t d = 0; d < n_; ++d) {
+    // flashqos-lint: allow(hot-path-alloc): workspace retains capacity across builds
     device_edges_.push_back(mf_.add_edge(b_ + 1 + d, sink, lower));
   }
   flow_value_ = mf_.run(source, sink);

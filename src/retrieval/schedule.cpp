@@ -17,6 +17,7 @@ bool valid_schedule(std::span<const BucketId> batch,
     if (std::find(reps.begin(), reps.end(), a.device) == reps.end()) return false;
     const std::uint64_t slot =
         (static_cast<std::uint64_t>(a.device) << 32) | a.round;
+    // flashqos-lint: allow(hot-path-alloc): schedule validator, not the fast path
     if (!slot_used.insert(slot).second) return false;
     max_round = std::max(max_round, a.round + 1);
   }

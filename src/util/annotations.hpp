@@ -1,0 +1,41 @@
+// Clang thread-safety-analysis annotation shims.
+//
+// A second, purely static race net next to the schedule-exhaustive model
+// checker (src/check): when the compiler is clang, `-Wthread-safety`
+// cross-checks that every access to a FLASHQOS_GUARDED_BY member really
+// happens under its mutex. The macros expand to nothing elsewhere (gcc,
+// MSVC), so annotated headers stay portable and cost nothing.
+//
+// The analysis needs capability-annotated lock types: libstdc++'s
+// std::mutex is not one, so annotated code locks through util::Mutex /
+// util::LockGuard / util::UniqueLock (src/util/sync.hpp), which wrap the
+// std primitives 1:1 and carry the attributes.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define FLASHQOS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FLASHQOS_THREAD_ANNOTATION
+#define FLASHQOS_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define FLASHQOS_CAPABILITY(x) FLASHQOS_THREAD_ANNOTATION(capability(x))
+#define FLASHQOS_SCOPED_CAPABILITY FLASHQOS_THREAD_ANNOTATION(scoped_lockable)
+#define FLASHQOS_GUARDED_BY(x) FLASHQOS_THREAD_ANNOTATION(guarded_by(x))
+#define FLASHQOS_PT_GUARDED_BY(x) FLASHQOS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FLASHQOS_REQUIRES(...) \
+  FLASHQOS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FLASHQOS_ACQUIRE(...) \
+  FLASHQOS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FLASHQOS_RELEASE(...) \
+  FLASHQOS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FLASHQOS_TRY_ACQUIRE(...) \
+  FLASHQOS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define FLASHQOS_EXCLUDES(...) \
+  FLASHQOS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define FLASHQOS_RETURN_CAPABILITY(x) \
+  FLASHQOS_THREAD_ANNOTATION(lock_returned(x))
+#define FLASHQOS_NO_THREAD_SAFETY_ANALYSIS \
+  FLASHQOS_THREAD_ANNOTATION(no_thread_safety_analysis)

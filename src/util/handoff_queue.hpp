@@ -19,20 +19,28 @@
 // producers is arrival order under the internal lock (consumers that need
 // a canonical order must re-sequence by an id carried in T — see
 // core::ParallelReplayEngine, which indexes pre-sized slots by interval).
+//
+// The queue is templated on a sync policy (util/sync.hpp). Production code
+// uses the default StdSyncPolicy — raw std::mutex/condvar, zero overhead.
+// The schedule-exhaustive model checker (src/check) instantiates it with
+// ModelSyncPolicy and enumerates every interleaving of push/pop/close,
+// which is how the blocking protocol below is *proven* free of lost
+// wakeups and deadlocks rather than spot-checked by whichever schedules
+// TSan happened to see.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "util/annotations.hpp"
 #include "util/expect.hpp"
+#include "util/sync.hpp"
 
 namespace flashqos {
 
-template <typename T>
+template <typename T, typename Sync = util::StdSyncPolicy>
 class HandoffQueue {
  public:
   explicit HandoffQueue(std::size_t capacity) : capacity_(capacity) {
@@ -44,10 +52,12 @@ class HandoffQueue {
 
   /// Block until there is room (or the queue closes). True iff enqueued.
   bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
+    typename Sync::UniqueLock lock(mutex_);
+    while (!closed_.rd() && items_.rd().size() >= capacity_) {
+      not_full_.wait(lock);
+    }
+    if (closed_.rd()) return false;
+    items_.rw().push_back(std::move(item));
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -55,11 +65,13 @@ class HandoffQueue {
 
   /// Block until an item is available (or the queue closes and drains).
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;  // closed and drained
-    T item = std::move(items_.front());
-    items_.pop_front();
+    typename Sync::UniqueLock lock(mutex_);
+    while (!closed_.rd() && items_.rd().empty()) {
+      not_empty_.wait(lock);
+    }
+    if (items_.rd().empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.rw().front());
+    items_.rw().pop_front();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -69,32 +81,34 @@ class HandoffQueue {
   /// Already-queued items remain poppable.
   void close() {
     {
-      const std::lock_guard lock(mutex_);
-      closed_ = true;
+      const typename Sync::LockGuard lock(mutex_);
+      closed_.rw() = true;
     }
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
-    const std::lock_guard lock(mutex_);
-    return closed_;
+    const typename Sync::LockGuard lock(mutex_);
+    return closed_.rd();
   }
 
   [[nodiscard]] std::size_t size() const {
-    const std::lock_guard lock(mutex_);
-    return items_.size();
+    const typename Sync::LockGuard lock(mutex_);
+    return items_.rd().size();
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable typename Sync::Mutex mutex_;
+  typename Sync::CondVar not_full_;
+  typename Sync::CondVar not_empty_;
+  typename Sync::template Shared<std::deque<T>> items_
+      FLASHQOS_GUARDED_BY(mutex_);
+  typename Sync::template Shared<bool> closed_ FLASHQOS_GUARDED_BY(mutex_){
+      false};
 };
 
 }  // namespace flashqos

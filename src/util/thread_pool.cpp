@@ -1,76 +1,9 @@
 #include "util/thread_pool.hpp"
 
-#include <algorithm>
-
-#include "util/expect.hpp"
+#include <exception>
+#include <mutex>
 
 namespace flashqos {
-
-ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    const std::lock_guard lock(mutex_);
-    stopping_ = true;
-  }
-  task_ready_.notify_all();
-  for (auto& w : workers_) w.join();
-}
-
-void ThreadPool::submit(std::function<void()> task) {
-  FLASHQOS_EXPECT(task != nullptr, "cannot submit an empty task");
-  {
-    const std::lock_guard lock(mutex_);
-    FLASHQOS_EXPECT(!stopping_, "pool is shutting down");
-    tasks_.push(std::move(task));
-    ++in_flight_;
-  }
-  task_ready_.notify_one();
-}
-
-std::future<void> ThreadPool::submit_with_future(std::function<void()> task) {
-  FLASHQOS_EXPECT(task != nullptr, "cannot submit an empty task");
-  // packaged_task captures anything the closure throws into the future's
-  // shared state; the shared_ptr makes the wrapper copyable for
-  // std::function.
-  auto packaged =
-      std::make_shared<std::packaged_task<void()>>(std::move(task));
-  auto future = packaged->get_future();
-  submit([packaged] { (*packaged)(); });
-  return future;
-}
-
-void ThreadPool::wait() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
-}
-
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stopping and drained
-      task = std::move(tasks_.front());
-      tasks_.pop();
-    }
-    task();
-    {
-      const std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
-    }
-  }
-}
 
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {

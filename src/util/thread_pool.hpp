@@ -5,27 +5,57 @@
 // the common indexed pattern. Results must not depend on execution order —
 // callers seed any randomness per shard (see shard_seed in util/rng.hpp
 // and core::sample_optimal_probabilities).
+//
+// The pool is a template over a sync policy (util/sync.hpp). Production
+// code uses the `ThreadPool` alias — StdSyncPolicy, raw std primitives.
+// The model checker (src/check) instantiates BasicThreadPool with
+// ModelSyncPolicy and exhaustively explores the submit/wait/drain
+// protocol's interleavings: the wait() wakeup, the destructor's
+// stop-and-drain handshake, and the queue/in-flight accounting are all
+// schedule-verified, not just exercised.
 #pragma once
 
-#include <condition_variable>
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <memory>
 #include <queue>
-#include <thread>
+#include <utility>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/expect.hpp"
+#include "util/sync.hpp"
 
 namespace flashqos {
 
-class ThreadPool {
+template <typename Sync = util::StdSyncPolicy>
+class BasicThreadPool {
  public:
   /// `threads` == 0 picks the hardware concurrency (at least 1).
-  explicit ThreadPool(std::size_t threads = 0);
-  ~ThreadPool();
+  explicit BasicThreadPool(std::size_t threads = 0) {
+    if (threads == 0) {
+      threads = std::max<std::size_t>(1, Sync::Thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back(
+          typename Sync::Thread([this] { worker_loop(); }));
+    }
+  }
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~BasicThreadPool() {
+    {
+      const typename Sync::LockGuard lock(mutex_);
+      stopping_.rw() = true;
+    }
+    task_ready_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  BasicThreadPool(const BasicThreadPool&) = delete;
+  BasicThreadPool& operator=(const BasicThreadPool&) = delete;
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
@@ -33,29 +63,75 @@ class ThreadPool {
   /// throw — an escaping exception terminates the process (no submitter to
   /// report it to). Batch submitters that need failures reported use
   /// submit_with_future.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) {
+    FLASHQOS_EXPECT(task != nullptr, "cannot submit an empty task");
+    {
+      const typename Sync::LockGuard lock(mutex_);
+      FLASHQOS_EXPECT(!stopping_.rd(), "pool is shutting down");
+      tasks_.rw().push(std::move(task));
+      ++in_flight_.rw();
+    }
+    task_ready_.notify_one();
+  }
 
   /// Enqueue a task and return a future that either reports completion or
   /// rethrows the exception the task threw. This is the batch-submit path
   /// the sweep runners use: submit every shard, then get() every future —
   /// a worker-thrown error surfaces at the submitter instead of
   /// terminating the worker thread.
-  [[nodiscard]] std::future<void> submit_with_future(std::function<void()> task);
+  [[nodiscard]] std::future<void> submit_with_future(
+      std::function<void()> task) {
+    FLASHQOS_EXPECT(task != nullptr, "cannot submit an empty task");
+    // packaged_task captures anything the closure throws into the future's
+    // shared state; the shared_ptr makes the wrapper copyable for
+    // std::function.
+    auto packaged =
+        std::make_shared<std::packaged_task<void()>>(std::move(task));
+    auto future = packaged->get_future();
+    submit([packaged] { (*packaged)(); });
+    return future;
+  }
 
   /// Block until every submitted task has finished.
-  void wait();
+  void wait() {
+    typename Sync::UniqueLock lock(mutex_);
+    while (in_flight_.rd() != 0) all_done_.wait(lock);
+  }
 
  private:
-  void worker_loop();
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        typename Sync::UniqueLock lock(mutex_);
+        while (!stopping_.rd() && tasks_.rd().empty()) task_ready_.wait(lock);
+        if (tasks_.rd().empty()) return;  // stopping and drained
+        task = std::move(tasks_.rw().front());
+        tasks_.rw().pop();
+      }
+      task();
+      {
+        const typename Sync::LockGuard lock(mutex_);
+        --in_flight_.rw();
+        if (in_flight_.rd() == 0) all_done_.notify_all();
+      }
+    }
+  }
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  std::vector<typename Sync::Thread> workers_;
+  mutable typename Sync::Mutex mutex_;
+  typename Sync::CondVar task_ready_;
+  typename Sync::CondVar all_done_;
+  typename Sync::template Shared<std::queue<std::function<void()>>> tasks_
+      FLASHQOS_GUARDED_BY(mutex_);
+  typename Sync::template Shared<std::size_t> in_flight_
+      FLASHQOS_GUARDED_BY(mutex_){std::size_t{0}};
+  typename Sync::template Shared<bool> stopping_ FLASHQOS_GUARDED_BY(mutex_){
+      false};
 };
+
+/// Production pool: the sync-policy seam compiles to raw std primitives.
+using ThreadPool = BasicThreadPool<util::StdSyncPolicy>;
 
 /// Run fn(i) for i in [0, n) across the pool and wait for completion.
 /// If any invocation throws, the first exception (in index order) is

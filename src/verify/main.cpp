@@ -9,12 +9,14 @@
 // Exit code 0 iff every check passes; the pre-merge gate (scripts/check.sh)
 // relies on that.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "check/models.hpp"
 #include "decluster/schemes.hpp"
 #include "design/catalog.hpp"
 #include "verify/fault_oracle.hpp"
@@ -49,6 +51,12 @@ void usage(const char* argv0) {
       "                    replayed on every selected design, checking request\n"
       "                    conservation, down-device routing, guarantee\n"
       "                    re-establishment, and serial == parallel identity\n"
+      "  --model           exhaustively model-check the concurrency\n"
+      "                    primitives (src/check): every schedule of the\n"
+      "                    bounded HandoffQueue / ThreadPool / MetricRegistry\n"
+      "                    models, checked for races, deadlocks, lost\n"
+      "                    wakeups and schedule-dependent results; may be\n"
+      "                    used alone (skips the design audit)\n"
       "  --list            list catalog designs and exit\n"
       "  --verbose         print passing checks, not only failures\n"
       "  --help            this text\n",
@@ -75,6 +83,8 @@ int main(int argc, char** argv) {
   bool replay = false;
   bool obs = false;
   bool faults = false;
+  bool model = false;
+  bool design_flags = false;  // any design-audit option explicitly given
   flashqos::verify::ReplayEquivalenceParams replay_params;
   flashqos::verify::CatalogCheckParams params;
 
@@ -88,8 +98,10 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--max-devices") == 0) {
       max_devices = parse_u64("--max-devices", need_value("--max-devices"));
+      design_flags = true;
     } else if (std::strcmp(argv[i], "--design") == 0) {
       only.emplace_back(need_value("--design"));
+      design_flags = true;
     } else if (std::strcmp(argv[i], "--trials") == 0) {
       params.retrieval.trials =
           static_cast<std::size_t>(parse_u64("--trials", need_value("--trials")));
@@ -112,6 +124,8 @@ int main(int argc, char** argv) {
       obs = true;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       faults = true;
+    } else if (std::strcmp(argv[i], "--model") == 0) {
+      model = true;
     } else if (std::strcmp(argv[i], "--replay-threads") == 0) {
       replay_params.threads = static_cast<std::size_t>(
           parse_u64("--replay-threads", need_value("--replay-threads")));
@@ -133,28 +147,56 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The bound helpers are shared by every design; audit them once up front.
-  const auto arithmetic = flashqos::verify::verify_guarantee_arithmetic();
-  std::printf("%s\n", arithmetic.to_string(verbose).c_str());
-  bool all_ok = arithmetic.passed();
-
+  bool all_ok = true;
   std::size_t checked = 0;
-  for (const auto& e : flashqos::design::catalog()) {
-    if (only.empty()) {
-      if (e.devices > max_devices) continue;
-    } else if (std::find(only.begin(), only.end(), e.name) == only.end()) {
-      continue;
+
+  // `--model` alone skips the design audit (the gate runs them as separate
+  // stages); any explicit design/audit option brings it back.
+  const bool run_designs =
+      !model || design_flags || replay || obs || faults;
+  if (run_designs) {
+    // The bound helpers are shared by every design; audit them once up
+    // front.
+    const auto arithmetic = flashqos::verify::verify_guarantee_arithmetic();
+    std::printf("%s\n", arithmetic.to_string(verbose).c_str());
+    all_ok = arithmetic.passed();
+
+    for (const auto& e : flashqos::design::catalog()) {
+      if (only.empty()) {
+        if (e.devices > max_devices) continue;
+      } else if (std::find(only.begin(), only.end(), e.name) == only.end()) {
+        continue;
+      }
+      const auto report = flashqos::verify::verify_catalog_entry(e, params);
+      std::printf("%s\n", report.to_string(verbose).c_str());
+      std::fflush(stdout);
+      all_ok = all_ok && report.passed();
+      ++checked;
     }
-    const auto report = flashqos::verify::verify_catalog_entry(e, params);
-    std::printf("%s\n", report.to_string(verbose).c_str());
-    std::fflush(stdout);
-    all_ok = all_ok && report.passed();
-    ++checked;
+
+    if (checked == 0) {
+      std::fprintf(stderr, "flashqos_verify: no catalog design matched\n");
+      return 2;
+    }
   }
 
-  if (checked == 0) {
-    std::fprintf(stderr, "flashqos_verify: no catalog design matched\n");
-    return 2;
+  if (model) {
+    // Exhaustive schedule exploration of the bounded concurrency models.
+    // A model passes only if it is clean AND the DFS ran to exhaustion —
+    // a capped exploration is not a proof.
+    for (const auto& run : flashqos::check::run_builtin_models()) {
+      const bool ok = run.result.ok && run.result.exhausted;
+      std::printf("%s model %s (%ju schedules, %ju transitions%s)\n",
+                  ok ? "PASS" : "FAIL", run.name.c_str(),
+                  static_cast<std::uintmax_t>(run.result.executions),
+                  static_cast<std::uintmax_t>(run.result.transitions),
+                  run.result.exhausted ? ", exhaustive" : ", CAPPED");
+      if (verbose) std::printf("  %s\n", run.description.c_str());
+      if (!run.result.ok) std::printf("  %s\n", run.result.failure.c_str());
+      std::fflush(stdout);
+      all_ok = all_ok && ok;
+      ++checked;
+    }
   }
 
   if (replay) {
@@ -205,7 +247,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("%s: %zu design%s checked\n", all_ok ? "OK" : "FAILED", checked,
+  std::printf("%s: %zu subject%s checked\n", all_ok ? "OK" : "FAILED", checked,
               checked == 1 ? "" : "s");
   return all_ok ? 0 : 1;
 }
