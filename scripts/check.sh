@@ -83,8 +83,8 @@ else
   banner "5/7 TSan — SKIPPED (--quick)"
 fi
 
-banner "6/7 design-invariant verifier (catalog, N <= 64) + replay equivalence + obs audit + chaos audit"
-run ./build-werror/src/verify/flashqos_verify --max-devices 64 --replay --obs --faults
+banner "6/7 design-invariant verifier (catalog, N <= 64) + replay equivalence + obs audit + chaos audit + fairness audit"
+run ./build-werror/src/verify/flashqos_verify --max-devices 64 --replay --obs --faults --fairness
 
 banner "7/7 clang-tidy (optional extra)"
 if command -v clang-tidy > /dev/null 2>&1; then

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "check/model_sync.hpp"
+#include "core/tenant_scheduler.hpp"
 #include "obs/metrics.hpp"
 #include "util/handoff_queue.hpp"
 #include "util/thread_pool.hpp"
@@ -14,6 +15,7 @@ using ModelQueue = HandoffQueue<int, ModelSyncPolicy>;
 using ModelPool = BasicThreadPool<ModelSyncPolicy>;
 using ModelRegistry =
     obs::BasicMetricRegistry<ModelSyncPolicy, obs::NullHistogram>;
+using ModelIngress = core::BasicTenantIngress<int, ModelSyncPolicy>;
 
 // Keep models at 2–3 virtual threads and a handful of operations each: the
 // schedule count is roughly multinomial in the per-thread op counts, and
@@ -126,6 +128,48 @@ SchedResult metric_registry_register_fold() {
   });
 }
 
+/// The multi-tenant arrival seam (core::BasicTenantIngress): a producer
+/// fills two capacity-1 tenant queues — plus one maybe-shed extra, racing
+/// the drain — then closes; main drains via pop_any(). Exactly-once
+/// conservation, per-tenant FIFO, shed-on-full, and the close/drain
+/// handshake (no lost wakeup while main blocks on empty queues) must hold
+/// on every schedule. The digest folds away the schedule-dependent shed
+/// count; the invariants are the model_expects.
+SchedResult tenant_ingress_mpsc_drain() {
+  return explore([] {
+    ModelIngress ing(2, 1);
+    ModelShared<int> accepted{0};
+    ModelSyncPolicy::Thread producer([&ing, &accepted] {
+      int n = 0;
+      model_expect(ing.try_push(0, 10), "empty tenant-0 queue must accept");
+      ++n;
+      model_expect(ing.try_push(1, 21), "empty tenant-1 queue must accept");
+      ++n;
+      if (ing.try_push(1, 22)) ++n;  // sheds iff 21 is not yet drained
+      accepted.rw() = n;
+      ing.close();
+    });
+    int popped = 0;
+    int prev1 = 0;
+    while (auto item = ing.pop_any()) {
+      ++popped;
+      if (item->first == 1) {
+        model_expect(item->second > prev1, "tenant-1 items must stay FIFO");
+        prev1 = item->second;
+      } else {
+        model_expect(item->second == 10, "tenant 0 delivers its one item");
+      }
+    }
+    model_expect(!ing.pop_any().has_value(),
+                 "closed+drained ingress must stay empty");
+    producer.join();
+    model_expect(popped == accepted.rd(),
+                 "every accepted item is drained exactly once");
+    model_expect(!ing.try_push(0, 99), "closed ingress must refuse pushes");
+    return std::string("conserved");
+  });
+}
+
 }  // namespace
 
 std::vector<ModelRun> run_builtin_models() {
@@ -146,6 +190,10 @@ std::vector<ModelRun> run_builtin_models() {
                   "destructor with a queued task: stop-and-drain, not "
                   "stop-and-discard",
                   thread_pool_drain_pending()});
+  runs.push_back({"tenant_ingress.mpsc_drain",
+                  "per-tenant bounded queues with shed-on-full: exactly-once "
+                  "drain, per-tenant FIFO, close/drain handshake",
+                  tenant_ingress_mpsc_drain()});
   runs.push_back({"metric_registry.register_fold",
                   "concurrent instrument registration + relaxed increments; "
                   "fold after joins is exact and schedule-invariant",

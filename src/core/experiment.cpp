@@ -94,6 +94,36 @@ trace::Trace make_workload(const Config& cfg) {
     p.seed = seed;
     return trace::generate_synthetic(p);
   }
+  if (kind == "multi_tenant") {
+    trace::MultiTenantParams p;
+    p.interval = from_ms(cfg.get_double("workload", "interval_ms", 0.133));
+    p.intervals =
+        static_cast<std::size_t>(cfg.get_int("workload", "intervals", 100));
+    p.bucket_base =
+        static_cast<std::size_t>(cfg.get_int("workload", "bucket_base", 0));
+    p.seed = seed;
+    p.jitter_slots = static_cast<std::uint32_t>(
+        cfg.get_int("workload", "jitter_slots", 0));
+    for (const auto& spec : cfg.all("tenants", "load")) {
+      std::istringstream ss(spec);
+      trace::TenantLoad l;
+      if (!(ss >> l.requests_per_interval >> l.bucket_pool)) {
+        fail("bad tenant load (want: requests_per_interval bucket_pool "
+             "[active_intervals]): " + spec);
+      }
+      std::uint64_t active = 0;
+      if (ss >> active) l.active_intervals = static_cast<std::size_t>(active);
+      p.tenants.push_back(l);
+    }
+    if (p.tenants.empty()) {
+      fail("multi_tenant workload needs one 'load =' line per tenant in [tenants]");
+    }
+    if (p.tenants.size() != cfg.all("tenants", "tenant").size()) {
+      fail("multi_tenant workload: 'load =' lines must match 'tenant =' lines "
+           "one-to-one (same index order)");
+    }
+    return trace::generate_multi_tenant(p);
+  }
   if (kind == "disksim" || kind == "msr") {
     const std::string path = cfg.get("workload", "path");
     if (path.empty()) fail("workload kind " + kind + " needs a path");
@@ -162,6 +192,28 @@ Experiment build_experiment(const Config& cfg) {
     e.pipeline.scheduler = SchedulerMode::kPrimaryOnly;
   } else {
     fail("unknown scheduler mode: " + scheduler);
+  }
+
+  // Multi-tenant WFQ front end: one line per tenant class, index order
+  // (trace events name tenants by this index).
+  // "tenant = <name> <weight> <reservation> [capacity [mark]]"
+  for (const auto& spec : cfg.all("tenants", "tenant")) {
+    std::istringstream ss(spec);
+    TenantSpec t;
+    if (!(ss >> t.name >> t.weight >> t.reservation)) {
+      fail("bad tenant spec (want: name weight reservation [capacity [mark]]): " +
+           spec);
+    }
+    std::uint64_t cap = 0;
+    if (ss >> cap) {
+      t.queue_capacity = static_cast<std::size_t>(cap);
+      // Default mark threshold tracks the capacity at the stock 3/4 ratio
+      // unless the line pins it explicitly.
+      t.mark_threshold = std::max<std::size_t>(1, t.queue_capacity * 3 / 4);
+      std::uint64_t mark = 0;
+      if (ss >> mark) t.mark_threshold = static_cast<std::size_t>(mark);
+    }
+    e.pipeline.tenants.push_back(std::move(t));
   }
 
   // Scripted outages: "fail = device fail_ms recover_ms" (-1 recover =
@@ -297,6 +349,17 @@ seed = 42
 write_fraction = 0.0
 # path = trace.csv        # for disksim / msr kinds
 # volumes = 9
+# intervals = 100         # multi_tenant kind: trace length in intervals
+# jitter_slots = 0        # multi_tenant kind: spread arrivals inside T
+
+[tenants]
+# Multi-tenant WFQ front end (empty section = single-tenant pipeline).
+# One line per tenant class; trace events name tenants by line order.
+# tenant = gold 4.0 2 64 48     # name weight reservation [capacity [mark]]
+# tenant = bronze 1.0 0
+# With workload kind = multi_tenant, pair each tenant with a load line:
+# load = 3 8                    # requests/interval bucket_pool [active_intervals]
+# load = 1 8 50
 
 [faults]
 # seed = 1                      # generator seed; same seed -> same windows

@@ -29,13 +29,14 @@ const char* to_string(RetrievalPath path) noexcept {
     case RetrievalPath::kDegraded: return "degraded";
     case RetrievalPath::kWrite: return "write";
     case RetrievalPath::kFailed: return "failed";
+    case RetrievalPath::kShed: return "shed";
   }
   return "unknown";
 }
 
 namespace {
 
-inline constexpr std::size_t kPathCount = 9;
+inline constexpr std::size_t kPathCount = 10;
 
 /// Pipeline-level registry handles, resolved once. The per-event live
 /// increments (dispatches, deferrals, write replica ops) are single relaxed
@@ -121,6 +122,7 @@ obs::EventDetail trace_detail(RetrievalPath path) noexcept {
     case RetrievalPath::kDegraded: return obs::EventDetail::kDegraded;
     case RetrievalPath::kWrite: return obs::EventDetail::kWrite;
     case RetrievalPath::kFailed: return obs::EventDetail::kNone;
+    case RetrievalPath::kShed: return obs::EventDetail::kNone;
   }
   return obs::EventDetail::kNone;
 }
@@ -446,12 +448,51 @@ std::vector<std::string> PipelineConfig::validate(std::uint32_t devices) const {
   }
   if (p_table_samples == 0) out.push_back("p_table_samples must be positive");
   for (const auto& d : faults.validate(devices)) out.push_back("faults: " + d);
+  if (!tenants.empty()) {
+    if (admission == AdmissionMode::kStatistical) {
+      out.push_back(
+          "statistical admission is not supported with a [tenants] section "
+          "(the surplus rule and the WFQ share interact; use deterministic "
+          "admission)");
+    }
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      const auto& s = tenants[i];
+      const std::string who = "tenant '" + s.name + "': ";
+      if (s.name.empty()) out.push_back("tenant names must be non-empty");
+      if (!(s.weight > 0.0) || !std::isfinite(s.weight)) {
+        out.push_back(who + "weight must be positive and finite");
+      }
+      if (s.queue_capacity < 1) {
+        out.push_back(who + "queue_capacity must be at least 1");
+      }
+      if (s.mark_threshold < 1 || s.mark_threshold > s.queue_capacity) {
+        out.push_back(who + "mark_threshold must be in [1, queue_capacity]");
+      }
+      for (std::size_t j = i + 1; j < tenants.size(); ++j) {
+        if (tenants[j].name == s.name) {
+          out.push_back("duplicate tenant name '" + s.name + "'");
+        }
+      }
+    }
+  }
   return out;
 }
 
 QosPipeline::QosPipeline(const decluster::AllocationScheme& scheme, PipelineConfig cfg)
     : scheme_(scheme), cfg_(std::move(cfg)), retriever_(scheme_, cfg_.service_time) {
-  const auto diags = cfg_.validate(scheme_.devices());
+  auto diags = cfg_.validate(scheme_.devices());
+  if (!cfg_.tenants.empty()) {
+    // Needs the scheme (S depends on c), so it lives here, not validate().
+    const std::uint64_t s_budget =
+        design::guarantee_buckets(scheme_.copies(), cfg_.access_budget);
+    std::uint64_t reserved = 0;
+    for (const auto& ten : cfg_.tenants) reserved += ten.reservation;
+    if (reserved > s_budget) {
+      diags.push_back("tenant reservations (" + std::to_string(reserved) +
+                      ") exceed the interval budget S=" +
+                      std::to_string(s_budget));
+    }
+  }
   for (const auto& d : diags) {
     // flashqos-lint: allow(adhoc-logging): diagnostics before the contract abort
     std::fprintf(stderr, "flashqos: invalid pipeline config: %s\n", d.c_str());
@@ -479,6 +520,35 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
   std::optional<StatisticalAdmission> stat;
   if (cfg_.admission == AdmissionMode::kStatistical) {
     stat.emplace(cfg_.p_table, det.limit(), cfg_.epsilon);
+  }
+
+  // Multi-tenant WFQ front end (core/tenant_scheduler.hpp). Lives entirely
+  // inside this serial loop, so serial ≡ parallel bit-identity holds for
+  // tenant configs the same way it does for admission and retrieval. An
+  // empty [tenants] section takes none of the tenant branches below.
+  const bool tenant_mode = !cfg_.tenants.empty();
+  std::optional<TenantScheduler> ts;
+  if (tenant_mode) ts.emplace(cfg_.tenants, det.limit(), cfg_.wfq_knobs);
+  // Lifecycle of each read under the front end: 0 = not yet seen,
+  // 1 = queued in its tenant FIFO (one wake outstanding), 2 = final
+  // (dispatched, shed, or failed). A popped Pending whose request is
+  // already final is a stale wake and is skipped.
+  std::vector<std::uint8_t> tstate;
+  if (tenant_mode) tstate.assign(t.events.size(), 0);
+  std::vector<bool> tenant_blocked;
+  std::vector<std::uint64_t> dispensed;   // matched request ids, add order
+  std::vector<std::size_t> aligned_ids;   // aligned-mode dispensed batch
+  std::vector<BucketId> aligned_buckets;
+  std::vector<obs::LatencyHistogram*> depth_hist;
+  if constexpr (obs::kEnabled) {
+    if (tenant_mode) {
+      auto& reg = obs::MetricRegistry::global();
+      depth_hist.reserve(cfg_.tenants.size());
+      for (const auto& s : cfg_.tenants) {
+        depth_hist.push_back(
+            &reg.histogram("wfq.queue_depth", "tenant=\"" + s.name + "\""));
+      }
+    }
   }
 
   // Fault state. The compiled plan is a pure function of (plan, scheme,
@@ -520,6 +590,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     if (down_mask.empty()) {
       det_limit_now = det.limit();
       if (stat.has_value()) stat->set_budget(det.limit(), cfg_.p_table);
+      if (tenant_mode) ts->set_live_budget(det_limit_now);
       return;
     }
     std::uint32_t f = 0;
@@ -550,6 +621,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       }
       stat->set_budget(det_limit_now, it->second);
     }
+    if (tenant_mode) ts->set_live_budget(det_limit_now);
   };
 
   flashsim::FlashArray array(
@@ -669,6 +741,12 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       group.push_back(queue.top());
       queue.pop();
     }
+    if (tenant_mode) {
+      // Drop stale wakes: requests dispensed (or failed) at an earlier
+      // instant while their boundary wake was still pending.
+      std::erase_if(group,
+                    [&](const Pending& g) { return tstate[g.idx] == 2; });
+    }
     if (faults_active) submit_rebuild_due(now);
     array.run_until(now);
 
@@ -707,6 +785,16 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       current_qi = qi;
       admitted = 0;
       demand = 0;
+      if (tenant_mode) {
+        // Depth sampled at the boundary = backlog carried across it.
+        ts->observe_depths();
+        if constexpr (obs::kEnabled) {
+          for (std::size_t k = 0; k < depth_hist.size(); ++k) {
+            depth_hist[k]->record(static_cast<std::int64_t>(ts->depth(k)));
+          }
+        }
+        ts->begin_interval(det_limit_now);
+      }
     }
     // Q estimate for this interval (constant between end_interval calls);
     // recorded on every outcome dispatched at this instant.
@@ -728,6 +816,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       o.dispatch = now;
       o.fim_matched = cfg_.mapping == MappingMode::kFim && m.matched;
       o.q_ppm = q_ppm;
+      o.tenant = t.events[group[i].idx].tenant;
     }
 
     const auto defer = [&](const Pending& p) {
@@ -763,6 +852,14 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         live.clear();
         live_buckets.clear();
         for (std::size_t i = 0; i < group.size(); ++i) {
+          if (tenant_mode && t.events[group[i].idx].is_read) {
+            // Reads pass through: stranded heads are handled at dispense
+            // time (strand_check below), where the WFQ queue can drop
+            // them; failing them here would leave stale queue entries.
+            live.push_back(group[i]);
+            live_buckets.push_back(buckets[i]);
+            continue;
+          }
           const auto reps = scheme_.replicas(buckets[i]);
           if (std::any_of(reps.begin(), reps.end(),
                           [&](DeviceId d) { return available[d]; })) {
@@ -801,7 +898,9 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         }
         std::swap(group, live);
         std::swap(buckets, live_buckets);
-        if (group.empty()) continue;
+        // Tenant mode proceeds even with an empty group: queued backlog
+        // may still be dispensable at this instant.
+        if (group.empty() && !tenant_mode) continue;
       }
     }
 
@@ -851,8 +950,257 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       if (any_write) {
         std::swap(group, reads);
         std::swap(buckets, read_buckets);
-        if (group.empty()) continue;
+        if (group.empty() && !tenant_mode) continue;
       }
+    }
+
+    // Multi-tenant WFQ front end: fresh reads join their tenant queue
+    // (mark/shed backpressure applied at enqueue), then the scheduler
+    // dispenses the live budget across backlogged tenants in virtual-
+    // finish-time order, reservations honored as floors. The Pending
+    // queue doubles as the wake clock — every still-queued request holds
+    // exactly one wake at the next interval boundary, so backlog keeps
+    // draining after the last arrival and every request reaches a final
+    // state (dispatched, shed, or failed).
+    if (tenant_mode) {
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        const std::size_t id = group[i].idx;
+        if (tstate[id] != 0) continue;  // a wake, already in its FIFO
+        auto& o = result.outcomes[id];
+        const auto tid = static_cast<std::size_t>(t.events[id].tenant);
+        switch (ts->enqueue(tid, id)) {
+          case WfqQueues::Enqueue::kShed:
+            // Hard backpressure: dropped at the front end, never queued.
+            // Finalized at the arrival instant so shed requests cannot
+            // distort the latency populations.
+            o.dispatch = now;
+            o.start = now;
+            o.finish = now;
+            o.failed = true;
+            o.path = RetrievalPath::kShed;
+            tstate[id] = 2;
+            break;
+          case WfqQueues::Enqueue::kMarked:
+            o.wfq_marked = true;
+            [[fallthrough]];
+          case WfqQueues::Enqueue::kAccepted:
+            tstate[id] = 1;
+            break;
+        }
+      }
+
+      const bool unlimited = cfg_.admission == AdmissionMode::kNone;
+      tenant_blocked.assign(ts->tenants(), false);
+
+      // Head with every replica down right now: 0 = servable, 1 = wait
+      // (tenant blocked this instant; its wake retries at the boundary),
+      // 2 = failed and removed from its queue.
+      const auto strand_check = [&](std::size_t tid, std::uint64_t id,
+                                    BucketId bucket) -> int {
+        if (available.empty()) return 0;
+        const auto reps = scheme_.replicas(bucket);
+        if (std::any_of(reps.begin(), reps.end(),
+                        [&](DeviceId d) { return available[d]; })) {
+          return 0;
+        }
+        SimTime recovery = DeviceFailure::kNeverRecovers;
+        for (const auto d : reps) {
+          recovery = std::min(recovery, injector.device_up_at(d, now));
+        }
+        auto& o = result.outcomes[id];
+        SimTime next_dispatch = 0;
+        if (recovery != DeviceFailure::kNeverRecovers) {
+          next_dispatch =
+              std::max((qi + 1) * T, next_interval_start(recovery, T));
+        }
+        const bool timed_out =
+            recovery != DeviceFailure::kNeverRecovers &&
+            retry_timeout != fault::RetryPolicy::kNoTimeout &&
+            next_dispatch - o.arrival > retry_timeout;
+        if (recovery == DeviceFailure::kNeverRecovers || timed_out) {
+          ts->drop_head(tid);
+          o.dispatch = now;
+          o.start = now;
+          o.finish = now;
+          o.failed = true;
+          o.path = RetrievalPath::kFailed;
+          if (timed_out) ++timeouts_tally;
+          tstate[id] = 2;
+          return 2;
+        }
+        tenant_blocked[tid] = true;
+        return 1;
+      };
+
+      // Dispatch metadata shared by every dispense site. The dispatch
+      // instant is when the scheduler releases the request — delay and
+      // deferral semantics match the single-tenant admission path.
+      const auto dispense_meta = [&](std::uint64_t id, bool matched) {
+        auto& o = result.outcomes[id];
+        o.dispatch = now;
+        o.fim_matched = cfg_.mapping == MappingMode::kFim && matched;
+        o.q_ppm = 0;
+      };
+
+      if (cfg_.scheduler == SchedulerMode::kPrimaryOnly) {
+        while (const auto tid =
+                   ts->next_candidate(tenant_blocked, unlimited)) {
+          const std::uint64_t id = ts->head(*tid);
+          if (tstate[id] == 2) {
+            ts->drop_head(*tid);
+            continue;
+          }
+          const auto m = mapper.map(t.events[id].block);
+          if (strand_check(*tid, id, m.bucket) != 0) continue;
+          ts->pop(*tid, unlimited);
+          ++admitted;
+          dispense_meta(id, m.matched);
+          tstate[id] = 2;
+          DeviceId dev = kInvalidDevice;
+          for (const auto d : scheme_.replicas(m.bucket)) {
+            if (available.empty() || available[d]) {
+              dev = d;
+              break;
+            }
+          }
+          FLASHQOS_ASSERT(dev != kInvalidDevice,
+                          "strand check left a dead head");
+          result.outcomes[id].path = RetrievalPath::kPrimary;
+          dispatch_request(id, dev, std::max(free_at[dev], now));
+        }
+      } else if (cfg_.retrieval == RetrievalMode::kIntervalAligned) {
+        // Batch path: dispense by budget in VFT order, then schedule the
+        // whole batch with DTR + max-flow exactly like the single-tenant
+        // aligned path.
+        aligned_ids.clear();
+        aligned_buckets.clear();
+        while (const auto tid =
+                   ts->next_candidate(tenant_blocked, unlimited)) {
+          const std::uint64_t id = ts->head(*tid);
+          if (tstate[id] == 2) {
+            ts->drop_head(*tid);
+            continue;
+          }
+          const auto m = mapper.map(t.events[id].block);
+          if (strand_check(*tid, id, m.bucket) != 0) continue;
+          ts->pop(*tid, unlimited);
+          ++admitted;
+          dispense_meta(id, m.matched);
+          tstate[id] = 2;
+          aligned_ids.push_back(id);
+          aligned_buckets.push_back(m.bucket);
+        }
+        if (!aligned_ids.empty()) {
+          const retrieval::Schedule* sched =
+              retriever_.schedule(aligned_buckets, available);
+          FLASHQOS_ASSERT(sched != nullptr, "strand check left a dead head");
+          const RetrievalPath batch_path =
+              !available.empty() ? RetrievalPath::kDegraded
+              : sched->via == retrieval::SolvedBy::kMaxFlow
+                  ? RetrievalPath::kAlignedMaxFlow
+                  : RetrievalPath::kAlignedDtr;
+          order.resize(aligned_ids.size());
+          for (std::size_t i = 0; i < aligned_ids.size(); ++i) order[i] = i;
+          std::stable_sort(order.begin(), order.end(),
+                           [&](std::size_t a, std::size_t b) {
+                             return sched->assignments[a].round <
+                                    sched->assignments[b].round;
+                           });
+          for (const auto i : order) {
+            const DeviceId dev = sched->assignments[i].device;
+            result.outcomes[aligned_ids[i]].path = batch_path;
+            dispatch_request(aligned_ids[i], dev,
+                             std::max(free_at[dev], now));
+          }
+        }
+      } else {
+        // Online deterministic: offer heads to the slot matcher in VFT
+        // order. A refused head blocks its tenant for this instant only —
+        // the next head in VFT order may still fit, which is what keeps
+        // slots from idling while any queue is backlogged. With no
+        // admission (kNone) nothing queues across instants: refused heads
+        // overflow to their earliest-finishing replica, like the
+        // single-tenant baseline.
+        const std::vector<SimTime>* svc_ptr = nullptr;
+        if (faults_active && injector.any_spike_at(now)) {
+          svc_now.resize(scheme_.devices());
+          for (DeviceId d = 0; d < scheme_.devices(); ++d) {
+            svc_now[d] = read_service(d, now);
+          }
+          svc_ptr = &svc_now;
+        }
+        SlotMatcher matcher(scheme_, free_at, now, L, cfg_.access_budget,
+                            available, svc_ptr);
+        dispensed.clear();
+        bool matching_open = true;
+        while (const auto tid =
+                   ts->next_candidate(tenant_blocked, unlimited)) {
+          const std::uint64_t id = ts->head(*tid);
+          if (tstate[id] == 2) {
+            ts->drop_head(*tid);
+            continue;
+          }
+          const auto m = mapper.map(t.events[id].block);
+          if (strand_check(*tid, id, m.bucket) != 0) continue;
+          if (matching_open && matcher.add(m.bucket)) {
+            ts->pop(*tid, unlimited);
+            ++admitted;
+            dispense_meta(id, m.matched);
+            tstate[id] = 2;
+            dispensed.push_back(id);
+            continue;
+          }
+          if (unlimited) {
+            // Surplus placements change free_at under the matcher, so the
+            // slot view is stale from the first refusal on (same rule as
+            // the single-tenant kNone path).
+            matching_open = false;
+            ts->pop(*tid, true);
+            dispense_meta(id, m.matched);
+            tstate[id] = 2;
+            DeviceId best = kInvalidDevice;
+            for (const auto d : scheme_.replicas(m.bucket)) {
+              if (!available.empty() && !available[d]) continue;
+              if (best == kInvalidDevice ||
+                  std::max(free_at[d], now) < std::max(free_at[best], now)) {
+                best = d;
+              }
+            }
+            FLASHQOS_ASSERT(best != kInvalidDevice,
+                            "strand check left a dead head");
+            result.outcomes[id].path = RetrievalPath::kSurplus;
+            dispatch_request(id, best, std::max(free_at[best], now));
+            continue;
+          }
+          tenant_blocked[*tid] = true;
+        }
+        // Materialize matched placements: add order is dispense order, so
+        // per-device slots follow the WFQ dispatch order.
+        const auto assignment = matcher.assignment();
+        cursor.assign(free_at.size(), -1);
+        for (std::size_t a = 0; a < dispensed.size(); ++a) {
+          const std::uint64_t id = dispensed[a];
+          const DeviceId dev = assignment[a];
+          FLASHQOS_ASSERT(dev != kInvalidDevice,
+                          "matched request must have a device");
+          SimTime& c = cursor[dev];
+          if (c < 0) c = std::max(free_at[dev], now);
+          result.outcomes[id].path = RetrievalPath::kSlotMatched;
+          dispatch_request(id, dev, c);
+          c = result.outcomes[id].finish;
+        }
+      }
+
+      // One wake per still-queued member of this group; queued requests
+      // from older groups already hold theirs.
+      for (const auto& g : group) {
+        if (tstate[g.idx] != 1) continue;
+        Pending d = g;
+        d.dispatch = (qi + 1) * T;
+        queue.push(d);
+        if constexpr (obs::kEnabled) ++deferrals_tally;
+      }
+      continue;
     }
 
     if (cfg_.scheduler == SchedulerMode::kPrimaryOnly) {
@@ -1011,6 +1359,14 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     }
   }
   if (stat.has_value()) stat->end_interval(demand, admitted);
+  if (tenant_mode) {
+    FLASHQOS_ASSERT(!ts->backlogged(),
+                    "tenant backlog must drain before the replay ends");
+    result.tenant_usage.resize(ts->tenants());
+    for (std::size_t k = 0; k < ts->tenants(); ++k) {
+      result.tenant_usage[k] = ts->usage(k);
+    }
+  }
 
   array.run();
   for (const auto& c : array.take_completions()) {
@@ -1044,6 +1400,21 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       const auto leftover = static_cast<std::int64_t>(
           injector.rebuild_reads_total() - injector.rebuild_reads_issued());
       if (leftover > 0) fm.rebuild_pending.add(-leftover);
+    }
+    if (tenant_mode) {
+      // Per-tenant WFQ tallies, published once per replay like everything
+      // else; wfq.vtime accumulates virtual-clock progress (micro-units)
+      // across replays.
+      auto& reg = obs::MetricRegistry::global();
+      reg.gauge("wfq.vtime").add(std::llround(ts->virtual_time() * 1e6));
+      for (std::size_t k = 0; k < ts->tenants(); ++k) {
+        const auto& u = ts->usage(k);
+        const std::string label = "tenant=\"" + cfg_.tenants[k].name + "\"";
+        if (u.arrivals > 0) reg.counter("wfq.arrivals", label).inc(u.arrivals);
+        if (u.admitted > 0) reg.counter("wfq.admitted", label).inc(u.admitted);
+        if (u.shed > 0) reg.counter("wfq.shed", label).inc(u.shed);
+        if (u.marked > 0) reg.counter("wfq.marked", label).inc(u.marked);
+      }
     }
     record_outcome_observability(result);
   }

@@ -30,6 +30,7 @@
 
 #include "core/admission.hpp"
 #include "core/block_mapper.hpp"
+#include "core/tenant_scheduler.hpp"
 #include "decluster/allocation.hpp"
 #include "fault/fault_plan.hpp"
 #include "fim/transaction.hpp"
@@ -85,6 +86,18 @@ struct PipelineConfig {
   /// evaluation is read-only). Writes go to every live replica and bypass
   /// read admission, but they occupy devices — reads defer around them.
   SimTime write_latency = flashsim::kPageWriteLatency;
+  /// Multi-tenant WFQ front end. Empty (the default) = single-tenant
+  /// pipeline, bit-identical to a build without the tenant subsystem.
+  /// Non-empty: every read is queued per its event's tenant index and the
+  /// scheduler dispenses the live interval budget across tenants in
+  /// virtual-finish-time order, reservations honored as floors
+  /// (core/tenant_scheduler.hpp). Statistical admission is not yet
+  /// supported with tenants (the surplus rule and the WFQ share interact;
+  /// validate() rejects the combination).
+  std::vector<TenantSpec> tenants;
+  /// Deliberate-defect switches for the fairness oracle's liveness tests
+  /// (see WfqKnobs); production configs leave this default.
+  WfqKnobs wfq_knobs;
 
   /// Readable diagnostics; empty means the config is coherent. `devices`
   /// bounds fault-plan device ids when nonzero. QosPipeline's constructor
@@ -107,6 +120,7 @@ enum class RetrievalPath : std::uint8_t {
   kDegraded,        // scheduled around a device outage
   kWrite,           // replicated page program
   kFailed,          // no replica ever available
+  kShed,            // dropped at the WFQ front end: tenant queue full
 };
 
 [[nodiscard]] const char* to_string(RetrievalPath path) noexcept;
@@ -125,6 +139,12 @@ struct RequestOutcome {
   /// instant, in parts per million (0 outside statistical admission).
   /// Integral so the equivalence audit can compare exactly.
   std::int32_t q_ppm = 0;
+  /// Tenant class index (0 outside multi-tenant configs). Part of the
+  /// serial ≡ parallel result contract like every other field here.
+  std::uint32_t tenant = 0;
+  /// ECN-style congestion bit: the tenant queue was at or past its mark
+  /// threshold when this request was accepted into it.
+  bool wfq_marked = false;
 
   [[nodiscard]] SimTime delay() const noexcept { return dispatch - arrival; }
   /// A request is "delayed" when it was not dispatched the instant it
@@ -156,6 +176,9 @@ struct PipelineResult {
   std::vector<RequestOutcome> outcomes;   // per request, trace order
   IntervalReport overall;                 // aggregate over all requests
   std::size_t deadline_violations = 0;    // response > qos_interval
+  /// Per-tenant WFQ tallies, indexed like PipelineConfig::tenants (empty
+  /// for single-tenant configs). Part of the serial ≡ parallel contract.
+  std::vector<TenantUsage> tenant_usage;
 };
 
 /// Serves the per-reporting-slice FIM mining results to the replay loop

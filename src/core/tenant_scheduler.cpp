@@ -1,0 +1,165 @@
+#include "core/tenant_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flashqos::core {
+
+namespace {
+
+std::vector<double> spec_weights(const std::vector<TenantSpec>& specs) {
+  std::vector<double> w;
+  w.reserve(specs.size());
+  for (const auto& s : specs) w.push_back(s.weight);
+  return w;
+}
+
+std::vector<std::size_t> spec_capacities(const std::vector<TenantSpec>& specs) {
+  std::vector<std::size_t> c;
+  c.reserve(specs.size());
+  for (const auto& s : specs) c.push_back(s.queue_capacity);
+  return c;
+}
+
+std::vector<std::size_t> spec_marks(const std::vector<TenantSpec>& specs) {
+  std::vector<std::size_t> m;
+  m.reserve(specs.size());
+  for (const auto& s : specs) m.push_back(s.mark_threshold);
+  return m;
+}
+
+}  // namespace
+
+TenantScheduler::TenantScheduler(const std::vector<TenantSpec>& specs,
+                                 std::uint64_t configured_budget,
+                                 WfqKnobs knobs)
+    : specs_(specs),
+      wfq_(spec_weights(specs), spec_capacities(specs), spec_marks(specs),
+           knobs),
+      configured_budget_(configured_budget),
+      knobs_(knobs) {
+  FLASHQOS_EXPECT(configured_budget_ >= 1,
+                  "tenant scheduler needs a positive interval budget");
+  std::uint64_t reserved = 0;
+  for (const auto& s : specs_) {
+    FLASHQOS_EXPECT(!s.name.empty(), "tenant names must be non-empty");
+    reserved += s.reservation;
+  }
+  FLASHQOS_EXPECT(reserved <= configured_budget_,
+                  "tenant reservations must not exceed the interval budget S");
+  floor_.assign(specs_.size(), 0);
+  floor_used_.assign(specs_.size(), 0);
+  usage_.assign(specs_.size(), TenantUsage{});
+  begin_interval(configured_budget_);
+}
+
+void TenantScheduler::rescale(std::uint64_t live_budget) {
+  live_budget_ = live_budget;
+  std::uint64_t reserved = 0;
+  for (std::size_t t = 0; t < specs_.size(); ++t) {
+    std::uint64_t res = specs_[t].reservation;
+    if (knobs_.ignore_reservations) {
+      res = 0;  // mutation: floors collapse into the shared pool
+    } else if (live_budget < configured_budget_) {
+      // Degraded S′ < S: guarantees shrink proportionally, floor() so the
+      // scaled floors never oversubscribe the smaller budget.
+      res = res * live_budget / configured_budget_;
+    }
+    floor_[t] = res;
+    reserved += res;
+  }
+  shared_pool_ = live_budget >= reserved ? live_budget - reserved : 0;
+  // Progress guarantee: if the floors consume the whole live budget while
+  // some tenant's floor rounded (or was configured) to zero, that tenant
+  // could never drain its backlog. Move one slot from the largest floor
+  // (lowest index on ties) into the shared pool — deterministic, and a
+  // one-slot perturbation of a guarantee that already shrank.
+  if (shared_pool_ == 0 && live_budget >= 1) {
+    bool starved = false;
+    std::size_t donor = 0;
+    for (std::size_t t = 0; t < floor_.size(); ++t) {
+      if (floor_[t] == 0) starved = true;
+      if (floor_[t] > floor_[donor]) donor = t;
+    }
+    if (starved && floor_[donor] > 0) {
+      --floor_[donor];
+      shared_pool_ = 1;
+    }
+  }
+}
+
+void TenantScheduler::begin_interval(std::uint64_t live_budget) {
+  rescale(live_budget);
+  std::fill(floor_used_.begin(), floor_used_.end(), 0);
+  shared_used_ = 0;
+}
+
+void TenantScheduler::set_live_budget(std::uint64_t live_budget) {
+  // Draws already made this interval stay spent; has_budget() saturates
+  // when a shrunken pool dips below what was already drawn.
+  rescale(live_budget);
+}
+
+WfqQueues::Enqueue TenantScheduler::enqueue(std::size_t t, std::uint64_t id) {
+  FLASHQOS_EXPECT(t < specs_.size(),
+                  "trace event names a tenant the [tenants] section does not");
+  const auto verdict = wfq_.enqueue(t, id);
+  auto& u = usage_[t];
+  if (verdict == WfqQueues::Enqueue::kShed) {
+    ++u.shed;
+    return verdict;
+  }
+  ++u.arrivals;
+  if (verdict == WfqQueues::Enqueue::kMarked) ++u.marked;
+  u.max_depth = std::max<std::uint64_t>(u.max_depth, wfq_.depth(t));
+  return verdict;
+}
+
+bool TenantScheduler::has_budget(std::size_t t) const {
+  if (knobs_.leak_budget) return true;  // mutation: admissions unbounded
+  if (floor_used_[t] < floor_[t]) return true;
+  return shared_used_ < shared_pool_;
+}
+
+std::optional<std::size_t> TenantScheduler::next_candidate(
+    const std::vector<bool>& blocked, bool unlimited) const {
+  // Budget exclusion folds into the WFQ exclusion mask so the pick is
+  // still "minimum virtual finish time among eligible heads".
+  exclude_.assign(specs_.size(), false);
+  bool any = false;
+  for (std::size_t t = 0; t < specs_.size(); ++t) {
+    const bool out = (!blocked.empty() && blocked[t]) ||
+                     (!unlimited && !has_budget(t));
+    exclude_[t] = out;
+    any = any || out;
+  }
+  if (!any) exclude_.clear();  // empty mask = no exclusions
+  return wfq_.next(exclude_);
+}
+
+std::uint64_t TenantScheduler::pop(std::size_t t, bool unlimited) {
+  if (!unlimited && !knobs_.leak_budget) {
+    if (floor_used_[t] < floor_[t]) {
+      ++floor_used_[t];
+    } else {
+      FLASHQOS_ASSERT(shared_used_ < shared_pool_,
+                      "dispensed past the interval budget");
+      ++shared_used_;
+    }
+  }
+  ++usage_[t].admitted;
+  return wfq_.pop(t);
+}
+
+std::uint64_t TenantScheduler::drop_head(std::size_t t) {
+  return wfq_.drop_head(t);
+}
+
+void TenantScheduler::observe_depths() {
+  for (std::size_t t = 0; t < specs_.size(); ++t) {
+    usage_[t].max_depth =
+        std::max<std::uint64_t>(usage_[t].max_depth, wfq_.depth(t));
+  }
+}
+
+}  // namespace flashqos::core

@@ -1,0 +1,87 @@
+#include "core/wfq.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flashqos::core {
+
+WfqQueues::WfqQueues(std::vector<double> weights,
+                     std::vector<std::size_t> capacities,
+                     std::vector<std::size_t> mark_thresholds, WfqKnobs knobs)
+    : weights_(std::move(weights)),
+      capacities_(std::move(capacities)),
+      marks_(std::move(mark_thresholds)),
+      knobs_(knobs) {
+  FLASHQOS_EXPECT(!weights_.empty(), "WFQ needs at least one queue");
+  FLASHQOS_EXPECT(capacities_.size() == weights_.size() &&
+                      marks_.size() == weights_.size(),
+                  "WFQ parameter arrays must be the same length");
+  for (std::size_t q = 0; q < weights_.size(); ++q) {
+    FLASHQOS_EXPECT(std::isfinite(weights_[q]) && weights_[q] > 0.0,
+                    "WFQ weights must be positive and finite");
+    FLASHQOS_EXPECT(capacities_[q] >= 1, "WFQ queue capacity must be >= 1");
+    FLASHQOS_EXPECT(marks_[q] >= 1 && marks_[q] <= capacities_[q],
+                    "WFQ mark threshold must be in [1, capacity]");
+    total_weight_ += weights_[q];
+  }
+  fifo_.resize(weights_.size());
+  last_finish_.assign(weights_.size(), 0.0);
+}
+
+double WfqQueues::backlogged_weight() const {
+  // Recomputed by summation in queue-index order — never maintained
+  // incrementally — so the reference simulator's arithmetic matches ours
+  // bit for bit (same additions in the same order).
+  if (knobs_.skip_renormalization) return total_weight_;
+  double w = 0.0;
+  for (std::size_t q = 0; q < weights_.size(); ++q) {
+    if (!fifo_[q].empty()) w += weights_[q];
+  }
+  return w;
+}
+
+WfqQueues::Enqueue WfqQueues::enqueue(std::size_t q, std::uint64_t id) {
+  FLASHQOS_ASSERT(q < fifo_.size(), "WFQ enqueue to an unknown queue");
+  auto& fifo = fifo_[q];
+  if (fifo.size() >= capacities_[q]) return Enqueue::kShed;
+  const double finish = std::max(vtime_, last_finish_[q]) + 1.0 / weights_[q];
+  last_finish_[q] = finish;
+  fifo.push_back(Item{id, finish});
+  ++queued_;
+  return fifo.size() >= marks_[q] ? Enqueue::kMarked : Enqueue::kAccepted;
+}
+
+std::optional<std::size_t> WfqQueues::next(
+    const std::vector<bool>& exclude) const {
+  std::optional<std::size_t> best;
+  for (std::size_t q = 0; q < fifo_.size(); ++q) {
+    if (fifo_[q].empty()) continue;
+    if (!exclude.empty() && exclude[q]) continue;
+    if (knobs_.fifo_order) return q;  // mutation: lowest backlogged index
+    if (!best.has_value() || fifo_[q].front().finish < fifo_[*best].front().finish) {
+      best = q;
+    }
+  }
+  return best;
+}
+
+std::uint64_t WfqQueues::pop(std::size_t q) {
+  FLASHQOS_ASSERT(!fifo_[q].empty(), "pop() on an empty WFQ queue");
+  // Rate measured while the served queue still counts as backlogged.
+  const double rate = backlogged_weight();
+  const std::uint64_t id = fifo_[q].front().id;
+  fifo_[q].pop_front();
+  --queued_;
+  vtime_ += 1.0 / rate;
+  return id;
+}
+
+std::uint64_t WfqQueues::drop_head(std::size_t q) {
+  FLASHQOS_ASSERT(!fifo_[q].empty(), "drop_head() on an empty WFQ queue");
+  const std::uint64_t id = fifo_[q].front().id;
+  fifo_[q].pop_front();
+  --queued_;
+  return id;
+}
+
+}  // namespace flashqos::core

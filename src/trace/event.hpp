@@ -20,6 +20,9 @@ struct TraceEvent {
   DeviceId device = 0;        // volume the original trace serves this from
   std::uint32_t size_blocks = 1;  // request size in 8 KB blocks
   bool is_read = true;
+  /// Tenant class index into the pipeline's [tenants] table. File-format
+  /// readers leave it 0; a single-tenant pipeline ignores it entirely.
+  std::uint32_t tenant = 0;
 };
 
 struct Trace {

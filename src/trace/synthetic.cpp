@@ -1,5 +1,7 @@
 #include "trace/synthetic.hpp"
 
+#include <algorithm>
+
 #include "util/expect.hpp"
 #include "util/rng.hpp"
 
@@ -35,6 +37,62 @@ Trace generate_synthetic(const SyntheticParams& p) {
       }
     }
     now += p.interval;
+  }
+  return t;
+}
+
+Trace generate_multi_tenant(const MultiTenantParams& p) {
+  FLASHQOS_EXPECT(!p.tenants.empty(), "need at least one tenant load");
+  FLASHQOS_EXPECT(p.intervals > 0, "need at least one interval");
+  Rng rng(p.seed);
+  Trace t;
+  t.name = "multi_tenant_synthetic";
+  t.volumes = 0;
+  t.report_interval = p.interval;
+
+  // Disjoint consecutive pools; per-tenant cursor cycles the pool so any
+  // short run of that tenant's requests hits distinct buckets.
+  std::vector<std::size_t> base(p.tenants.size());
+  std::vector<std::size_t> cursor(p.tenants.size(), 0);
+  std::size_t next_base = p.bucket_base;
+  for (std::size_t k = 0; k < p.tenants.size(); ++k) {
+    FLASHQOS_EXPECT(p.tenants[k].bucket_pool > 0,
+                    "tenant bucket pools must be non-empty");
+    base[k] = next_base;
+    next_base += p.tenants[k].bucket_pool;
+  }
+
+  std::vector<TraceEvent> batch;
+  for (std::size_t q = 0; q < p.intervals; ++q) {
+    const SimTime boundary = static_cast<SimTime>(q) * p.interval;
+    batch.clear();
+    for (std::size_t k = 0; k < p.tenants.size(); ++k) {
+      const auto& load = p.tenants[k];
+      if (load.active_intervals > 0 && q >= load.active_intervals) continue;
+      if (load.period > 1 && q % load.period != 0) continue;
+      for (std::uint32_t i = 0; i < load.requests_per_interval; ++i) {
+        SimTime at = boundary;
+        if (p.jitter_slots > 0) {
+          const SimTime step = p.interval / (p.jitter_slots + 1);
+          at += static_cast<SimTime>(rng.below(p.jitter_slots + 1)) *
+                std::max<SimTime>(step, 1);
+        }
+        batch.push_back(
+            TraceEvent{.time = at,
+                       .block = static_cast<DataBlockId>(base[k] + cursor[k]),
+                       .device = 0,
+                       .size_blocks = 1,
+                       .is_read = true,
+                       .tenant = static_cast<std::uint32_t>(k)});
+        cursor[k] = (cursor[k] + 1) % load.bucket_pool;
+      }
+    }
+    // Same-instant events keep tenant-emission order (stable sort).
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.time < b.time;
+                     });
+    t.events.insert(t.events.end(), batch.begin(), batch.end());
   }
   return t;
 }

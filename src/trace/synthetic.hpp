@@ -35,4 +35,45 @@ struct SyntheticParams {
 /// allocation scheme.
 [[nodiscard]] Trace generate_synthetic(const SyntheticParams& p);
 
+/// One tenant's load in a multi-tenant synthetic trace.
+struct TenantLoad {
+  /// Reads issued at each interval boundary (0 allowed: an idle tenant).
+  std::uint32_t requests_per_interval = 1;
+  /// Size of the tenant's private bucket sub-pool. Tenants get *disjoint*
+  /// pools and cycle through them deterministically, so any window of
+  /// consecutive queued requests shorter than the pool touches distinct
+  /// buckets — the property the fairness oracle's work-conservation check
+  /// rests on (S distinct buckets always fit in M accesses; a duplicate
+  /// beyond c·M copies would not).
+  std::size_t bucket_pool = 8;
+  /// Stop issuing after this many intervals (0 = the whole trace) — lets a
+  /// mix include tenants that go idle so backlog-exit paths are exercised.
+  std::size_t active_intervals = 0;
+  /// Issue only every `period`-th interval (1 = every interval). A pulsed
+  /// tenant drains, idles, and re-enters backlog — the pattern that makes
+  /// virtual-time renormalization observable to the fairness oracle.
+  std::size_t period = 1;
+};
+
+struct MultiTenantParams {
+  SimTime interval = 133 * kMicrosecond;  // QoS interval T
+  std::size_t intervals = 100;            // trace length in intervals
+  std::vector<TenantLoad> tenants;
+  /// First bucket id of tenant 0's pool; pools are laid out consecutively
+  /// (caller ensures base + Σ pools ≤ scheme buckets).
+  std::size_t bucket_base = 0;
+  std::uint64_t seed = 1;
+  /// 0 = all arrivals exactly on the interval boundary (the oracle's
+  /// crisp-accounting mode); k > 0 spreads each tenant's batch over k
+  /// seeded sub-instants inside the interval (exercises mid-interval
+  /// dispensing and the wake machinery).
+  std::uint32_t jitter_slots = 0;
+};
+
+/// Interleaved per-tenant request streams: each interval, tenant k emits
+/// its batch cycling through its private bucket range. Events at the same
+/// instant are ordered tenant 0 first (stable, deterministic). The
+/// `tenant` field is set; `device` is unused (0).
+[[nodiscard]] Trace generate_multi_tenant(const MultiTenantParams& p);
+
 }  // namespace flashqos::trace

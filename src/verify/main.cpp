@@ -19,6 +19,7 @@
 #include "check/models.hpp"
 #include "decluster/schemes.hpp"
 #include "design/catalog.hpp"
+#include "verify/fairness_oracle.hpp"
 #include "verify/fault_oracle.hpp"
 #include "verify/guarantee.hpp"
 #include "verify/invariants.hpp"
@@ -51,6 +52,13 @@ void usage(const char* argv0) {
       "                    replayed on every selected design, checking request\n"
       "                    conservation, down-device routing, guarantee\n"
       "                    re-establishment, and serial == parallel identity\n"
+      "  --fairness        audit the multi-tenant WFQ front end: randomized\n"
+      "                    tenant mixes (always including a flooder) checked\n"
+      "                    against an independent WFQ reference simulation,\n"
+      "                    reservation isolation, work conservation, the\n"
+      "                    per-interval budget, and serial == parallel\n"
+      "                    identity; every deliberate WfqKnobs defect must\n"
+      "                    trip at least one check\n"
       "  --model           exhaustively model-check the concurrency\n"
       "                    primitives (src/check): every schedule of the\n"
       "                    bounded HandoffQueue / ThreadPool / MetricRegistry\n"
@@ -83,6 +91,7 @@ int main(int argc, char** argv) {
   bool replay = false;
   bool obs = false;
   bool faults = false;
+  bool fairness = false;
   bool model = false;
   bool design_flags = false;  // any design-audit option explicitly given
   flashqos::verify::ReplayEquivalenceParams replay_params;
@@ -124,6 +133,8 @@ int main(int argc, char** argv) {
       obs = true;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       faults = true;
+    } else if (std::strcmp(argv[i], "--fairness") == 0) {
+      fairness = true;
     } else if (std::strcmp(argv[i], "--model") == 0) {
       model = true;
     } else if (std::strcmp(argv[i], "--replay-threads") == 0) {
@@ -153,7 +164,7 @@ int main(int argc, char** argv) {
   // `--model` alone skips the design audit (the gate runs them as separate
   // stages); any explicit design/audit option brings it back.
   const bool run_designs =
-      !model || design_flags || replay || obs || faults;
+      !model || design_flags || replay || obs || faults || fairness;
   if (run_designs) {
     // The bound helpers are shared by every design; audit them once up
     // front.
@@ -227,6 +238,21 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       all_ok = all_ok && report.passed();
       ++checked;
+    }
+  }
+  if (fairness) {
+    // Multi-tenant fairness audit on the paper's two evaluation designs.
+    for (const char* name : {"(9,3,1)", "(13,3,1)"}) {
+      for (const auto& e : flashqos::design::catalog()) {
+        if (e.name != name) continue;
+        const auto d = e.make();
+        const flashqos::decluster::DesignTheoretic scheme(d, true);
+        const auto report = flashqos::verify::verify_fairness(scheme);
+        std::printf("%s\n", report.to_string(verbose).c_str());
+        std::fflush(stdout);
+        all_ok = all_ok && report.passed();
+        ++checked;
+      }
     }
   }
   if (faults) {

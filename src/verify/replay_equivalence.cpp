@@ -78,7 +78,25 @@ bool results_identical(const core::PipelineResult& a, const core::PipelineResult
         !count_eq(static_cast<std::uint64_t>(x.path),
                   static_cast<std::uint64_t>(y.path), "path", i, why) ||
         !count_eq(static_cast<std::uint64_t>(x.q_ppm),
-                  static_cast<std::uint64_t>(y.q_ppm), "q_ppm", i, why)) {
+                  static_cast<std::uint64_t>(y.q_ppm), "q_ppm", i, why) ||
+        !count_eq(x.tenant, y.tenant, "tenant", i, why) ||
+        !count_eq(static_cast<std::uint64_t>(x.wfq_marked),
+                  static_cast<std::uint64_t>(y.wfq_marked), "wfq_marked", i, why)) {
+      return false;
+    }
+  }
+  if (!count_eq(a.tenant_usage.size(), b.tenant_usage.size(),
+                "tenant_usage count", 0, why)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.tenant_usage.size(); ++i) {
+    const auto& x = a.tenant_usage[i];
+    const auto& y = b.tenant_usage[i];
+    if (!count_eq(x.arrivals, y.arrivals, "tenant arrivals", i, why) ||
+        !count_eq(x.admitted, y.admitted, "tenant admitted", i, why) ||
+        !count_eq(x.shed, y.shed, "tenant shed", i, why) ||
+        !count_eq(x.marked, y.marked, "tenant marked", i, why) ||
+        !count_eq(x.max_depth, y.max_depth, "tenant max_depth", i, why)) {
       return false;
     }
   }

@@ -21,6 +21,7 @@
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
 #include "trace/disksim_format.hpp"
+#include "trace/synthetic.hpp"
 #include "util/time.hpp"
 #include "verify/replay_equivalence.hpp"
 
@@ -66,6 +67,14 @@ std::string format_result(const core::PipelineResult& r) {
   out << "overall    ";
   row("", r.overall);
   out << "deadline_violations=" << r.deadline_violations << "\n";
+  // Multi-tenant runs append one tally line per tenant; single-tenant
+  // snapshots are byte-identical to builds without the tenant subsystem.
+  for (std::size_t k = 0; k < r.tenant_usage.size(); ++k) {
+    const auto& u = r.tenant_usage[k];
+    out << "tenant " << k << " arrivals=" << u.arrivals
+        << " admitted=" << u.admitted << " shed=" << u.shed
+        << " marked=" << u.marked << " max_depth=" << u.max_depth << "\n";
+  }
   return out.str();
 }
 
@@ -175,6 +184,80 @@ TEST(GoldenReplay, BurstyOnlineDetFim) {
   // match the snapshot exactly.
   core::ParallelReplayEngine engine({.threads = 4});
   EXPECT_EQ(format_result(engine.run(scheme931(), cfg, t)), snapshot);
+}
+
+// Multi-tenant WFQ front end fixtures: the trace is generated in-code
+// (trace::generate_multi_tenant is seeded and deterministic), only the
+// snapshot is committed. Jittered arrivals push dispensing off the
+// interval boundaries, so the wake machinery and mid-interval budget
+// draws are all pinned by the snapshot.
+core::PipelineConfig tenant_cfg() {
+  core::PipelineConfig cfg;
+  cfg.retrieval = core::RetrievalMode::kOnline;
+  cfg.admission = core::AdmissionMode::kDeterministic;
+  cfg.mapping = core::MappingMode::kModulo;
+  cfg.tenants = {
+      {.name = "gold", .weight = 2.0, .reservation = 2,
+       .queue_capacity = 8, .mark_threshold = 6},
+      {.name = "silver", .weight = 1.0, .reservation = 0,
+       .queue_capacity = 8, .mark_threshold = 6},
+      {.name = "flood", .weight = 1.0, .reservation = 0,
+       .queue_capacity = 6, .mark_threshold = 4},
+  };
+  return cfg;
+}
+
+trace::Trace tenant_trace() {
+  trace::MultiTenantParams mt;
+  mt.intervals = 40;
+  mt.tenants = {
+      {.requests_per_interval = 2, .bucket_pool = 8},
+      {.requests_per_interval = 1, .bucket_pool = 8},
+      {.requests_per_interval = 7, .bucket_pool = 12},
+  };
+  mt.seed = 5;
+  mt.jitter_slots = 3;
+  return trace::generate_multi_tenant(mt);
+}
+
+TEST(GoldenReplay, MultiTenantOnlineDet) {
+  const auto t = tenant_trace();
+  const auto cfg = tenant_cfg();
+  const auto serial = core::QosPipeline(scheme931(), cfg).run(t);
+
+  // The fixture must exercise the whole front end, or the snapshot stops
+  // guarding anything: backpressure (marks and sheds on the flooder) and
+  // an untouched reserved tenant.
+  EXPECT_GT(serial.tenant_usage[2].shed, 0u);
+  EXPECT_GT(serial.tenant_usage[2].marked, 0u);
+  EXPECT_EQ(serial.tenant_usage[0].shed, 0u);
+  EXPECT_EQ(serial.tenant_usage[0].admitted, serial.tenant_usage[0].arrivals);
+
+  const auto snapshot = format_result(serial);
+  check_golden("multi_tenant_online_det", snapshot);
+
+  // kOnline parallel replay is the serial fallback path; tenant tallies
+  // must survive it bit for bit.
+  core::ParallelReplayEngine engine({.threads = 4});
+  const auto parallel = engine.run(scheme931(), cfg, t);
+  std::string why;
+  EXPECT_TRUE(verify::results_identical(serial, parallel, &why)) << why;
+  EXPECT_EQ(format_result(parallel), snapshot);
+}
+
+TEST(GoldenReplay, MultiTenantAlignedDet) {
+  const auto t = tenant_trace();
+  auto cfg = tenant_cfg();
+  cfg.retrieval = core::RetrievalMode::kIntervalAligned;
+  const auto serial = core::QosPipeline(scheme931(), cfg).run(t);
+  const auto snapshot = format_result(serial);
+  check_golden("multi_tenant_aligned_det", snapshot);
+
+  core::ParallelReplayEngine engine({.threads = 4, .mining_lookahead = 1});
+  const auto parallel = engine.run(scheme931(), cfg, t);
+  std::string why;
+  EXPECT_TRUE(verify::results_identical(serial, parallel, &why)) << why;
+  EXPECT_EQ(format_result(parallel), snapshot);
 }
 
 }  // namespace
