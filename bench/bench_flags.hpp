@@ -9,9 +9,17 @@
 //    (.csv → CSV, anything else → Prometheus text).
 //  * --trace-out=<path>   — enable the global tracer and dump the event ring
 //    as Chrome trace JSON (viewable in Perfetto / about:tracing).
+//  * --series-out=<path>  — dump the windowed time-series registry
+//    (.csv → CSV, .json → Chrome trace counters).
+//  * --serve-metrics=<port> — start the live HTTP exporter on 127.0.0.1
+//    (0 = ephemeral; the bound port is printed). /metrics, /series and
+//    /slo stay queryable while the benchmark runs.
 //
 // The observability outputs are written from an atexit hook, so drivers get
-// both flags with no per-driver plumbing beyond calling smoke_mode().
+// every flag with no per-driver plumbing beyond calling smoke_mode(). Under
+// --smoke with --serve-metrics the parser also loops back to its own
+// listener and GETs /metrics, so ctest proves the socket serves — not just
+// binds — in every smoke run.
 #pragma once
 
 #include <cstdio>
@@ -19,12 +27,14 @@
 #include <cstring>
 
 #include "obs/export.hpp"
+#include "obs/http_exporter.hpp"
 
 namespace flashqos::bench {
 
-/// True iff --smoke was passed. --metrics-out= / --trace-out= are consumed
-/// by the observability layer; any other argument is rejected loudly
-/// (exit 2) so a typo cannot silently launch a full-size benchmark.
+/// True iff --smoke was passed. --metrics-out= / --trace-out= /
+/// --series-out= / --serve-metrics= are consumed by the observability
+/// layer; any other argument is rejected loudly (exit 2) so a typo cannot
+/// silently launch a full-size benchmark.
 inline bool smoke_mode(int argc, char** argv) {
   bool smoke = false;
   bool obs_out = false;
@@ -39,7 +49,8 @@ inline bool smoke_mode(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "%s: unknown argument '%s' (supported: --smoke, "
-                 "--metrics-out=<path>, --trace-out=<path>)\n",
+                 "--metrics-out=<path>, --trace-out=<path>, "
+                 "--series-out=<path>, --serve-metrics=<port>)\n",
                  argv[0], argv[i]);
     std::exit(2);
   }
@@ -52,6 +63,16 @@ inline bool smoke_mode(int argc, char** argv) {
   if (smoke) {
     std::printf("[--smoke: reduced scale; numbers not comparable to a full "
                 "run]\n");
+    if (obs::HttpExporter::global().running()) {
+      // Self-probe: a smoke run with a live exporter must actually serve.
+      if (obs::HttpExporter::global().self_probe()) {
+        std::printf("[--smoke: /metrics self-probe ok on port %u]\n",
+                    static_cast<unsigned>(obs::HttpExporter::global().port()));
+      } else {
+        std::fprintf(stderr, "%s: /metrics self-probe failed\n", argv[0]);
+        std::exit(1);
+      }
+    }
   }
   return smoke;
 }

@@ -4,6 +4,8 @@
 //   $ ./flashqos_sim --template > experiment.ini
 //   $ ./flashqos_sim experiment.ini
 //   $ ./flashqos_sim experiment.ini --metrics-out=run.prom --trace-out=run.json
+//   $ ./flashqos_sim experiment.ini --serve-metrics=9100 &
+//   $ curl http://127.0.0.1:9100/metrics   # /series (CSV), /slo (JSON)
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -31,7 +33,8 @@ int main(int argc, char** argv) {
   if (config_path == nullptr) {
     std::fprintf(stderr,
                  "usage: flashqos_sim <experiment.ini> [--metrics-out=<path>]"
-                 " [--trace-out=<path>]\n"
+                 " [--trace-out=<path>] [--series-out=<path>]"
+                 " [--serve-metrics=<port>]\n"
                  "       flashqos_sim --template   (print a starter config)\n");
     return 2;
   }

@@ -15,8 +15,9 @@
 #   6. the design-invariant verifier (flashqos_verify) over every catalog
 #      design with N <= 64, plus the serial ≡ parallel replay-equivalence
 #      audit (every mode combination, failure windows, sweep sharding), the
-#      observability self-audit (--obs: recorded metrics and trace spans
-#      checked against the replay outcomes they describe), and the
+#      observability self-audit (--obs: recorded metrics, windowed
+#      time-series points, SLO burn-rate pages, and trace spans checked
+#      against the replay outcomes they describe), and the
 #      fault-injection chaos audit (--faults: randomized fault plans with
 #      request-conservation, routing, guarantee-reestablishment, and
 #      serial ≡ parallel checks)

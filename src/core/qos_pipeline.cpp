@@ -12,6 +12,8 @@
 #include "fault/injector.hpp"
 #include "fim/apriori.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/tracer.hpp"
 #include "retrieval/dtr.hpp"
 #include "util/stats.hpp"
@@ -55,6 +57,12 @@ struct PipelineMetrics {
   obs::LatencyHistogram& response_ns;
   obs::LatencyHistogram& delay_ns;
   obs::LatencyHistogram& e2e_ns;
+  // Per-request latency attribution (obs v2): where each served read spent
+  // its life — queue (arrival → dispatch), schedule (dispatch → first
+  // device access), service (first access → completion).
+  obs::LatencyHistogram& stage_queue_ns;
+  obs::LatencyHistogram& stage_schedule_ns;
+  obs::LatencyHistogram& stage_service_ns;
   std::array<obs::Counter*, kPathCount> by_path;
 
   static PipelineMetrics& get() {
@@ -72,6 +80,9 @@ struct PipelineMetrics {
                         reg.histogram("pipeline.response_ns"),
                         reg.histogram("pipeline.delay_ns"),
                         reg.histogram("pipeline.e2e_ns"),
+                        reg.histogram("pipeline.stage_ns", "stage=\"queue\""),
+                        reg.histogram("pipeline.stage_ns", "stage=\"schedule\""),
+                        reg.histogram("pipeline.stage_ns", "stage=\"service\""),
                         {}};
       for (std::size_t i = 0; i < kPathCount; ++i) {
         const std::string label =
@@ -127,9 +138,11 @@ obs::EventDetail trace_detail(RetrievalPath path) noexcept {
   return obs::EventDetail::kNone;
 }
 
-/// Post-run observability fold: counters, histograms, and (when tracing is
-/// on) the per-request arrival → admission → retrieval spans. Reads the
-/// finished outcomes only — it cannot perturb the replay.
+/// Post-run observability fold: counters, histograms (including the
+/// per-stage latency attribution), and (when tracing is on) the
+/// per-request arrival → admission → retrieval spans plus one stage slice
+/// per lifecycle segment. Reads the finished outcomes only — it cannot
+/// perturb the replay.
 /// Value→count tally for one histogram, flushed with record_n on scope
 /// exit. Latency multisets here usually hold a few distinct values (fixed
 /// service quanta — the flat line), so a short linear scan beats one
@@ -165,6 +178,33 @@ class HistogramTally {
   std::vector<std::pair<std::int64_t, std::uint64_t>> items_;
 };
 
+/// One QoS window's in-flight tally for a windowed time-series. The replay
+/// loop adds into these plain locals (no locking) and merges each non-empty
+/// tally into its obs::TimeSeries exactly once, at the interval rollover —
+/// all stats are the associative/commutative merges the series contract
+/// requires, so this batching cannot change exported window content.
+struct WindowAgg {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  SimTime first_time = 0;
+
+  void add(SimTime at, std::int64_t value) {
+    if (count == 0) {
+      min = value;
+      max = value;
+      first_time = at;
+    } else {
+      min = std::min(min, value);
+      max = std::max(max, value);
+      first_time = std::min(first_time, at);
+    }
+    sum += value;
+    ++count;
+  }
+};
+
 void record_outcome_observability(const PipelineResult& result) {
   auto& m = PipelineMetrics::get();
   std::uint64_t reads = 0;
@@ -176,6 +216,9 @@ void record_outcome_observability(const PipelineResult& result) {
     HistogramTally response(m.response_ns);
     HistogramTally e2e(m.e2e_ns);
     HistogramTally delay(m.delay_ns);
+    HistogramTally stage_queue(m.stage_queue_ns);
+    HistogramTally stage_schedule(m.stage_schedule_ns);
+    HistogramTally stage_service(m.stage_service_ns);
     for (const auto& o : result.outcomes) {
       ++by_path[static_cast<std::size_t>(o.path)];
       if (o.failed) {
@@ -189,6 +232,9 @@ void record_outcome_observability(const PipelineResult& result) {
       ++reads;
       response.add(o.response());
       e2e.add(o.end_to_end());
+      stage_queue.add(o.dispatch - o.arrival);
+      stage_schedule.add(o.start - o.dispatch);
+      stage_service.add(o.finish - o.start);
       if (o.deferred()) {
         ++deferred;
         delay.add(o.delay());
@@ -235,6 +281,32 @@ void record_outcome_observability(const PipelineResult& result) {
                                  : static_cast<std::int32_t>(o.device),
                    .kind = obs::EventKind::kRetrieval,
                    .detail = trace_detail(o.path)});
+    // Stage slices exist only for served reads: failed/shed requests never
+    // reach the device and writes follow the replication path instead.
+    if (o.failed || o.is_write) continue;
+    tracer.record({.request = req,
+                   .start = o.arrival,
+                   .end = o.dispatch,
+                   .value = o.dispatch - o.arrival,
+                   .device = -1,
+                   .kind = obs::EventKind::kStage,
+                   .detail = obs::EventDetail::kStageQueue});
+    tracer.record({.request = req,
+                   .start = o.dispatch,
+                   .end = o.start,
+                   .value = o.start - o.dispatch,
+                   .device = -1,
+                   .kind = obs::EventKind::kStage,
+                   .detail = obs::EventDetail::kStageSchedule});
+    tracer.record({.request = req,
+                   .start = o.start,
+                   .end = o.finish,
+                   .value = o.finish - o.start,
+                   .device = o.device == kInvalidDevice
+                                 ? -1
+                                 : static_cast<std::int32_t>(o.device),
+                   .kind = obs::EventKind::kStage,
+                   .detail = obs::EventDetail::kStageService});
   }
 }
 
@@ -475,6 +547,17 @@ std::vector<std::string> PipelineConfig::validate(std::uint32_t devices) const {
       }
     }
   }
+  for (const auto& spec : slos) {
+    const std::string who = "slo '" + spec.name() + "': ";
+    if (const auto d = spec.validate(); !d.empty()) out.push_back(who + d);
+    if (spec.tenant.empty()) continue;
+    const bool known =
+        std::any_of(tenants.begin(), tenants.end(),
+                    [&](const TenantSpec& s) { return s.name == spec.tenant; });
+    if (!known) {
+      out.push_back(who + "tenant is not declared in the [tenants] section");
+    }
+  }
   return out;
 }
 
@@ -550,6 +633,113 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       }
     }
   }
+
+  // Windowed time-series (obs v2). Per-event values accumulate in plain
+  // WindowAgg locals — every tally instant below is the current dispatch
+  // instant `now`, so one agg per series covers exactly the open QoS
+  // window — and flush_windows() merges them into the registry at each
+  // interval rollover (plus once after the loop for the final interval).
+  // Null pointers (obs compiled out, or a mode that never produces the
+  // quantity) skip their tally sites.
+  obs::TimeSeries* win_reads = nullptr;
+  obs::TimeSeries* win_writes = nullptr;
+  obs::TimeSeries* win_shed = nullptr;
+  obs::TimeSeries* win_failed = nullptr;
+  obs::TimeSeries* win_degraded = nullptr;
+  obs::TimeSeries* win_response = nullptr;
+  obs::TimeSeries* win_q = nullptr;
+  std::vector<obs::TimeSeries*> win_device;
+  std::vector<obs::TimeSeries*> win_tenant_reads;
+  std::vector<obs::TimeSeries*> win_tenant_shed;
+  WindowAgg agg_reads, agg_writes, agg_shed, agg_failed, agg_degraded,
+      agg_response, agg_q;
+  std::vector<WindowAgg> agg_device;
+  std::vector<WindowAgg> agg_tenant_reads;
+  std::vector<WindowAgg> agg_tenant_shed;
+  // Live SLO evaluation: per-spec {total, bad} tallies for the open window,
+  // fed to the global SloMonitor at the same rollover flush. `tenant` is
+  // the resolved tenant index (-1 = all traffic).
+  struct SloTally {
+    obs::SloKind kind;
+    std::int64_t threshold_ns;
+    std::int32_t tenant;
+    std::uint64_t total = 0;
+    std::uint64_t bad = 0;
+  };
+  std::vector<SloTally> slo_tallies;
+  if constexpr (obs::kEnabled) {
+    auto& tsr = obs::TimeSeriesRegistry::global();
+    const auto series = [&](const char* name, const std::string& labels = {}) {
+      return &tsr.series(name, labels, T);
+    };
+    win_reads = series("win.reads");
+    win_writes = series("win.writes");
+    win_failed = series("win.failed");
+    win_degraded = series("win.degraded");
+    win_response = series("win.response_ns");
+    if (stat.has_value()) win_q = series("win.q_ppm");
+    win_device.reserve(scheme_.devices());
+    agg_device.resize(scheme_.devices());
+    for (DeviceId d = 0; d < scheme_.devices(); ++d) {
+      win_device.push_back(
+          series("win.device.reads", "device=\"" + std::to_string(d) + "\""));
+    }
+    if (tenant_mode) {
+      win_shed = series("win.shed");
+      agg_tenant_reads.resize(cfg_.tenants.size());
+      agg_tenant_shed.resize(cfg_.tenants.size());
+      for (const auto& s : cfg_.tenants) {
+        const std::string label = "tenant=\"" + s.name + "\"";
+        win_tenant_reads.push_back(series("win.tenant.reads", label));
+        win_tenant_shed.push_back(series("win.tenant.shed", label));
+      }
+    }
+    if (!cfg_.slos.empty()) {
+      obs::SloMonitor::global().configure(cfg_.slos);
+      slo_tallies.reserve(cfg_.slos.size());
+      for (const auto& spec : cfg_.slos) {
+        std::int32_t tid = -1;
+        for (std::size_t k = 0; k < cfg_.tenants.size(); ++k) {
+          if (cfg_.tenants[k].name == spec.tenant) {
+            tid = static_cast<std::int32_t>(k);
+          }
+        }
+        slo_tallies.push_back(
+            {spec.kind, spec.threshold_ns, tid, 0, 0});
+      }
+    }
+  }
+  // Merge every non-empty window tally into its series and feed the SLO
+  // monitor one sample per spec. Called with the window index that just
+  // closed; windows with no dispatch instants are simply never flushed
+  // (they hold no data and contribute no SLO sample).
+  const auto flush_windows = [&](std::int64_t window) {
+    const auto fl = [&](obs::TimeSeries* s, WindowAgg& a) {
+      if (s == nullptr || a.count == 0) return;
+      s->merge(window, a.first_time, a.sum, a.count, a.min, a.max);
+      a = WindowAgg{};
+    };
+    fl(win_reads, agg_reads);
+    fl(win_writes, agg_writes);
+    fl(win_shed, agg_shed);
+    fl(win_failed, agg_failed);
+    fl(win_degraded, agg_degraded);
+    fl(win_response, agg_response);
+    fl(win_q, agg_q);
+    for (std::size_t d = 0; d < win_device.size(); ++d) {
+      fl(win_device[d], agg_device[d]);
+    }
+    for (std::size_t k = 0; k < win_tenant_reads.size(); ++k) {
+      fl(win_tenant_reads[k], agg_tenant_reads[k]);
+      fl(win_tenant_shed[k], agg_tenant_shed[k]);
+    }
+    for (std::size_t si = 0; si < slo_tallies.size(); ++si) {
+      auto& st = slo_tallies[si];
+      obs::SloMonitor::global().record(si, window, st.total, st.bad);
+      st.total = 0;
+      st.bad = 0;
+    }
+  };
 
   // Fault state. The compiled plan is a pure function of (plan, scheme,
   // horizon), so the serial engine and every parallel shard materialize
@@ -684,7 +874,30 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     o.start = start;
     o.finish = start + svc;
     free_at[dev] = std::max(free_at[dev], o.finish);
-    if constexpr (obs::kEnabled) ++dispatches_tally;
+    if constexpr (obs::kEnabled) {
+      ++dispatches_tally;
+      // Window tallies key on the dispatch instant (== the loop's `now` at
+      // every call site), which always lies in the open QoS window.
+      const SimTime at = o.dispatch;
+      const std::int64_t resp = o.finish - o.dispatch;
+      agg_reads.add(at, 1);
+      agg_response.add(at, resp);
+      agg_device[dev].add(at, 1);
+      if (win_q != nullptr) agg_q.add(at, o.q_ppm);
+      if (o.path == RetrievalPath::kDegraded) agg_degraded.add(at, 1);
+      if (tenant_mode) {
+        agg_tenant_reads[static_cast<std::size_t>(o.tenant)].add(at, 1);
+      }
+      for (auto& st : slo_tallies) {
+        if (st.kind == obs::SloKind::kAdmissionFloor) continue;
+        if (st.tenant >= 0 &&
+            static_cast<std::uint32_t>(st.tenant) != o.tenant) {
+          continue;
+        }
+        ++st.total;
+        if (resp > st.threshold_ns) ++st.bad;
+      }
+    }
   };
 
   // Hot-spare rebuild reads are paced background work: submitted to the
@@ -780,6 +993,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
                .device = -1,
                .kind = obs::EventKind::kInterval,
                .detail = obs::EventDetail::kNone});
+          flush_windows(current_qi);
         }
       }
       current_qi = qi;
@@ -889,6 +1103,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
             o.finish = now;
             o.path = RetrievalPath::kFailed;
             if (timed_out) ++timeouts_tally;
+            if constexpr (obs::kEnabled) agg_failed.add(now, 1);
             continue;
           }
           Pending p = group[i];
@@ -946,6 +1161,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         o.device = first_dev;
         o.start = first_start;
         o.finish = last_finish;
+        if constexpr (obs::kEnabled) agg_writes.add(now, 1);
       }
       if (any_write) {
         std::swap(group, reads);
@@ -968,6 +1184,17 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         if (tstate[id] != 0) continue;  // a wake, already in its FIFO
         auto& o = result.outcomes[id];
         const auto tid = static_cast<std::size_t>(t.events[id].tenant);
+        if constexpr (obs::kEnabled) {
+          // Admission-floor SLOs count every fresh enqueue attempt; sheds
+          // below add the bad half.
+          for (auto& st : slo_tallies) {
+            if (st.kind != obs::SloKind::kAdmissionFloor) continue;
+            if (st.tenant >= 0 && static_cast<std::size_t>(st.tenant) != tid) {
+              continue;
+            }
+            ++st.total;
+          }
+        }
         switch (ts->enqueue(tid, id)) {
           case WfqQueues::Enqueue::kShed:
             // Hard backpressure: dropped at the front end, never queued.
@@ -979,6 +1206,18 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
             o.failed = true;
             o.path = RetrievalPath::kShed;
             tstate[id] = 2;
+            if constexpr (obs::kEnabled) {
+              agg_shed.add(now, 1);
+              agg_tenant_shed[tid].add(now, 1);
+              for (auto& st : slo_tallies) {
+                if (st.kind != obs::SloKind::kAdmissionFloor) continue;
+                if (st.tenant >= 0 &&
+                    static_cast<std::size_t>(st.tenant) != tid) {
+                  continue;
+                }
+                ++st.bad;
+              }
+            }
             break;
           case WfqQueues::Enqueue::kMarked:
             o.wfq_marked = true;
@@ -1026,6 +1265,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
           o.path = RetrievalPath::kFailed;
           if (timed_out) ++timeouts_tally;
           tstate[id] = 2;
+          if constexpr (obs::kEnabled) agg_failed.add(now, 1);
           return 2;
         }
         tenant_blocked[tid] = true;
@@ -1383,6 +1623,9 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     if (o.response() > cfg_.qos_interval) ++result.deadline_violations;
   }
   if constexpr (obs::kEnabled) {
+    // The loop only flushes a window when a later instant opens the next
+    // one; the final interval still holds its tallies.
+    if (current_qi >= 0) flush_windows(current_qi);
     auto& m = PipelineMetrics::get();
     m.dispatches.inc(dispatches_tally);
     m.deferral_events.inc(deferrals_tally);

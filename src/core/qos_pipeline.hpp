@@ -35,6 +35,7 @@
 #include "fault/fault_plan.hpp"
 #include "fim/transaction.hpp"
 #include "flashsim/flash_array.hpp"
+#include "obs/slo.hpp"
 #include "retrieval/retriever.hpp"
 #include "trace/event.hpp"
 
@@ -98,6 +99,17 @@ struct PipelineConfig {
   /// Deliberate-defect switches for the fairness oracle's liveness tests
   /// (see WfqKnobs); production configs leave this default.
   WfqKnobs wfq_knobs;
+  /// Declarative SLOs evaluated live while this config replays (obs v2).
+  /// Non-empty: the pipeline configures obs::SloMonitor::global() at
+  /// replay start and feeds it one {total, bad} sample per spec per QoS
+  /// window at interval rollovers. Response/miss specs count dispatched
+  /// reads whose response exceeds the spec threshold; admission-floor
+  /// specs count WFQ enqueue attempts vs sheds. A spec naming a tenant
+  /// applies to that tenant's requests only (the name must exist in
+  /// `tenants`); an empty tenant means all traffic. One SLO-configured
+  /// pipeline at a time — the monitor is process-global, so concurrent
+  /// sweep jobs must leave this empty.
+  std::vector<obs::SloSpec> slos;
 
   /// Readable diagnostics; empty means the config is coherent. `devices`
   /// bounds fault-plan device ids when nonzero. QosPipeline's constructor

@@ -190,9 +190,13 @@ struct WordRule {
        {}},
       {"wall-clock",
        Scope::kAll,
+       // Blocking-I/O waits (poll/select/epoll_wait) are wall-clock time
+       // too: the monitoring plane's HTTP server annotates its bounded
+       // client waits explicitly. `accept` stays off the list — it would
+       // collide with the admission API's vocabulary.
        {"steady_clock", "system_clock", "high_resolution_clock",
         "gettimeofday", "clock_gettime", "sleep", "sleep_for", "sleep_until",
-        "usleep", "nanosleep"},
+        "usleep", "nanosleep", "poll", "select", "epoll_wait"},
        "wall-clock/sleep in simulation code; results may only depend on "
        "SimTime (allow-comment opt-in self-timing that never feeds results)",
        {}},

@@ -1,9 +1,11 @@
 #include "obs/export.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "obs/http_exporter.hpp"
 #include "util/time.hpp"
 
 namespace flashqos::obs {
@@ -32,10 +34,12 @@ std::string with_labels(const std::string& base, const std::string& labels,
   return base + "{" + body + "}";
 }
 
-/// CSV cells never contain commas or quotes by construction except label
-/// bodies, which hold `key="value"` pairs — quote those.
+/// RFC-4180 field escaping: any cell containing a comma, quote, CR, or LF
+/// is wrapped in quotes with embedded quotes doubled. Label bodies always
+/// need this (`key="value"` pairs, and values may embed commas); names get
+/// the same treatment so a hostile instrument name cannot shear a row.
 std::string csv_cell(const std::string& s) {
-  if (s.find_first_of(",\"") == std::string::npos) return s;
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
   std::string out = "\"";
   for (const char c : s) {
     if (c == '"') out += "\"\"";
@@ -109,16 +113,16 @@ std::string to_csv(const MetricsSnapshot& snap) {
   std::ostringstream out;
   out << "kind,name,labels,stat,value\n";
   for (const auto& c : snap.counters) {
-    out << "counter," << c.name << "," << csv_cell(c.labels) << ",value,"
-        << c.value << "\n";
+    out << "counter," << csv_cell(c.name) << "," << csv_cell(c.labels)
+        << ",value," << c.value << "\n";
   }
   for (const auto& g : snap.gauges) {
-    out << "gauge," << g.name << "," << csv_cell(g.labels) << ",value,"
-        << g.value << "\n";
+    out << "gauge," << csv_cell(g.name) << "," << csv_cell(g.labels)
+        << ",value," << g.value << "\n";
   }
   for (const auto& h : snap.histograms) {
     const std::string prefix =
-        "histogram," + h.name + "," + csv_cell(h.labels) + ",";
+        "histogram," + csv_cell(h.name) + "," + csv_cell(h.labels) + ",";
     out << prefix << "count," << h.count << "\n";
     if (h.count == 0) continue;
     out << prefix << "sum," << h.sum << "\n";
@@ -197,6 +201,91 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
              ts(e.start) + R"(,"args":{"admitted":)" +
              std::to_string(e.value) + "}}");
         break;
+      case EventKind::kStage:
+        // Latency-attribution slices, one track per stage (tids above the
+        // device tracks so they group together in Perfetto).
+        emit(R"({"name":")" + detail +
+             R"(","cat":"stage","ph":"X","pid":1,"tid":)" +
+             std::to_string(1000 + static_cast<int>(e.detail)) + R"(,"ts":)" +
+             ts(e.start) + R"(,"dur":)" + ts(e.end - e.start) +
+             R"(,"args":{"request":)" + std::to_string(e.request) + "}}");
+        break;
+    }
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string to_prometheus(const TimeSeriesSnapshot& snap) {
+  // Prometheus has no native windowed type; expose each series' most
+  // recent window as gauges with the window index as a label, which is
+  // what a scraper polling a live run wants (the full history is /series).
+  std::ostringstream out;
+  std::string last_family;
+  const auto emit = [&](const std::string& family, const SeriesSnapshot& s,
+                        const std::string& window_label, std::int64_t value) {
+    if (family != last_family) {
+      out << "# TYPE " << family << " gauge\n";
+      last_family = family;
+    }
+    out << with_labels(family, s.labels, window_label) << " " << value << "\n";
+  };
+  for (const auto& s : snap.series) {
+    if (s.points.empty()) continue;
+    const SeriesPoint& p = s.points.back();
+    const std::string base = prom_name("win." + s.name);
+    const std::string window_label =
+        "window=\"" + std::to_string(p.window) + "\"";
+    emit(base + "_sum", s, window_label, p.sum);
+    emit(base + "_count", s, window_label,
+         static_cast<std::int64_t>(p.count));
+    emit(base + "_min", s, window_label, p.min);
+    emit(base + "_max", s, window_label, p.max);
+  }
+  return out.str();
+}
+
+std::string to_csv(const TimeSeriesSnapshot& snap) {
+  std::ostringstream out;
+  out << "name,labels,window,start_ns,width_ns,sum,count,min,max\n";
+  for (const auto& s : snap.series) {
+    const std::string prefix = csv_cell(s.name) + "," + csv_cell(s.labels) + ",";
+    for (const auto& p : s.points) {
+      out << prefix << p.window << "," << p.window * s.width << "," << s.width
+          << "," << p.sum << "," << p.count << "," << p.min << "," << p.max
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string to_chrome_trace(const TimeSeriesSnapshot& snap) {
+  // One counter ("C") track per series: Perfetto plots sum-per-window over
+  // simulated time. Timestamps are window starts in fractional µs.
+  const auto ts = [](SimTime t) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                  static_cast<long long>(t / 1000),
+                  static_cast<long long>(t % 1000));
+    return std::string(buf);
+  };
+  std::string out = "[";
+  bool first = true;
+  for (const auto& s : snap.series) {
+    std::string track;
+    json_escape_into(track, s.name);
+    if (!s.labels.empty()) {
+      track += "{";
+      json_escape_into(track, s.labels);
+      track += "}";
+    }
+    for (const auto& p : s.points) {
+      if (!first) out += ",\n";
+      first = false;
+      out += R"({"name":")" + track + R"(","ph":"C","pid":1,"ts":)" +
+             ts(p.window * s.width) + R"(,"args":{"sum":)" +
+             std::to_string(p.sum) + R"(,"count":)" + std::to_string(p.count) +
+             "}}";
     }
   }
   out += "]\n";
@@ -225,14 +314,34 @@ bool write_trace(const std::vector<TraceEvent>& events,
   return static_cast<bool>(out);
 }
 
+bool write_series(const TimeSeriesSnapshot& snap, const std::string& path) {
+  const auto ends_with = [&](const char* suffix) {
+    const std::string_view sv(suffix);
+    return path.size() >= sv.size() &&
+           path.compare(path.size() - sv.size(), sv.size(), sv) == 0;
+  };
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot open series output '%s'\n", path.c_str());
+    return false;
+  }
+  out << (ends_with(".csv")    ? to_csv(snap)
+          : ends_with(".json") ? to_chrome_trace(snap)
+                               : to_prometheus(snap));
+  return static_cast<bool>(out);
+}
+
 namespace {
 std::string g_metrics_out;  // NOLINT(cert-err58-cpp)
 std::string g_trace_out;    // NOLINT(cert-err58-cpp)
+std::string g_series_out;   // NOLINT(cert-err58-cpp)
 }  // namespace
 
 bool consume_output_flag(const char* arg) {
   constexpr std::string_view kMetrics = "--metrics-out=";
   constexpr std::string_view kTrace = "--trace-out=";
+  constexpr std::string_view kSeries = "--series-out=";
+  constexpr std::string_view kServe = "--serve-metrics=";
   const std::string_view view(arg);
   if (view.rfind(kMetrics, 0) == 0) {
     g_metrics_out = std::string(view.substr(kMetrics.size()));
@@ -243,16 +352,46 @@ bool consume_output_flag(const char* arg) {
     Tracer::global().set_enabled(true);
     return true;
   }
+  if (view.rfind(kSeries, 0) == 0) {
+    g_series_out = std::string(view.substr(kSeries.size()));
+    return true;
+  }
+  if (view.rfind(kServe, 0) == 0) {
+    const std::string value(view.substr(kServe.size()));
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || port > 65535) {
+      std::fprintf(stderr, "obs: --serve-metrics expects a port (0 = ephemeral), got '%s'\n",
+                   value.c_str());
+      std::exit(2);
+    }
+    HttpExporter::Options opts;
+    opts.port = static_cast<std::uint16_t>(port);
+    auto& exporter = HttpExporter::global();
+    if (!exporter.start(opts)) {
+      std::fprintf(stderr, "obs: --serve-metrics failed: %s\n",
+                   exporter.last_error().c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr,
+                 "obs: serving http://127.0.0.1:%u/metrics (/series, /slo)\n",
+                 static_cast<unsigned>(exporter.port()));
+    return true;
+  }
   return false;
 }
 
 const std::string& metrics_out_path() { return g_metrics_out; }
 const std::string& trace_out_path() { return g_trace_out; }
+const std::string& series_out_path() { return g_series_out; }
 
 bool write_requested_outputs() {
   bool ok = true;
   if (!g_metrics_out.empty()) {
     ok = write_metrics(MetricRegistry::global().snapshot(), g_metrics_out) && ok;
+  }
+  if (!g_series_out.empty()) {
+    ok = write_series(TimeSeriesRegistry::global().snapshot(), g_series_out) && ok;
   }
   if (!g_trace_out.empty()) {
     const auto& tracer = Tracer::global();

@@ -1,0 +1,260 @@
+#include "obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>  // flashqos-lint: allow(wall-clock): header name, not a wait
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+
+namespace flashqos::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr int kClientTimeoutMs = 5000;
+constexpr int kListenBacklog = 16;
+
+/// Read until the header terminator (or the client stalls / floods).
+bool read_request(int fd, std::string& request) {
+  char buf[4096];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    // flashqos-lint: allow(wall-clock): bounded client-I/O wait on the monitoring plane, not simulated time.
+    const int ready = ::poll(&pfd, 1, kClientTimeoutMs);
+    if (ready <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  return request.find("\r\n\r\n") != std::string::npos;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string make_response(int code, const char* reason,
+                          const char* content_type, std::string body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpExporter& HttpExporter::global() {
+  static auto* exporter = new HttpExporter();
+  return *exporter;
+}
+
+bool HttpExporter::start(const Options& opts) {
+  if (running_) {
+    error_ = "already running";
+    return false;
+  }
+  error_.clear();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    error_ = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, kListenBacklog) < 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    error_ = std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  pending_ = std::make_unique<HandoffQueue<int>>(
+      opts.queue_capacity == 0 ? 1 : opts.queue_capacity);
+  running_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+  handlers_.reserve(opts.handler_threads == 0 ? 1 : opts.handler_threads);
+  for (std::size_t i = 0; i < (opts.handler_threads == 0 ? 1 : opts.handler_threads); ++i) {
+    handlers_.emplace_back([this] { handler_loop(); });
+  }
+  return true;
+}
+
+void HttpExporter::stop() {
+  if (!running_) return;
+  // Waking the acceptor: shutdown() on a listening socket makes the
+  // blocked accept() return with an error on Linux.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // A closed queue still drains its backlog, so already-accepted clients
+  // get responses before the handlers exit.
+  pending_->close();
+  for (auto& t : handlers_) t.join();
+  handlers_.clear();
+  pending_.reset();
+  port_ = 0;
+  running_ = false;
+}
+
+void HttpExporter::accept_loop() {
+  while (true) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or fatally broken): acceptor exits
+    }
+    if (!pending_->push(client)) ::close(client);  // stopping: refuse
+  }
+}
+
+void HttpExporter::handler_loop() {
+  while (auto client = pending_->pop()) handle_client(*client);
+}
+
+void HttpExporter::handle_client(int fd) {
+  std::string request;
+  if (!read_request(fd, request)) {
+    ::close(fd);
+    return;
+  }
+  // Request line: METHOD SP PATH SP VERSION. Query strings are ignored.
+  const auto line_end = request.find("\r\n");
+  const std::string line = request.substr(0, line_end);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  std::string method =
+      sp1 == std::string::npos ? std::string() : line.substr(0, sp1);
+  std::string path = (sp1 == std::string::npos || sp2 == std::string::npos)
+                         ? std::string()
+                         : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const auto query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  std::string response;
+  if (method != "GET") {
+    MetricRegistry::global().counter("obs.http.rejected").inc();
+    response = make_response(405, "Method Not Allowed", "text/plain",
+                             "only GET is supported\n");
+  } else {
+    // Counters are bumped BEFORE the snapshot so a served /metrics body
+    // already includes the request that fetched it — a quiescent client
+    // can byte-compare the body against a fresh local snapshot.
+    if (path == "/metrics") {
+      MetricRegistry::global()
+          .counter("obs.http.requests", "path=\"/metrics\"")
+          .inc();
+      response = make_response(
+          200, "OK", "text/plain; version=0.0.4",
+          to_prometheus(MetricRegistry::global().snapshot()));
+    } else if (path == "/series") {
+      MetricRegistry::global()
+          .counter("obs.http.requests", "path=\"/series\"")
+          .inc();
+      response = make_response(200, "OK", "text/csv",
+                               to_csv(TimeSeriesRegistry::global().snapshot()));
+    } else if (path == "/slo") {
+      MetricRegistry::global()
+          .counter("obs.http.requests", "path=\"/slo\"")
+          .inc();
+      response = make_response(200, "OK", "application/json",
+                               to_json(SloMonitor::global().snapshot()));
+    } else if (path == "/") {
+      MetricRegistry::global().counter("obs.http.requests", "path=\"/\"").inc();
+      response = make_response(200, "OK", "text/plain",
+                               "flashqos live observability\n"
+                               "  /metrics — Prometheus exposition\n"
+                               "  /series  — windowed time-series (CSV)\n"
+                               "  /slo     — SLO burn states (JSON)\n");
+    } else {
+      MetricRegistry::global().counter("obs.http.rejected").inc();
+      response = make_response(404, "Not Found", "text/plain",
+                               "unknown path; try /metrics, /series, /slo\n");
+    }
+  }
+  send_all(fd, response);
+  ::close(fd);
+}
+
+bool HttpExporter::self_probe(const std::string& path) {
+  if (!running_) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    return false;
+  }
+  std::string reply;
+  char buf[512];
+  while (reply.size() < sizeof(buf)) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    // flashqos-lint: allow(wall-clock): bounded client-I/O wait on the monitoring plane, not simulated time.
+    const int ready = ::poll(&pfd, 1, kClientTimeoutMs);
+    if (ready <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+    if (reply.find("\r\n") != std::string::npos) break;
+  }
+  ::close(fd);
+  return reply.rfind("HTTP/1.1 200", 0) == 0;
+}
+
+}  // namespace flashqos::obs

@@ -1,0 +1,90 @@
+// Observability v2: a real /metrics socket.
+//
+// Minimal, dependency-free blocking HTTP/1.1 server — the first real
+// socket in the codebase and the seam the ROADMAP's flashqosd daemon will
+// reuse. One acceptor thread accepts connections and hands file
+// descriptors to a small fixed pool of handler threads through a bounded
+// HandoffQueue (backpressure: when every handler is busy the acceptor
+// blocks and further clients wait in the kernel backlog). Handlers speak
+// just enough HTTP/1.1 to serve GETs and always close the connection.
+//
+// Endpoints (all read the process-global observability state):
+//   /metrics — Prometheus text exposition of MetricRegistry::global()
+//   /series  — CSV of TimeSeriesRegistry::global() windowed series
+//   /slo     — JSON report of SloMonitor::global() burn states + log
+//   /        — plain-text index of the above
+//
+// The server is monitoring-plane only: it never touches simulation state,
+// and snapshots taken while a replay runs are the registries' documented
+// live views (exact at quiescence). Simulated time never appears here
+// except inside exported payloads; the few bounded client-I/O waits are
+// explicitly annotated for flashqos_lint's wall-clock rule.
+//
+// Lifecycle: start() binds 127.0.0.1 (port 0 = ephemeral; port() reports
+// the bound port), stop() shuts the listener down and joins every thread.
+// start()/stop() are not thread-safe against each other — drive them from
+// one control thread (main(), a test). The global() instance is leaked
+// like the registries, so a process may exit with the server running.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/handoff_queue.hpp"
+
+namespace flashqos::obs {
+
+class HttpExporter {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  // 0 = ephemeral, see port()
+    std::size_t handler_threads = 2;
+    std::size_t queue_capacity = 16;
+  };
+
+  HttpExporter() = default;
+  ~HttpExporter() { stop(); }
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Process-wide exporter used by --serve-metrics (intentionally leaked).
+  [[nodiscard]] static HttpExporter& global();
+
+  /// Bind, listen, and spin up the acceptor + handlers. Returns false
+  /// (see last_error()) if the socket could not be set up.
+  bool start(const Options& opts);
+  bool start() { return start(Options()); }
+
+  /// Shut the listener down and join every thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Port actually bound (resolves ephemeral requests); 0 when stopped.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] const std::string& last_error() const { return error_; }
+
+  /// Loop back to our own listener and GET `path`; true iff an HTTP 200
+  /// came back. The --smoke self-probe benches use to prove the endpoint
+  /// is live without an external client.
+  [[nodiscard]] bool self_probe(const std::string& path = "/metrics");
+
+ private:
+  void accept_loop();
+  void handler_loop();
+  void handle_client(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool running_ = false;
+  std::string error_;
+  std::unique_ptr<HandoffQueue<int>> pending_;
+  std::thread acceptor_;
+  std::vector<std::thread> handlers_;
+};
+
+}  // namespace flashqos::obs

@@ -9,6 +9,7 @@ std::string_view to_string(EventKind kind) noexcept {
     case EventKind::kRetrieval: return "retrieval";
     case EventKind::kDeviceService: return "device_service";
     case EventKind::kInterval: return "interval";
+    case EventKind::kStage: return "stage";
   }
   return "unknown";
 }
@@ -26,6 +27,9 @@ std::string_view to_string(EventDetail detail) noexcept {
     case EventDetail::kWrite: return "write";
     case EventDetail::kSlotMatched: return "slot_matched";
     case EventDetail::kSurplus: return "surplus";
+    case EventDetail::kStageQueue: return "queue";
+    case EventDetail::kStageSchedule: return "schedule";
+    case EventDetail::kStageService: return "service";
   }
   return "unknown";
 }

@@ -34,9 +34,12 @@ enum class EventKind : std::uint8_t {
   kRetrieval = 2,      // retrieval path chosen; value = rounds
   kDeviceService = 3,  // one device busy interval; device/start/end set
   kInterval = 4,       // QoS interval rollover; value = admitted count
+  kStage = 5,          // one latency-attribution stage of a request span;
+                       // detail names the stage, value = duration (ns)
 };
 
-/// Admission verdicts / retrieval paths, packed into TraceEvent::detail.
+/// Admission verdicts / retrieval paths / attribution stages, packed into
+/// TraceEvent::detail.
 enum class EventDetail : std::uint8_t {
   kNone = 0,
   // kAdmission
@@ -51,6 +54,11 @@ enum class EventDetail : std::uint8_t {
   kWrite = 8,         // write fan-out to all replicas
   kSlotMatched = 9,   // online deterministic slot matching
   kSurplus = 10,      // online statistical surplus / overflow
+  // kStage — the request span ingress → WFQ queue/admission → retrieval
+  // scheduling → device service, cut at the outcome's recorded timestamps
+  kStageQueue = 11,     // arrival → dispatch (WFQ queue + admission wait)
+  kStageSchedule = 12,  // dispatch → first device access (retrieval path)
+  kStageService = 13,   // first device access → completion
 };
 
 [[nodiscard]] std::string_view to_string(EventKind kind) noexcept;

@@ -43,9 +43,11 @@ void usage(const char* argv0) {
       "                    (every mode combination, failure windows, sweep\n"
       "                    sharding) on the (9,3,1) and (13,3,1) schemes\n"
       "  --replay-threads N  parallel engine width for --replay (default 4)\n"
-      "  --obs             audit the observability registry: replay a set of\n"
+      "  --obs             audit the observability layer: replay a set of\n"
       "                    pipeline configs on the (9,3,1) scheme and check the\n"
-      "                    recorded metrics and trace spans against the\n"
+      "                    recorded metrics, windowed time-series (exact window\n"
+      "                    identity + seeded-defect mutation check), SLO\n"
+      "                    burn-rate pages, and trace spans against the\n"
       "                    returned outcomes (skipped when FLASHQOS_OBS=OFF)\n"
       "  --faults          chaos-audit the fault subsystem: randomized fault\n"
       "                    plans (outages, spikes, rebuild, retry timeouts)\n"

@@ -3,13 +3,18 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "core/qos_pipeline.hpp"
 #include "core/sampler.hpp"
 #include "design/block_design.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/tracer.hpp"
 #include "retrieval/maxflow.hpp"
 #include "trace/synthetic.hpp"
@@ -19,7 +24,7 @@
 namespace flashqos::verify {
 namespace {
 
-inline constexpr std::size_t kPathCount = 9;
+inline constexpr std::size_t kPathCount = 10;
 
 /// Ground truth recomputed from the replay results the registry claims to
 /// describe — the same fold record_outcome_observability performs.
@@ -51,6 +56,156 @@ void tally(const core::PipelineResult& r, Tally& t) {
     t.response_sum += o.response();
     if (o.deferred()) ++t.deferred;
   }
+}
+
+/// Expected content of one windowed-series point, built with the same
+/// associative/commutative merges obs::TimeSeries uses.
+struct WinPoint {
+  std::int64_t sum = 0;
+  std::uint64_t count = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  SimTime first_time = 0;
+
+  void add(SimTime at, std::int64_t value) {
+    if (count == 0) {
+      min = value;
+      max = value;
+      first_time = at;
+    } else {
+      min = std::min(min, value);
+      max = std::max(max, value);
+      first_time = std::min(first_time, at);
+    }
+    sum += value;
+    ++count;
+  }
+};
+
+/// Ground truth for the windowed time-series: every record the pipeline's
+/// window tallies should have produced, rederived from returned outcomes
+/// with the documented rules (dispatch-instant keyed, one record per
+/// outcome per applicable series). Windows merge in a map, so the expected
+/// content is order-independent — exactly the series determinism contract.
+struct WindowOracle {
+  struct ExpSeries {
+    SimTime width = 0;
+    std::map<std::int64_t, WinPoint> windows;
+  };
+  std::map<std::pair<std::string, std::string>, ExpSeries> series;
+
+  void rec(const std::string& name, const std::string& labels, SimTime width,
+           SimTime at, std::int64_t value) {
+    auto& s = series[{name, labels}];
+    s.width = width;
+    s.windows[at / width].add(at, value);
+  }
+
+  void add_run(const core::PipelineConfig& cfg, const core::PipelineResult& r) {
+    const SimTime T = cfg.qos_interval;
+    const bool stat_mode = cfg.admission == core::AdmissionMode::kStatistical;
+    const bool tenant_mode = !cfg.tenants.empty();
+    for (const auto& o : r.outcomes) {
+      const SimTime at = o.dispatch;
+      if (o.is_write) {
+        rec("win.writes", "", T, at, 1);
+        continue;
+      }
+      if (o.failed) {
+        if (o.path == core::RetrievalPath::kShed) {
+          rec("win.shed", "", T, at, 1);
+          rec("win.tenant.shed",
+              "tenant=\"" + cfg.tenants[o.tenant].name + "\"", T, at, 1);
+        } else {
+          rec("win.failed", "", T, at, 1);
+        }
+        continue;
+      }
+      rec("win.reads", "", T, at, 1);
+      rec("win.response_ns", "", T, at, o.response());
+      rec("win.device.reads", "device=\"" + std::to_string(o.device) + "\"", T,
+          at, 1);
+      if (stat_mode) rec("win.q_ppm", "", T, at, o.q_ppm);
+      if (o.path == core::RetrievalPath::kDegraded) {
+        rec("win.degraded", "", T, at, 1);
+      }
+      if (tenant_mode) {
+        rec("win.tenant.reads",
+            "tenant=\"" + cfg.tenants[o.tenant].name + "\"", T, at, 1);
+      }
+    }
+  }
+
+  /// The ring-retention rule: per residue class (window mod capacity) only
+  /// the highest window ever recorded survives to the snapshot.
+  static std::map<std::int64_t, WinPoint> retained(
+      const std::map<std::int64_t, WinPoint>& all, std::size_t capacity) {
+    const auto cap = static_cast<std::int64_t>(capacity);
+    std::map<std::int64_t, std::int64_t> newest;  // residue -> window
+    for (const auto& [w, p] : all) {
+      auto [it, fresh] = newest.try_emplace(w % cap, w);
+      if (!fresh && w > it->second) it->second = w;
+    }
+    std::map<std::int64_t, WinPoint> out;
+    for (const auto& [res, w] : newest) out.emplace(w, all.at(w));
+    return out;
+  }
+};
+
+/// Count exact-equality divergences between the expected windows and an
+/// exported snapshot, in both directions. `first_diff` (optional) receives
+/// a description of the first divergence for the report.
+std::uint64_t window_divergences(const WindowOracle& oracle,
+                                 const obs::TimeSeriesSnapshot& snap,
+                                 std::string* first_diff) {
+  std::uint64_t diverged = 0;
+  const auto note = [&](const std::string& msg) {
+    ++diverged;
+    if (first_diff != nullptr && first_diff->empty()) *first_diff = msg;
+  };
+  for (const auto& [key, exp] : oracle.series) {
+    const std::string id = key.first + "{" + key.second + "}";
+    const auto* s = snap.find(key.first, key.second);
+    if (s == nullptr) {
+      note("missing series " + id);
+      continue;
+    }
+    if (s->width != exp.width) note(id + ": width mismatch");
+    const auto want = WindowOracle::retained(exp.windows,
+                                             obs::kDefaultSeriesCapacity);
+    if (s->points.size() != want.size()) {
+      note(id + ": " + std::to_string(s->points.size()) + " points != expected " +
+           std::to_string(want.size()));
+    }
+    for (const auto& [w, p] : want) {
+      const auto* got = s->find_window(w);
+      if (got == nullptr) {
+        note(id + ": missing window " + std::to_string(w));
+        continue;
+      }
+      if (got->sum != p.sum || got->count != p.count || got->min != p.min ||
+          got->max != p.max || got->first_time != p.first_time) {
+        note(id + " window " + std::to_string(w) + ": {sum=" +
+             std::to_string(got->sum) + ",count=" + std::to_string(got->count) +
+             ",min=" + std::to_string(got->min) + ",max=" +
+             std::to_string(got->max) + ",first=" +
+             std::to_string(got->first_time) + "} != expected {sum=" +
+             std::to_string(p.sum) + ",count=" + std::to_string(p.count) +
+             ",min=" + std::to_string(p.min) + ",max=" + std::to_string(p.max) +
+             ",first=" + std::to_string(p.first_time) + "}");
+      }
+    }
+  }
+  // The reverse direction: an exported non-empty series the outcomes cannot
+  // explain is fiction. (Empty series are fine — created by a replay that
+  // never produced the quantity.)
+  for (const auto& s : snap.series) {
+    if (s.points.empty()) continue;
+    if (oracle.series.find({s.name, s.labels}) == oracle.series.end()) {
+      note("unexpected series " + s.name + "{" + s.labels + "}");
+    }
+  }
+  return diverged;
 }
 
 void check_eq(Report& report, const std::string& name, std::uint64_t got,
@@ -110,10 +265,12 @@ Report verify_observability(const decluster::AllocationScheme& scheme,
     return report;
   } else {
     auto& reg = obs::MetricRegistry::global();
+    auto& tsr = obs::TimeSeriesRegistry::global();
     auto& tracer = obs::Tracer::global();
     const bool tracer_was_enabled = tracer.enabled();
     tracer.set_enabled(false);
     reg.reset();
+    tsr.reset();
 
     // Traces: a bucket-domain synthetic stream, the Exchange-style block
     // stream, and an Exchange variant with writes mixed in.
@@ -136,8 +293,11 @@ Report verify_observability(const decluster::AllocationScheme& scheme,
     // instrumented subsystem at least once. The tally mirrors the
     // registry's own post-run fold, from the returned outcomes.
     Tally want;
+    WindowOracle win_oracle;
     const auto run = [&](const core::PipelineConfig& cfg, const trace::Trace& t) {
-      tally(core::QosPipeline(scheme, cfg).run(t), want);
+      const auto r = core::QosPipeline(scheme, cfg).run(t);
+      win_oracle.add_run(cfg, r);
+      tally(r, want);
     };
 
     core::PipelineConfig online_det;  // slot matching, the flat line
@@ -171,6 +331,55 @@ Report verify_observability(const decluster::AllocationScheme& scheme,
     core::PipelineConfig primary_only;  // the RAID-1 baseline path
     primary_only.scheduler = core::SchedulerMode::kPrimaryOnly;
     run(primary_only, synthetic);
+
+    // Multi-tenant WFQ config tuned to shed: bronze's per-boundary burst
+    // (12) exceeds its queue capacity (4), so the kShed path and the
+    // per-tenant window series are exercised every interval.
+    core::PipelineConfig tenant_wfq;
+    tenant_wfq.tenants = {{.name = "gold",
+                           .weight = 3.0,
+                           .reservation = 2,
+                           .queue_capacity = 16,
+                           .mark_threshold = 12},
+                          {.name = "bronze",
+                           .weight = 1.0,
+                           .reservation = 0,
+                           .queue_capacity = 4,
+                           .mark_threshold = 3}};
+    trace::MultiTenantParams mt;
+    mt.intervals = 60;
+    mt.tenants = {{.requests_per_interval = 3, .bucket_pool = 6},
+                  {.requests_per_interval = 12, .bucket_pool = 6}};
+    mt.seed = params.seed;
+    run(tenant_wfq, trace::generate_multi_tenant(mt));
+
+    // SLO config: a latency spike on every device turns a known span of
+    // windows into response breaches under the no-admission baseline
+    // (admitted work queues instead of deferring, so 8× service blows past
+    // the M·L bound; deterministic admission would absorb the spike as
+    // delay and hide it). Run here so its outcomes feed the same window
+    // oracle; the monitor assertions come after the registry checks.
+    core::PipelineConfig slo_cfg;
+    slo_cfg.admission = core::AdmissionMode::kNone;
+    const auto slo_bound =
+        static_cast<std::int64_t>(slo_cfg.access_budget) * slo_cfg.service_time;
+    slo_cfg.slos.push_back({.tenant = {},
+                            .kind = obs::SloKind::kP99Response,
+                            .threshold_ns = slo_bound,
+                            .budget = 1e-6,
+                            .short_windows = 1,
+                            .long_windows = 1,
+                            .warn_burn = 0.5,
+                            .page_burn = 1.0});
+    for (DeviceId d = 0; d < scheme.devices(); ++d) {
+      slo_cfg.faults.spikes.push_back({.device = d,
+                                       .start = from_ms(2.0),
+                                       .end = from_ms(6.0),
+                                       .factor = 8.0});
+    }
+    const auto slo_result = core::QosPipeline(scheme, slo_cfg).run(synthetic);
+    win_oracle.add_run(slo_cfg, slo_result);
+    tally(slo_result, want);
 
     const auto snap = reg.snapshot();
 
@@ -227,7 +436,7 @@ Report verify_observability(const decluster::AllocationScheme& scheme,
     for (const auto path :
          {core::RetrievalPath::kPrimary, core::RetrievalPath::kSlotMatched,
           core::RetrievalPath::kSurplus, core::RetrievalPath::kDegraded,
-          core::RetrievalPath::kWrite}) {
+          core::RetrievalPath::kWrite, core::RetrievalPath::kShed}) {
       const auto i = static_cast<std::size_t>(path);
       report.add(std::string("path exercised: ") + core::to_string(path),
                  want.by_path[i] > 0);
@@ -274,9 +483,78 @@ Report verify_observability(const decluster::AllocationScheme& scheme,
 
     check_histogram_consistency(report, snap);
 
+    // Window-identity oracle: every exported point of every windowed series
+    // must rederive exactly — {sum, count, min, max, first_time}, both
+    // directions — from the outcomes the replays returned, after applying
+    // the documented ring-retention rule.
+    {
+      const auto tsnap = tsr.snapshot();
+      std::string diff;
+      const auto diverged = window_divergences(win_oracle, tsnap, &diff);
+      std::size_t points = 0;
+      for (const auto& s : tsnap.series) points += s.points.size();
+      report.add("windows: every exported point rederives from outcomes (" +
+                     std::to_string(tsnap.series.size()) + " series, " +
+                     std::to_string(points) + " points)",
+                 diverged == 0, diff);
+      // Mutation check: the seeded mis-fold knob (sum off by one per point)
+      // must be caught, or the oracle above proves nothing.
+      tsr.set_misfold_for_test(true);
+      const auto bad = tsr.snapshot();
+      tsr.set_misfold_for_test(false);
+      report.add("windows: seeded mis-fold defect detected",
+                 window_divergences(win_oracle, bad, nullptr) > 0);
+    }
+
+    // SLO oracle: with short = long = 1 the burn machinery degenerates to
+    // exact per-window classification, so the monitor must have paged in
+    // every window where some read's response exceeded the bound — and
+    // only there.
+    {
+      std::set<std::int64_t> expect_pages;
+      std::set<std::int64_t> read_windows;
+      for (const auto& o : slo_result.outcomes) {
+        if (o.failed || o.is_write) continue;
+        const auto w = o.dispatch / slo_cfg.qos_interval;
+        read_windows.insert(w);
+        if (o.response() > slo_bound) expect_pages.insert(w);
+      }
+      const auto slo_snap = obs::SloMonitor::global().snapshot();
+      std::set<std::int64_t> got_pages;
+      std::uint64_t non_page_log = 0;
+      for (const auto& v : slo_snap.log) {
+        if (v.state == obs::SloMonitor::State::kPage) {
+          got_pages.insert(v.window);
+        } else {
+          ++non_page_log;
+        }
+      }
+      report.add("slo: spike plan breached the p99 bound in a strict subset "
+                 "of windows",
+                 !expect_pages.empty() &&
+                     expect_pages.size() < read_windows.size(),
+                 std::to_string(expect_pages.size()) + " of " +
+                     std::to_string(read_windows.size()) + " windows breach");
+      std::string diff;
+      if (got_pages != expect_pages) {
+        diff = std::to_string(got_pages.size()) + " paged windows != " +
+               std::to_string(expect_pages.size()) + " breaching windows";
+      }
+      report.add("slo: monitor paged in every breaching window and only there",
+                 got_pages == expect_pages, diff);
+      check_eq(report, "slo: violation log holds pages only (1-window burn)",
+               non_page_log, 0);
+      check_eq(report, "slo: violation log not truncated", slo_snap.log_dropped,
+               0);
+      check_eq(report, "slo: spec status page count == breaching windows",
+               slo_snap.specs.size() == 1 ? slo_snap.specs[0].pages : 0,
+               expect_pages.size());
+      obs::SloMonitor::global().configure({});  // leave no stale specs behind
+    }
+
     // Trace-ring audit on a fresh small run: one arrival/admission/retrieval
-    // span triple per request, one service slice per completed array access,
-    // nothing dropped.
+    // span triple per request, three stage slices per served read, one
+    // service slice per completed array access, nothing dropped.
     reg.reset();
     tracer.clear();
     tracer.set_enabled(true);
@@ -284,13 +562,17 @@ Report verify_observability(const decluster::AllocationScheme& scheme,
     tracer.set_enabled(false);
     const auto events = tracer.events();
     const auto traced_snap = reg.snapshot();
-    std::array<std::uint64_t, 5> by_kind{};
+    std::array<std::uint64_t, 6> by_kind{};
     std::uint64_t malformed = 0;
     for (const auto& e : events) {
       ++by_kind[static_cast<std::size_t>(e.kind)];
       if (e.end < e.start) ++malformed;
     }
     const auto traced_requests = static_cast<std::uint64_t>(traced.outcomes.size());
+    std::uint64_t traced_reads = 0;
+    for (const auto& o : traced.outcomes) {
+      if (!o.failed && !o.is_write) ++traced_reads;
+    }
     check_eq(report, "trace: one arrival event per request",
              by_kind[static_cast<std::size_t>(obs::EventKind::kArrival)],
              traced_requests);
@@ -303,6 +585,9 @@ Report verify_observability(const decluster::AllocationScheme& scheme,
     check_eq(report, "trace: one service slice per completed access",
              by_kind[static_cast<std::size_t>(obs::EventKind::kDeviceService)],
              cval(traced_snap, "flashsim.completions"));
+    check_eq(report, "trace: three stage slices per served read",
+             by_kind[static_cast<std::size_t>(obs::EventKind::kStage)],
+             3 * traced_reads);
     check_eq(report, "trace: no events dropped", tracer.dropped(), 0);
     check_eq(report, "trace: spans well-formed (end >= start)", malformed, 0);
     tracer.clear();

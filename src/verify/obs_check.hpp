@@ -17,8 +17,16 @@
 //     submissions, which equal dispatches + per-replica write ops;
 //   * retrieval fast-path + max-flow fallback invocations equal total
 //     retrieve() invocations;
+//   * every exported windowed time-series point rederives exactly — {sum,
+//     count, min, max, first_time}, in both directions, after the ring-
+//     retention rule — from the outcomes (window-identity oracle), and the
+//     registry's seeded mis-fold knob is detected (mutation check);
+//   * under a latency-spike plan that breaches the p99 ≤ M·L bound, the
+//     SLO monitor (short = long = 1, so burn classification is exact per
+//     window) pages in every breaching window and only there;
 //   * the trace ring holds one arrival/admission/retrieval span triple per
-//     request and one service slice per completion, with nothing dropped.
+//     request, three stage slices per served read, and one service slice
+//     per completion, with nothing dropped.
 //
 // In a FLASHQOS_OBS=OFF build the instrumentation is compiled out; the
 // audit degenerates to a single (passing) "skipped" check so the CLI works

@@ -72,6 +72,39 @@ TEST(LintRules, FlagsWallClockAndSleep) {
   EXPECT_EQ(count_rule(fs, "wall-clock"), 2u);
 }
 
+TEST(LintRules, FlagsBlockingIoWaits) {
+  // poll/select/epoll_wait are wall-clock waits too (the HTTP exporter's
+  // annotated call sites are the only sanctioned users).
+  const auto fs = lint_file(
+      "core/server.cpp",
+      "int f(pollfd* p, fd_set* r, int ep) {\n"
+      "  int a = poll(p, 1, 100);\n"
+      "  int b = select(1, r, nullptr, nullptr, nullptr);\n"
+      "  int c = epoll_wait(ep, nullptr, 0, 100);\n"
+      "  return a + b + c;\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, "wall-clock"), 3u);
+}
+
+TEST(LintRules, AcceptIsNotAWallClockWord) {
+  // `accept` collides with the admission API's vocabulary and must stay
+  // off the wall-clock list.
+  const auto fs = lint_file(
+      "core/admission.cpp",
+      "std::uint64_t f(Stat& s) { return s.accept(0, 1); }\n");
+  EXPECT_FALSE(has_rule(fs, "wall-clock"));
+}
+
+TEST(LintAllow, BlockingWaitAllowedOnPreviousLine) {
+  const auto fs = lint_file(
+      "obs/server.cpp",
+      "int f(pollfd* p) {\n"
+      "  // flashqos-lint: allow(wall-clock): bounded monitoring-plane wait\n"
+      "  return poll(p, 1, 100);\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(fs, "wall-clock"));
+}
+
 TEST(LintRules, FlagsIncludeHygiene) {
   // Header without #pragma once as its first directive.
   EXPECT_TRUE(has_rule(lint_file("core/a.hpp", "#include <vector>\n"),

@@ -385,6 +385,38 @@ TEST(Export, CsvFormat) {
             std::string::npos);
 }
 
+TEST(Export, CsvEscapesCommasQuotesAndNewlines) {
+  // RFC 4180: any cell holding a comma, quote, or line break is wrapped in
+  // quotes with embedded quotes doubled — a label like tenant="a,b" must
+  // survive a round trip through a CSV reader as ONE cell.
+  MetricRegistry reg;
+  reg.counter("demo.requests", "tenant=\"a,b\"").inc(3);
+  reg.gauge("demo.depth", "note=\"line1\nline2\"").add(5);
+  const auto text = to_csv(reg.snapshot());
+  EXPECT_NE(
+      text.find("counter,demo.requests,\"tenant=\"\"a,b\"\"\",value,3\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("gauge,demo.depth,\"note=\"\"line1\nline2\"\"\",value,5\n"),
+      std::string::npos);
+  // Every row outside a quoted cell still has the fixed column count.
+  std::size_t col_commas = 0;
+  bool quoted = false;
+  std::size_t rows = 0;
+  std::size_t bad_rows = 0;
+  for (const char c : text) {
+    if (c == '"') quoted = !quoted;
+    if (c == ',' && !quoted) ++col_commas;
+    if (c == '\n' && !quoted) {
+      ++rows;
+      if (col_commas != 4) ++bad_rows;
+      col_commas = 0;
+    }
+  }
+  EXPECT_EQ(rows, 3u);  // header + two instruments
+  EXPECT_EQ(bad_rows, 0u);
+}
+
 TEST(Export, ChromeTraceFormat) {
   std::vector<TraceEvent> events;
   events.push_back({.request = 0,
