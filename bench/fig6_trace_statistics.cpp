@@ -2,6 +2,10 @@
 // workloads: per reporting interval, the maximum and average read rate and
 // the total number of reads.
 //
+// Runs off the streaming cursor in one pass — the trace is never
+// materialized, so this scales to trace lengths that would not fit in
+// memory (the same path BENCH_stream exercises).
+//
 // Paper shape: Exchange (a,b) shows a strong diurnal pattern over 96
 // fifteen-minute intervals; TPC-E (c,d) is a steady high-rate stream over
 // 6 parts with max rates well above the averages (burstiness).
@@ -16,8 +20,17 @@ using namespace flashqos;
 
 namespace {
 
-void report(const char* title, const trace::Trace& t) {
-  const auto stats = trace::interval_stats(t, t.report_interval / 20);
+void report(const char* title, trace::TraceCursor& c) {
+  trace::StreamingTraceStats stream(c.meta().report_interval,
+                                    c.meta().report_interval / 20);
+  trace::TraceEvent batch[4096];
+  for (;;) {
+    const std::size_t n = c.fill(batch);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) stream.add(batch[i]);
+  }
+  stream.finish();
+  const auto& stats = stream.intervals();
   print_banner(title);
   Table table({"interval", "total reads", "avg reads/s", "max reads/s"});
   for (std::size_t i = 0; i < stats.size(); ++i) {
@@ -26,9 +39,13 @@ void report(const char* title, const trace::Trace& t) {
                    Table::num(stats[i].max_reads_per_sec, 0)});
   }
   table.print();
-  std::size_t total = 0;
-  for (const auto& s : stats) total += s.total_reads;
-  std::printf("total reads: %zu across %zu intervals\n", total, stats.size());
+  const auto sum = stream.summary();
+  std::printf("total reads: %zu across %zu intervals\n", sum.reads,
+              stats.size());
+  std::printf("inter-arrival ns: mean %.0f  stddev %.0f  p50 %.0f  p95 %.0f  "
+              "p99 %.0f (reservoir estimate)\n",
+              sum.mean_gap_ns, sum.stddev_gap_ns, sum.p50_gap_ns,
+              sum.p95_gap_ns, sum.p99_gap_ns);
 }
 
 }  // namespace
@@ -37,11 +54,11 @@ int main(int argc, char** argv) {
   const bool smoke = bench::smoke_mode(argc, argv);
   const double scale = smoke ? 0.1 : 1.0;
   const auto exchange =
-      trace::generate_workload(trace::exchange_params(scale, 42));
-  const auto tpce = trace::generate_workload(trace::tpce_params(scale, 43));
+      trace::make_workload_cursor(trace::exchange_params(scale, 42));
+  const auto tpce = trace::make_workload_cursor(trace::tpce_params(scale, 43));
   report("Figure 6(a,b): Exchange trace statistics (96 intervals, 9 volumes)",
-         exchange);
-  report("Figure 6(c,d): TPC-E trace statistics (6 parts, 13 volumes)", tpce);
+         *exchange);
+  report("Figure 6(c,d): TPC-E trace statistics (6 parts, 13 volumes)", *tpce);
   std::printf("\npaper shape: diurnal swing for Exchange; steady high rate with "
               "bursty maxima for TPC-E.\n");
   return 0;

@@ -20,7 +20,11 @@
 #      against the replay outcomes they describe), and the
 #      fault-injection chaos audit (--faults: randomized fault plans with
 #      request-conservation, routing, guarantee-reestablishment, and
-#      serial ≡ parallel checks)
+#      serial ≡ parallel checks), and the streaming-identity audit
+#      (--stream: run_stream ≡ run() — results, metric registry, and
+#      windowed time-series bit-identical at every batch size, through
+#      generator and chunked-file cursors, with a seeded drain-bound
+#      mutation proving the audit can fail)
 #   7. clang-tidy over src/ (skipped with a warning if clang-tidy is not
 #      installed — stages 2–3 are the always-on static gate; clang-tidy is
 #      an extra when a clang toolchain is around)
@@ -84,8 +88,8 @@ else
   banner "5/7 TSan — SKIPPED (--quick)"
 fi
 
-banner "6/7 design-invariant verifier (catalog, N <= 64) + replay equivalence + obs audit + chaos audit + fairness audit"
-run ./build-werror/src/verify/flashqos_verify --max-devices 64 --replay --obs --faults --fairness
+banner "6/7 design-invariant verifier (catalog, N <= 64) + replay equivalence + obs audit + chaos audit + fairness audit + stream audit"
+run ./build-werror/src/verify/flashqos_verify --max-devices 64 --replay --obs --faults --fairness --stream
 
 banner "7/7 clang-tidy (optional extra)"
 if command -v clang-tidy > /dev/null 2>&1; then

@@ -3,10 +3,12 @@
 #include <chrono>
 #include <exception>
 #include <future>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "fim/apriori.hpp"
 #include "obs/metrics.hpp"
 #include "util/handoff_queue.hpp"
 
@@ -83,6 +85,42 @@ class QueueFimSource final : public FimSource {
   std::vector<bool> ready_;
 };
 
+/// FimSource for the streaming replay core, fed by the producer that mines
+/// ahead of it. Unlike QueueFimSource the slice count is unknown up front,
+/// so arrived slices are keyed by index; the producer emits in slice order
+/// and the core consumes in slice order, so the map stays O(lookahead).
+class StreamingQueueFimSource final : public FimSource {
+ public:
+  explicit StreamingQueueFimSource(HandoffQueue<MinedSlice>& queue)
+      : queue_(queue) {}
+
+  std::span<const fim::FrequentPair> slice(std::size_t idx) override {
+    // Earlier slices are never re-requested (the core mines forward only);
+    // drop any the core skipped so memory cannot creep.
+    ready_.erase(ready_.begin(), ready_.lower_bound(idx));
+    auto it = ready_.find(idx);
+    while (it == ready_.end()) {
+      auto item = queue_.pop();
+      if (!item.has_value()) {
+        throw std::runtime_error(
+            "parallel stream replay: mining stage closed before producing "
+            "slice " + std::to_string(idx));
+      }
+      if (item->idx < idx) continue;  // skipped slice, already unneeded
+      ready_.emplace(item->idx, std::move(item->pairs));
+      it = ready_.find(idx);
+    }
+    current_ = std::move(it->second);
+    ready_.erase(it);
+    return current_;
+  }
+
+ private:
+  HandoffQueue<MinedSlice>& queue_;
+  std::map<std::size_t, std::vector<fim::FrequentPair>> ready_;
+  std::vector<fim::FrequentPair> current_;  // span target until next call
+};
+
 /// Join every future; rethrow the first captured exception (if any),
 /// preferring worker errors over `pending` (a consumer-side error that a
 /// worker failure usually caused).
@@ -139,6 +177,114 @@ PipelineResult ParallelReplayEngine::run(const decluster::AllocationScheme& sche
     return QosPipeline(scheme, cfg).run(t);
   }
   return run_pipelined(scheme, cfg, t);
+}
+
+StreamResult ParallelReplayEngine::run_stream(
+    const decluster::AllocationScheme& scheme, const PipelineConfig& cfg,
+    const trace::CursorFactory& factory, const StreamOptions& opts) {
+  FLASHQOS_EXPECT(static_cast<bool>(factory),
+                  "stream replay needs a cursor factory");
+  FLASHQOS_EXPECT(opts.batch_size > 0, "stream batch size must be positive");
+  auto cursor = factory();
+  FLASHQOS_EXPECT(cursor != nullptr, "cursor factory returned a null cursor");
+  const SimTime ri = cursor->meta().report_interval;
+  const bool mine = cfg.retrieval != RetrievalMode::kOnline &&
+                    cfg.mapping == MappingMode::kFim && ri > 0;
+  if (!mine) {
+    // kOnline keeps the serial path (its FCFS ordering is load-bearing);
+    // modulo mapping / interval-free streams have no mining stage to run
+    // ahead. The serial streaming engine mines inline either way.
+    return QosPipeline(scheme, cfg).run_stream(*cursor, nullptr, opts);
+  }
+
+  // Producer: an independent pass over the stream (its own cursor), building
+  // each reporting slice's transaction database exactly the way the inline
+  // miner does — transactions cut at QoS-window changes and at slice
+  // boundaries, reads only — then mining and handing the pairs over the
+  // bounded queue. Mining is a pure function of the slice, so mined-ahead
+  // pairs are bit-identical to inline mining.
+  HandoffQueue<MinedSlice> queue(opts_.mining_lookahead);
+  std::vector<std::future<void>> miners;
+  miners.push_back(pool_.submit_with_future([&] {
+    try {
+      auto mine_cursor = factory();
+      FLASHQOS_EXPECT(mine_cursor != nullptr,
+                      "cursor factory returned a null cursor");
+      std::vector<trace::TraceEvent> buf(opts.batch_size);
+      fim::TransactionDb db;
+      std::vector<fim::Item> tx;
+      std::int64_t window = -1;
+      std::size_t slice = 0;
+      bool stop = false;
+      const auto flush_tx = [&] {
+        if (!tx.empty()) {
+          db.add(std::move(tx));
+          tx = {};
+        }
+      };
+      // Mine and hand off the slice under construction. push() returning
+      // false means the replay core finished on a prefix and closed the
+      // queue — nothing later can be needed, so the producer stops.
+      const auto close_slice = [&] {
+        flush_tx();
+        window = -1;  // a QoS window never straddles a slice boundary
+        // flashqos-lint: allow(wall-clock): miner stage-timing metric
+        const auto t0 = std::chrono::steady_clock::now();
+        MinedSlice m{slice, fim::mine_pairs_apriori(db, cfg.fim_min_support).pairs};
+        if (!queue.push(std::move(m))) {
+          stop = true;
+          return;
+        }
+        if constexpr (obs::kEnabled) {
+          auto& em = EngineMetrics::get();
+          em.mined_slices.inc();
+          em.mine_ns.record(elapsed_ns(t0));
+          em.handoff_occupancy.record(static_cast<std::int64_t>(queue.size()));
+        }
+        db = fim::TransactionDb{};
+        ++slice;
+      };
+      for (std::size_t n; !stop && (n = mine_cursor->fill(buf)) > 0;) {
+        for (std::size_t i = 0; i < n && !stop; ++i) {
+          const auto& e = buf[i];
+          const auto s = static_cast<std::size_t>(e.time / ri);
+          while (slice < s && !stop) close_slice();
+          if (stop || !e.is_read) continue;  // the paper mines read requests
+          const std::int64_t w = e.time / cfg.qos_interval;
+          if (w != window) {
+            flush_tx();
+            window = w;
+          }
+          tx.push_back(e.block);
+        }
+      }
+      if (!stop) close_slice();  // the slice holding the last event
+    } catch (...) {
+      queue.close();  // unblock the consumer; the future carries the error
+      throw;
+    }
+  }));
+
+  QosPipeline pipe(scheme, cfg);
+  StreamingQueueFimSource source(queue);
+  StreamResult result;
+  // flashqos-lint: allow(wall-clock): replay stage-timing metric
+  const auto replay_t0 = std::chrono::steady_clock::now();
+  try {
+    result = pipe.run_stream(*cursor, &source, opts);
+  } catch (...) {
+    queue.close();
+    join_all(miners, std::current_exception());
+    throw;  // unreachable: join_all rethrows pending when no worker failed
+  }
+  // The core may consume only a prefix of the slices (the last dispatch
+  // decides); close the queue so the producer stops blocking.
+  queue.close();
+  join_all(miners, nullptr);
+  if constexpr (obs::kEnabled) {
+    EngineMetrics::get().replay_ns.record(elapsed_ns(replay_t0));
+  }
+  return result;
 }
 
 PipelineResult ParallelReplayEngine::run_pipelined(

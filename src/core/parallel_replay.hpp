@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/qos_pipeline.hpp"
+#include "trace/cursor.hpp"
 #include "util/thread_pool.hpp"
 
 namespace flashqos::core {
@@ -81,6 +82,22 @@ class ParallelReplayEngine {
   /// to the serial engine in every mode.
   [[nodiscard]] PipelineResult run(const decluster::AllocationScheme& scheme,
                                    const PipelineConfig& cfg, const trace::Trace& t);
+
+  /// Streaming twin of run(): replay a cursor stream with the decode+mine
+  /// stage running ahead on a pool worker. The producer opens its *own*
+  /// cursor from `factory` (two independent passes over the stream), builds
+  /// each reporting slice's transaction database incrementally — O(slice)
+  /// memory, never the trace — mines it, and hands the pairs over the
+  /// bounded queue; the serial streaming core consumes them in slice order.
+  /// Falls back to QosPipeline::run_stream inline mining when there is no
+  /// mining stage to run ahead (kOnline ordering is load-bearing, modulo
+  /// mapping and interval-free traces have nothing to mine). Bit-identical
+  /// to the serial streaming path, which is bit-identical to run() on the
+  /// materialized trace (flashqos_verify --stream audits both).
+  [[nodiscard]] StreamResult run_stream(const decluster::AllocationScheme& scheme,
+                                        const PipelineConfig& cfg,
+                                        const trace::CursorFactory& factory,
+                                        const StreamOptions& opts = {});
 
  private:
   [[nodiscard]] PipelineResult run_pipelined(

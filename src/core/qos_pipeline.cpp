@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <deque>
+#include <limits>
 #include <map>
+#include <optional>
 #include <queue>
 
 #include "core/sampler.hpp"
+#include "core/slot_matcher.hpp"
 #include "design/block_design.hpp"
 #include "fault/injector.hpp"
 #include "fim/apriori.hpp"
@@ -16,6 +21,7 @@
 #include "obs/timeseries.hpp"
 #include "obs/tracer.hpp"
 #include "retrieval/dtr.hpp"
+#include "trace/cursor.hpp"
 #include "util/stats.hpp"
 
 namespace flashqos::core {
@@ -205,109 +211,141 @@ struct WindowAgg {
   }
 };
 
-void record_outcome_observability(const PipelineResult& result) {
-  auto& m = PipelineMetrics::get();
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-  std::uint64_t failed = 0;
-  std::uint64_t deferred = 0;
-  std::array<std::uint64_t, kPathCount> by_path{};
-  {
-    HistogramTally response(m.response_ns);
-    HistogramTally e2e(m.e2e_ns);
-    HistogramTally delay(m.delay_ns);
-    HistogramTally stage_queue(m.stage_queue_ns);
-    HistogramTally stage_schedule(m.stage_schedule_ns);
-    HistogramTally stage_service(m.stage_service_ns);
-    for (const auto& o : result.outcomes) {
-      ++by_path[static_cast<std::size_t>(o.path)];
-      if (o.failed) {
-        ++failed;
-        continue;
-      }
-      if (o.is_write) {
-        ++writes;
-        continue;
-      }
-      ++reads;
-      response.add(o.response());
-      e2e.add(o.end_to_end());
-      stage_queue.add(o.dispatch - o.arrival);
-      stage_schedule.add(o.start - o.dispatch);
-      stage_service.add(o.finish - o.start);
+/// Single-pass fold of finished outcomes into the observability registry:
+/// add() takes one outcome (trace order) — counters, histogram tallies,
+/// and (when tracing) that request's arrival → admission → retrieval spans
+/// plus one stage slice per lifecycle segment — and publish() writes the
+/// whole-run counter increments. The in-memory path folds the outcomes
+/// vector through it after the replay; the streaming path folds each
+/// request as it leaves the window, so registry content is identical at
+/// any batch size. Streaming caveat: per-request *tracer* records then
+/// interleave with the replay's kInterval records instead of trailing
+/// them; registry snapshots are order-insensitive, and the stream oracle
+/// keeps tracing off while comparing.
+class OutcomeObsFolder {
+ public:
+  OutcomeObsFolder()
+      : m_(PipelineMetrics::get()),
+        response_(m_.response_ns),
+        e2e_(m_.e2e_ns),
+        delay_(m_.delay_ns),
+        stage_queue_(m_.stage_queue_ns),
+        stage_schedule_(m_.stage_schedule_ns),
+        stage_service_(m_.stage_service_ns),
+        tracer_(obs::Tracer::global()),
+        trace_on_(tracer_.enabled()) {}
+
+  void add(std::uint64_t idx, const RequestOutcome& o) {
+    ++by_path_[static_cast<std::size_t>(o.path)];
+    if (o.failed) {
+      ++failed_;
+    } else if (o.is_write) {
+      ++writes_;
+    } else {
+      ++reads_;
+      response_.add(o.response());
+      e2e_.add(o.end_to_end());
+      stage_queue_.add(o.dispatch - o.arrival);
+      stage_schedule_.add(o.start - o.dispatch);
+      stage_service_.add(o.finish - o.start);
       if (o.deferred()) {
-        ++deferred;
-        delay.add(o.delay());
+        ++deferred_;
+        delay_.add(o.delay());
       }
     }
-  }
-  m.requests.inc(result.outcomes.size());
-  m.reads_served.inc(reads);
-  m.writes.inc(writes);
-  m.failed.inc(failed);
-  m.deferred.inc(deferred);
-  m.deadline_violations.inc(result.deadline_violations);
-  for (std::size_t i = 0; i < kPathCount; ++i) {
-    if (by_path[i] > 0) m.by_path[i]->inc(by_path[i]);
+    if (trace_on_) trace_outcome(idx, o);
   }
 
-  auto& tracer = obs::Tracer::global();
-  if (!tracer.enabled()) return;
-  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
-    const auto& o = result.outcomes[i];
-    const auto req = static_cast<std::int64_t>(i);
-    tracer.record({.request = req,
-                   .start = o.arrival,
-                   .end = o.arrival,
-                   .value = 0,
-                   .device = -1,
-                   .kind = obs::EventKind::kArrival,
-                   .detail = obs::EventDetail::kNone});
-    tracer.record({.request = req,
-                   .start = o.dispatch,
-                   .end = o.dispatch,
-                   .value = o.q_ppm,
-                   .device = -1,
-                   .kind = obs::EventKind::kAdmission,
-                   .detail = o.failed      ? obs::EventDetail::kRejected
-                             : o.deferred() ? obs::EventDetail::kDeferred
-                                            : obs::EventDetail::kAdmitted});
-    tracer.record({.request = req,
-                   .start = o.dispatch,
-                   .end = o.finish,
-                   .value = 0,
-                   .device = o.device == kInvalidDevice
-                                 ? -1
-                                 : static_cast<std::int32_t>(o.device),
-                   .kind = obs::EventKind::kRetrieval,
-                   .detail = trace_detail(o.path)});
+  void publish(std::size_t requests, std::size_t deadline_violations) {
+    m_.requests.inc(requests);
+    m_.reads_served.inc(reads_);
+    m_.writes.inc(writes_);
+    m_.failed.inc(failed_);
+    m_.deferred.inc(deferred_);
+    m_.deadline_violations.inc(deadline_violations);
+    for (std::size_t i = 0; i < kPathCount; ++i) {
+      if (by_path_[i] > 0) m_.by_path[i]->inc(by_path_[i]);
+    }
+  }
+
+ private:
+  void trace_outcome(std::uint64_t idx, const RequestOutcome& o) {
+    const auto req = static_cast<std::int64_t>(idx);
+    tracer_.record({.request = req,
+                    .start = o.arrival,
+                    .end = o.arrival,
+                    .value = 0,
+                    .device = -1,
+                    .kind = obs::EventKind::kArrival,
+                    .detail = obs::EventDetail::kNone});
+    tracer_.record({.request = req,
+                    .start = o.dispatch,
+                    .end = o.dispatch,
+                    .value = o.q_ppm,
+                    .device = -1,
+                    .kind = obs::EventKind::kAdmission,
+                    .detail = o.failed      ? obs::EventDetail::kRejected
+                              : o.deferred() ? obs::EventDetail::kDeferred
+                                             : obs::EventDetail::kAdmitted});
+    tracer_.record({.request = req,
+                    .start = o.dispatch,
+                    .end = o.finish,
+                    .value = 0,
+                    .device = o.device == kInvalidDevice
+                                  ? -1
+                                  : static_cast<std::int32_t>(o.device),
+                    .kind = obs::EventKind::kRetrieval,
+                    .detail = trace_detail(o.path)});
     // Stage slices exist only for served reads: failed/shed requests never
     // reach the device and writes follow the replication path instead.
-    if (o.failed || o.is_write) continue;
-    tracer.record({.request = req,
-                   .start = o.arrival,
-                   .end = o.dispatch,
-                   .value = o.dispatch - o.arrival,
-                   .device = -1,
-                   .kind = obs::EventKind::kStage,
-                   .detail = obs::EventDetail::kStageQueue});
-    tracer.record({.request = req,
-                   .start = o.dispatch,
-                   .end = o.start,
-                   .value = o.start - o.dispatch,
-                   .device = -1,
-                   .kind = obs::EventKind::kStage,
-                   .detail = obs::EventDetail::kStageSchedule});
-    tracer.record({.request = req,
-                   .start = o.start,
-                   .end = o.finish,
-                   .value = o.finish - o.start,
-                   .device = o.device == kInvalidDevice
-                                 ? -1
-                                 : static_cast<std::int32_t>(o.device),
-                   .kind = obs::EventKind::kStage,
-                   .detail = obs::EventDetail::kStageService});
+    if (o.failed || o.is_write) return;
+    tracer_.record({.request = req,
+                    .start = o.arrival,
+                    .end = o.dispatch,
+                    .value = o.dispatch - o.arrival,
+                    .device = -1,
+                    .kind = obs::EventKind::kStage,
+                    .detail = obs::EventDetail::kStageQueue});
+    tracer_.record({.request = req,
+                    .start = o.dispatch,
+                    .end = o.start,
+                    .value = o.start - o.dispatch,
+                    .device = -1,
+                    .kind = obs::EventKind::kStage,
+                    .detail = obs::EventDetail::kStageSchedule});
+    tracer_.record({.request = req,
+                    .start = o.start,
+                    .end = o.finish,
+                    .value = o.finish - o.start,
+                    .device = o.device == kInvalidDevice
+                                  ? -1
+                                  : static_cast<std::int32_t>(o.device),
+                    .kind = obs::EventKind::kStage,
+                    .detail = obs::EventDetail::kStageService});
   }
+
+  PipelineMetrics& m_;
+  HistogramTally response_;
+  HistogramTally e2e_;
+  HistogramTally delay_;
+  HistogramTally stage_queue_;
+  HistogramTally stage_schedule_;
+  HistogramTally stage_service_;
+  obs::Tracer& tracer_;
+  bool trace_on_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t deferred_ = 0;
+  std::array<std::uint64_t, kPathCount> by_path_{};
+};
+
+void record_outcome_observability(const PipelineResult& result) {
+  OutcomeObsFolder folder;
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    folder.add(i, result.outcomes[i]);
+  }
+  folder.publish(result.outcomes.size(), result.deadline_violations);
 }
 
 /// A request waiting for dispatch. Ordered by (dispatch time, seq); seq is
@@ -321,89 +359,6 @@ struct Pending {
   bool operator>(const Pending& other) const noexcept {
     return dispatch != other.dispatch ? dispatch > other.dispatch : seq > other.seq;
   }
-};
-
-/// Incremental bipartite matching of requests onto replica-device slots.
-///
-/// The deterministic online admission rule is "admit only what can start
-/// inside the access budget right now": device d exposes
-///   slots(d) = how many service quanta fit in [max(free, now), now + M·L]
-/// and a request is admissible iff an augmenting path assigns it (possibly
-/// remapping earlier admissions — the paper's "necessary remappings are
-/// performed" for same-instant batches).
-class SlotMatcher {
- public:
-  /// `service` is the base quantum L defining the guarantee window
-  /// [now, now + M·L]. `per_device` (optional) gives each device's
-  /// *effective* quantum — stretched by a latency-spike window — so a
-  /// degraded device exposes fewer slots inside the same window and the
-  /// admission rule stays honest about what can actually finish in time.
-  SlotMatcher(const decluster::AllocationScheme& scheme,
-              const std::vector<SimTime>& free_at, SimTime now, SimTime service,
-              std::uint32_t budget, const std::vector<bool>& available,
-              const std::vector<SimTime>* per_device = nullptr)
-      : scheme_(scheme) {
-    capacity_.resize(scheme.devices());
-    occupants_.resize(scheme.devices());
-    const SimTime window_end = now + static_cast<SimTime>(budget) * service;
-    for (DeviceId d = 0; d < scheme.devices(); ++d) {
-      if (!available.empty() && !available[d]) continue;  // down: 0 slots
-      const SimTime svc = per_device != nullptr ? (*per_device)[d] : service;
-      const SimTime start = std::max(free_at[d], now);
-      const SimTime room = window_end - start;
-      capacity_[d] = room <= 0 ? 0
-                               : static_cast<std::uint32_t>(
-                                     std::min<SimTime>(room / svc, budget));
-    }
-  }
-
-  /// Try to admit one more request for `bucket`; true on success. On
-  /// success the internal assignment covers every admitted request.
-  bool add(BucketId bucket) {
-    buckets_.push_back(bucket);
-    visited_.assign(buckets_.size(), false);
-    if (augment(buckets_.size() - 1)) return true;
-    buckets_.pop_back();
-    return false;
-  }
-
-  /// Device of each admitted request, in admission order.
-  [[nodiscard]] std::vector<DeviceId> assignment() const {
-    std::vector<DeviceId> out(buckets_.size(), kInvalidDevice);
-    for (DeviceId d = 0; d < occupants_.size(); ++d) {
-      for (const auto r : occupants_[d]) out[r] = d;
-    }
-    return out;
-  }
-
- private:
-  bool augment(std::size_t request) {
-    visited_[request] = true;
-    const auto reps = scheme_.replicas(buckets_[request]);
-    // First pass: a device with a free slot.
-    for (const auto d : reps) {
-      if (occupants_[d].size() < capacity_[d]) {
-        occupants_[d].push_back(request);
-        return true;
-      }
-    }
-    // Second pass: evict-and-relocate (augmenting path).
-    for (const auto d : reps) {
-      for (auto& occupant : occupants_[d]) {
-        if (!visited_[occupant] && augment(occupant)) {
-          occupant = request;
-          return true;
-        }
-      }
-    }
-    return false;
-  }
-
-  const decluster::AllocationScheme& scheme_;
-  std::vector<std::uint32_t> capacity_;
-  std::vector<std::vector<std::size_t>> occupants_;  // request indices per device
-  std::vector<BucketId> buckets_;
-  std::vector<bool> visited_;
 };
 
 /// Build the FIM transaction database for one reporting-interval slice:
@@ -428,6 +383,57 @@ fim::TransactionDb build_transactions(const trace::Trace& t, std::size_t begin,
   return db;
 }
 
+/// Streaming-safe interval summary: add() one outcome at a time (trace
+/// order), finalize() into an IntervalReport. summarize_outcome_range is a
+/// fold over this same struct, so the streaming replay's incremental
+/// reports and the in-memory summarizer go through one accumulation order
+/// and every derived double is bit-identical.
+struct OutcomeFold {
+  IntervalReport r;
+  Accumulator resp, e2e, delay, write_ms;
+  std::size_t matched = 0;
+  std::size_t reads = 0;
+
+  void add(const RequestOutcome& o) {
+    ++r.requests;
+    if (o.failed) {
+      ++r.failed;
+      return;  // never served: no response/delay statistics
+    }
+    if (o.is_write) {
+      ++r.writes;
+      write_ms.add(to_ms(o.end_to_end()));
+      return;  // write completion tracked separately from read QoS
+    }
+    ++reads;
+    resp.add(to_ms(o.response()));
+    e2e.add(to_ms(o.end_to_end()));
+    if (o.deferred()) {
+      ++r.deferred;
+      delay.add(to_ms(o.delay()));
+    }
+    if (o.fim_matched) ++matched;
+  }
+
+  [[nodiscard]] IntervalReport finalize() const {
+    IntervalReport out = r;
+    if (out.requests == 0) return out;
+    out.avg_response_ms = resp.mean();
+    out.max_response_ms = resp.max();
+    out.avg_e2e_ms = e2e.mean();
+    out.max_e2e_ms = e2e.max();
+    out.avg_write_ms = write_ms.count() ? write_ms.mean() : 0.0;
+    if (reads > 0) {
+      out.pct_deferred =
+          static_cast<double>(out.deferred) / static_cast<double>(reads);
+      out.fim_match_rate =
+          static_cast<double>(matched) / static_cast<double>(reads);
+    }
+    out.avg_delay_ms = delay.count() ? delay.mean() : 0.0;
+    return out;
+  }
+};
+
 }  // namespace
 
 std::vector<fim::FrequentPair> mine_event_range(const trace::Trace& t,
@@ -440,43 +446,9 @@ std::vector<fim::FrequentPair> mine_event_range(const trace::Trace& t,
 
 IntervalReport summarize_outcome_range(std::span<const RequestOutcome> outcomes,
                                        std::size_t begin, std::size_t end) {
-  IntervalReport r;
-  Accumulator resp, e2e, delay, write_ms;
-  std::size_t matched = 0;
-  std::size_t reads = 0;
-  for (std::size_t i = begin; i < end; ++i) {
-    const auto& o = outcomes[i];
-    ++r.requests;
-    if (o.failed) {
-      ++r.failed;
-      continue;  // never served: no response/delay statistics
-    }
-    if (o.is_write) {
-      ++r.writes;
-      write_ms.add(to_ms(o.end_to_end()));
-      continue;  // write completion tracked separately from read QoS
-    }
-    ++reads;
-    resp.add(to_ms(o.response()));
-    e2e.add(to_ms(o.end_to_end()));
-    if (o.deferred()) {
-      ++r.deferred;
-      delay.add(to_ms(o.delay()));
-    }
-    if (o.fim_matched) ++matched;
-  }
-  if (r.requests == 0) return r;
-  r.avg_response_ms = resp.mean();
-  r.max_response_ms = resp.max();
-  r.avg_e2e_ms = e2e.mean();
-  r.max_e2e_ms = e2e.max();
-  r.avg_write_ms = write_ms.count() ? write_ms.mean() : 0.0;
-  if (reads > 0) {
-    r.pct_deferred = static_cast<double>(r.deferred) / static_cast<double>(reads);
-    r.fim_match_rate = static_cast<double>(matched) / static_cast<double>(reads);
-  }
-  r.avg_delay_ms = delay.count() ? delay.mean() : 0.0;
-  return r;
+  OutcomeFold fold;
+  for (std::size_t i = begin; i < end; ++i) fold.add(outcomes[i]);
+  return fold.finalize();
 }
 
 namespace {
@@ -590,197 +562,443 @@ PipelineResult QosPipeline::run(const trace::Trace& t, FimSource* fim) {
   return result;
 }
 
-PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
-  PipelineResult result;
-  result.outcomes.resize(t.events.size());
-  if (t.events.empty()) return result;
-  FLASHQOS_EXPECT(valid_trace(t), "pipeline input must be a valid trace");
+namespace {
 
-  const SimTime T = cfg_.qos_interval;
-  const SimTime L = cfg_.service_time;
-  BlockMapper mapper(scheme_);
-  DeterministicAdmission det(scheme_.copies(), cfg_.access_budget);
-  std::optional<StatisticalAdmission> stat;
-  if (cfg_.admission == AdmissionMode::kStatistical) {
-    stat.emplace(cfg_.p_table, det.limit(), cfg_.epsilon);
+/// Array ids for per-replica write ops and background rebuild reads —
+/// anything whose completion is not a trace outcome. The base sits far
+/// above any realistic trace index so the id space never collides with
+/// request indices in either replay mode (the simulator breaks event ties
+/// by submission sequence, never by id, so the value itself is inert).
+inline constexpr std::uint64_t kBackgroundIdBase = std::uint64_t{1} << 62;
+
+/// drain() bound that pops every queued dispatch (no real dispatch instant
+/// reaches it: recovery retries and boundary wakes are finite times).
+inline constexpr SimTime kDrainAll = std::numeric_limits<SimTime>::max();
+
+/// One in-flight request of a streaming replay: the event, its outcome,
+/// its WFQ lifecycle state, and how close it is to the result fold.
+/// st: 0 = awaiting dispatch, 1 = dispatched to the simulator (awaiting
+/// the completion cross-check), 2 = final (verified / failed / shed /
+/// write). The window pops slots from the front as they reach 2, so
+/// resident memory tracks the in-flight span, not the trace length.
+struct StreamSlot {
+  trace::TraceEvent ev;
+  RequestOutcome out;
+  std::uint8_t tstate = 0;
+  std::uint8_t st = 0;
+};
+
+/// Wall-clock nanoseconds since `t0`, for the streaming stage histograms.
+[[nodiscard]] std::int64_t stream_elapsed_ns(
+    // flashqos-lint: allow(wall-clock): stage-timing metric, never a result
+    std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             // flashqos-lint: allow(wall-clock): stage-timing metric only
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The replay core, shared verbatim by the in-memory and streaming entry
+/// points. One instance is one replay.
+///
+/// In-memory (run_borrowed): events and outcomes are borrowed from the
+/// Trace / PipelineResult, every event is ingested up front, and one
+/// drain(kDrainAll) pops the whole dispatch queue — operation for
+/// operation the historical monolithic loop.
+///
+/// Streaming (run_streaming): events arrive in cursor batches. After each
+/// batch the engine drains dispatch instants *strictly before* the last
+/// ingested arrival time: the cursor contract says every unread arrival is
+/// at or after that time, so no same-instant dispatch group popped under
+/// the bound can ever gain a member from unread input — which is the whole
+/// identity argument. Outcomes live in a base-indexed sliding window and
+/// fold into per-interval / overall reports (and the observability
+/// registry) in trace order as their slots reach the final state, so the
+/// folds see outcomes in exactly the order the in-memory summarizer scans
+/// them and every derived double is bit-identical.
+class ReplayEngine {
+ public:
+  ReplayEngine(const decluster::AllocationScheme& scheme, const PipelineConfig& cfg,
+               retrieval::Retriever& retriever)
+      : scheme_(scheme),
+        cfg_(cfg),
+        retriever_(retriever),
+        T_(cfg.qos_interval),
+        L_(cfg.service_time),
+        mapper_(scheme),
+        det_(scheme.copies(), cfg.access_budget),
+        matcher_(scheme),
+        tenant_mode_(!cfg.tenants.empty()) {}
+
+  PipelineResult run_borrowed(const trace::Trace& t, FimSource* fim) {
+    PipelineResult result;
+    result.outcomes.resize(t.events.size());
+    if (t.events.empty()) return result;
+    FLASHQOS_EXPECT(trace::valid_trace(t), "pipeline input must be a valid trace");
+    t_ = &t;
+    result_ = &result;
+    report_interval_ = t.report_interval;
+    init(t.events.back().time + T_, /*streaming=*/false, fim);
+    slices_ = trace::report_slices(t);
+    if (tenant_mode_) tstate_.assign(t.events.size(), 0);
+
+    // Seed the dispatch queue. Online mode dispatches at arrival; aligned
+    // mode at the enclosing interval boundary (requests already exactly on
+    // a boundary run in that interval, matching the paper's synthetic
+    // setup).
+    for (std::size_t i = 0; i < t.events.size(); ++i) {
+      const SimTime arrival = t.events[i].time;
+      const SimTime dispatch = cfg_.retrieval == RetrievalMode::kOnline
+                                   ? arrival
+                                   : next_interval_start(arrival, T_);
+      queue_.push(Pending{dispatch, i, i});
+      result.outcomes[i].arrival = arrival;
+    }
+    drain(kDrainAll);
+    finish_borrowed();
+    return result;
   }
 
-  // Multi-tenant WFQ front end (core/tenant_scheduler.hpp). Lives entirely
-  // inside this serial loop, so serial ≡ parallel bit-identity holds for
-  // tenant configs the same way it does for admission and retrieval. An
-  // empty [tenants] section takes none of the tenant branches below.
-  const bool tenant_mode = !cfg_.tenants.empty();
-  std::optional<TenantScheduler> ts;
-  if (tenant_mode) ts.emplace(cfg_.tenants, det.limit(), cfg_.wfq_knobs);
-  // Lifecycle of each read under the front end: 0 = not yet seen,
-  // 1 = queued in its tenant FIFO (one wake outstanding), 2 = final
-  // (dispatched, shed, or failed). A popped Pending whose request is
-  // already final is a stale wake and is skipped.
-  std::vector<std::uint8_t> tstate;
-  if (tenant_mode) tstate.assign(t.events.size(), 0);
-  std::vector<bool> tenant_blocked;
-  std::vector<std::uint64_t> dispensed;   // matched request ids, add order
-  std::vector<std::size_t> aligned_ids;   // aligned-mode dispensed batch
-  std::vector<BucketId> aligned_buckets;
-  std::vector<obs::LatencyHistogram*> depth_hist;
-  if constexpr (obs::kEnabled) {
-    if (tenant_mode) {
+  StreamResult run_streaming(trace::TraceCursor& cursor, FimSource* fim,
+                             const StreamOptions& opts) {
+    FLASHQOS_EXPECT(opts.batch_size > 0, "stream batch size must be positive");
+    report_interval_ = cursor.meta().report_interval;
+    keep_intervals_ = opts.keep_intervals;
+    StreamResult res;
+    // Pull the first batch before any engine setup so an empty stream
+    // returns an empty result with no registry side effects, exactly like
+    // the in-memory early-out on an empty trace.
+    std::vector<trace::TraceEvent> buf(opts.batch_size);
+    std::size_t n = cursor.fill(buf);
+    if (n == 0) return res;
+    if (!cfg_.faults.empty()) {
+      FLASHQOS_EXPECT(opts.horizon > 0,
+                      "streaming replay with a fault plan needs "
+                      "StreamOptions::horizon (the fault schedule compiles "
+                      "before the trace length is known)");
+    }
+    init(opts.horizon, /*streaming=*/true, fim);
+    obs::LatencyHistogram* ingest_ns = nullptr;
+    obs::LatencyHistogram* drain_ns = nullptr;
+    if constexpr (obs::kEnabled) {
       auto& reg = obs::MetricRegistry::global();
-      depth_hist.reserve(cfg_.tenants.size());
-      for (const auto& s : cfg_.tenants) {
-        depth_hist.push_back(
-            &reg.histogram("wfq.queue_depth", "tenant=\"" + s.name + "\""));
+      ingest_ns = &reg.histogram("pipeline.interval_ns", "stage=\"ingest\"");
+      drain_ns = &reg.histogram("pipeline.interval_ns", "stage=\"drain\"");
+    }
+    while (n > 0) {
+      // flashqos-lint: allow(wall-clock): stage-timing metric, never a result
+      auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < n; ++i) ingest_event(buf[i]);
+      if constexpr (obs::kEnabled) ingest_ns->record(stream_elapsed_ns(t0));
+      // Read-ahead identity rule: every unread arrival has time >= the
+      // last ingested event's time, so dispatch instants strictly before
+      // it can never gain same-instant members from unread input. The
+      // misdrain knob seeds the off-by-one defect (<= instead of <):
+      // groups dispatching exactly at the ingestion frontier are
+      // processed before later batches deliver their same-instant
+      // members, splitting bursts — the stream oracle proves it would
+      // notice a broken bound. (The defect must stay clock-safe: draining
+      // further ahead would advance the simulator past arrivals that have
+      // not been ingested yet and trip the submit precondition instead of
+      // producing a comparable divergence.)
+      const SimTime bound =
+          opts.misdrain_for_test ? last_time_ + 1 : last_time_;
+      // flashqos-lint: allow(wall-clock): stage-timing metric, never a result
+      t0 = std::chrono::steady_clock::now();
+      drain(bound);
+      if constexpr (obs::kEnabled) drain_ns->record(stream_elapsed_ns(t0));
+      n = cursor.fill(buf);
+    }
+    finish_ingest();
+    drain(kDrainAll);
+    return finish_streaming();
+  }
+
+ private:
+  // ---- mode indirection --------------------------------------------------
+  // Request state lives in the borrowed trace/result in in-memory mode and
+  // in the sliding window in streaming mode; everything below the accessors
+  // is mode-blind.
+
+  [[nodiscard]] const trace::TraceEvent& ev(std::size_t i) const {
+    return streaming_ ? win_[i - win_base_].ev : t_->events[i];
+  }
+  [[nodiscard]] RequestOutcome& out(std::size_t i) {
+    return streaming_ ? win_[i - win_base_].out : result_->outcomes[i];
+  }
+  [[nodiscard]] std::uint8_t& tst(std::size_t i) {
+    return streaming_ ? win_[i - win_base_].tstate : tstate_[i];
+  }
+  /// The request reached a final state with no pending simulator
+  /// cross-check (failed / shed / write).
+  void mark_final(std::size_t i) {
+    if (streaming_) win_[i - win_base_].st = 2;
+  }
+  /// The request was submitted to the simulator; final once its completion
+  /// is cross-checked in absorb_completions().
+  void mark_dispatched(std::size_t i) {
+    if (streaming_) win_[i - win_base_].st = 1;
+  }
+
+  // ---- setup -------------------------------------------------------------
+
+  void init(SimTime horizon, bool streaming, FimSource* fim) {
+    streaming_ = streaming;
+    fim_ = fim;
+    if (cfg_.admission == AdmissionMode::kStatistical) {
+      stat_.emplace(cfg_.p_table, det_.limit(), cfg_.epsilon);
+    }
+    if (tenant_mode_) ts_.emplace(cfg_.tenants, det_.limit(), cfg_.wfq_knobs);
+    if constexpr (obs::kEnabled) {
+      if (tenant_mode_) {
+        auto& reg = obs::MetricRegistry::global();
+        depth_hist_.reserve(cfg_.tenants.size());
+        for (const auto& s : cfg_.tenants) {
+          depth_hist_.push_back(
+              &reg.histogram("wfq.queue_depth", "tenant=\"" + s.name + "\""));
+        }
+      }
+      auto& tsr = obs::TimeSeriesRegistry::global();
+      const auto series = [&](const char* name, const std::string& labels = {}) {
+        return &tsr.series(name, labels, T_);
+      };
+      win_reads_ = series("win.reads");
+      win_writes_ = series("win.writes");
+      win_failed_ = series("win.failed");
+      win_degraded_ = series("win.degraded");
+      win_response_ = series("win.response_ns");
+      if (stat_.has_value()) win_q_ = series("win.q_ppm");
+      win_device_.reserve(scheme_.devices());
+      agg_device_.resize(scheme_.devices());
+      for (DeviceId d = 0; d < scheme_.devices(); ++d) {
+        win_device_.push_back(
+            series("win.device.reads", "device=\"" + std::to_string(d) + "\""));
+      }
+      if (tenant_mode_) {
+        win_shed_ = series("win.shed");
+        agg_tenant_reads_.resize(cfg_.tenants.size());
+        agg_tenant_shed_.resize(cfg_.tenants.size());
+        for (const auto& s : cfg_.tenants) {
+          const std::string label = "tenant=\"" + s.name + "\"";
+          win_tenant_reads_.push_back(series("win.tenant.reads", label));
+          win_tenant_shed_.push_back(series("win.tenant.shed", label));
+        }
+      }
+      if (!cfg_.slos.empty()) {
+        obs::SloMonitor::global().configure(cfg_.slos);
+        slo_tallies_.reserve(cfg_.slos.size());
+        for (const auto& spec : cfg_.slos) {
+          std::int32_t tid = -1;
+          for (std::size_t k = 0; k < cfg_.tenants.size(); ++k) {
+            if (cfg_.tenants[k].name == spec.tenant) {
+              tid = static_cast<std::int32_t>(k);
+            }
+          }
+          slo_tallies_.push_back({spec.kind, spec.threshold_ns, tid, 0, 0});
+        }
+      }
+      if (streaming_) obs_folder_.emplace();
+    }
+
+    // Fault state. The compiled plan is a pure function of (plan, scheme,
+    // horizon), so the serial engine and every parallel shard materialize
+    // identical fault schedules — serial ≡ parallel bit-identity holds
+    // under any plan. An empty plan takes none of the fault branches.
+    injector_.emplace(cfg_.faults, scheme_, horizon);
+    faults_active_ = injector_->active();
+    retry_timeout_ = injector_->compiled().retry_timeout;
+    det_limit_now_ = det_.limit();
+
+    array_.emplace(scheme_.devices(),
+                   std::make_shared<flashsim::FixedLatencyModel>(
+                       L_, cfg_.write_latency));
+    free_at_.assign(scheme_.devices(), 0);
+    if constexpr (obs::kEnabled) {
+      if (injector_->rebuild_reads_total() > 0) {
+        FaultMetrics::get().rebuild_pending.add(
+            static_cast<std::int64_t>(injector_->rebuild_reads_total()));
       }
     }
   }
 
-  // Windowed time-series (obs v2). Per-event values accumulate in plain
-  // WindowAgg locals — every tally instant below is the current dispatch
-  // instant `now`, so one agg per series covers exactly the open QoS
-  // window — and flush_windows() merges them into the registry at each
-  // interval rollover (plus once after the loop for the final interval).
-  // Null pointers (obs compiled out, or a mode that never produces the
-  // quantity) skip their tally sites.
-  obs::TimeSeries* win_reads = nullptr;
-  obs::TimeSeries* win_writes = nullptr;
-  obs::TimeSeries* win_shed = nullptr;
-  obs::TimeSeries* win_failed = nullptr;
-  obs::TimeSeries* win_degraded = nullptr;
-  obs::TimeSeries* win_response = nullptr;
-  obs::TimeSeries* win_q = nullptr;
-  std::vector<obs::TimeSeries*> win_device;
-  std::vector<obs::TimeSeries*> win_tenant_reads;
-  std::vector<obs::TimeSeries*> win_tenant_shed;
-  WindowAgg agg_reads, agg_writes, agg_shed, agg_failed, agg_degraded,
-      agg_response, agg_q;
-  std::vector<WindowAgg> agg_device;
-  std::vector<WindowAgg> agg_tenant_reads;
-  std::vector<WindowAgg> agg_tenant_shed;
-  // Live SLO evaluation: per-spec {total, bad} tallies for the open window,
-  // fed to the global SloMonitor at the same rollover flush. `tenant` is
-  // the resolved tenant index (-1 = all traffic).
-  struct SloTally {
-    obs::SloKind kind;
-    std::int64_t threshold_ns;
-    std::int32_t tenant;
-    std::uint64_t total = 0;
-    std::uint64_t bad = 0;
-  };
-  std::vector<SloTally> slo_tallies;
-  if constexpr (obs::kEnabled) {
-    auto& tsr = obs::TimeSeriesRegistry::global();
-    const auto series = [&](const char* name, const std::string& labels = {}) {
-      return &tsr.series(name, labels, T);
-    };
-    win_reads = series("win.reads");
-    win_writes = series("win.writes");
-    win_failed = series("win.failed");
-    win_degraded = series("win.degraded");
-    win_response = series("win.response_ns");
-    if (stat.has_value()) win_q = series("win.q_ppm");
-    win_device.reserve(scheme_.devices());
-    agg_device.resize(scheme_.devices());
-    for (DeviceId d = 0; d < scheme_.devices(); ++d) {
-      win_device.push_back(
-          series("win.device.reads", "device=\"" + std::to_string(d) + "\""));
-    }
-    if (tenant_mode) {
-      win_shed = series("win.shed");
-      agg_tenant_reads.resize(cfg_.tenants.size());
-      agg_tenant_shed.resize(cfg_.tenants.size());
-      for (const auto& s : cfg_.tenants) {
-        const std::string label = "tenant=\"" + s.name + "\"";
-        win_tenant_reads.push_back(series("win.tenant.reads", label));
-        win_tenant_shed.push_back(series("win.tenant.shed", label));
-      }
-    }
-    if (!cfg_.slos.empty()) {
-      obs::SloMonitor::global().configure(cfg_.slos);
-      slo_tallies.reserve(cfg_.slos.size());
-      for (const auto& spec : cfg_.slos) {
-        std::int32_t tid = -1;
-        for (std::size_t k = 0; k < cfg_.tenants.size(); ++k) {
-          if (cfg_.tenants[k].name == spec.tenant) {
-            tid = static_cast<std::int32_t>(k);
-          }
-        }
-        slo_tallies.push_back(
-            {spec.kind, spec.threshold_ns, tid, 0, 0});
-      }
+  // ---- streaming ingestion -----------------------------------------------
+
+  void ingest_event(const trace::TraceEvent& e) {
+    FLASHQOS_EXPECT(e.time >= last_time_ && e.time >= 0,
+                    "stream cursor must yield time-sorted events");
+    last_time_ = e.time;
+    const auto idx = static_cast<std::size_t>(ingested_++);
+    win_.push_back(StreamSlot{e, RequestOutcome{}, 0, 0});
+    win_.back().out.arrival = e.time;
+    const SimTime dispatch = cfg_.retrieval == RetrievalMode::kOnline
+                                 ? e.time
+                                 : next_interval_start(e.time, T_);
+    queue_.push(Pending{dispatch, idx, idx});
+    if (cfg_.mapping == MappingMode::kFim && report_interval_ > 0 &&
+        fim_ == nullptr) {
+      ingest_fim(e);
     }
   }
-  // Merge every non-empty window tally into its series and feed the SLO
-  // monitor one sample per spec. Called with the window index that just
-  // closed; windows with no dispatch instants are simply never flushed
-  // (they hold no data and contribute no SLO sample).
-  const auto flush_windows = [&](std::int64_t window) {
+
+  /// Incremental build of the per-reporting-slice FIM transaction
+  /// databases — the streaming twin of build_transactions(): transactions
+  /// cut at QoS-window changes AND at slice boundaries, reads only, block
+  /// ids in event order. A slice's database is complete once any event of
+  /// a later slice has been ingested (events are time-sorted), which the
+  /// drain bound guarantees before the mapper ever asks for it.
+  void ingest_fim(const trace::TraceEvent& e) {
+    if (slice_dbs_.empty()) slice_dbs_.emplace_back();
+    const auto s = static_cast<std::size_t>(e.time / report_interval_);
+    while (fim_slice_ < s) close_fim_slice();
+    if (!e.is_read) return;  // the paper mines read requests
+    const std::int64_t w = e.time / T_;
+    if (w != fim_window_) {
+      flush_fim_tx();
+      fim_window_ = w;
+    }
+    fim_tx_.push_back(e.block);
+  }
+
+  void flush_fim_tx() {
+    if (!fim_tx_.empty()) {
+      slice_dbs_.back().add(std::move(fim_tx_));
+      fim_tx_ = {};
+    }
+  }
+
+  void close_fim_slice() {
+    flush_fim_tx();
+    fim_window_ = -1;  // a window never straddles a slice boundary
+    slice_dbs_.emplace_back();
+    ++fim_slice_;
+  }
+
+  [[nodiscard]] fim::TransactionDb take_slice_db(
+      [[maybe_unused]] std::size_t idx) {
+    FLASHQOS_ASSERT(idx == slice_db_base_ && !slice_dbs_.empty(),
+                    "FIM slices mine in order off the ingested prefix");
+    auto db = std::move(slice_dbs_.front());
+    slice_dbs_.pop_front();
+    ++slice_db_base_;
+    return db;
+  }
+
+  /// End of stream: flush the trailing transaction and fix the reporting
+  /// slice count, after which drain(kDrainAll) may mine every slice.
+  void finish_ingest() {
+    if (!slice_dbs_.empty()) flush_fim_tx();
+    slices_total_ = report_interval_ > 0
+                        ? static_cast<std::size_t>(last_time_ / report_interval_) + 1
+                        : 0;
+    eof_ = true;
+  }
+
+  /// Reporting slices the FIM rollover may mine right now. Pre-EOF the
+  /// rollover target now/RI can never overshoot the ingested prefix (now
+  /// is strictly below the last ingested arrival), so the cap only has to
+  /// bind once the stream length is known.
+  [[nodiscard]] std::size_t total_slices() const {
+    if (!streaming_) return slices_.size();
+    return eof_ ? slices_total_ : std::numeric_limits<std::size_t>::max();
+  }
+
+  // ---- streaming result fold ---------------------------------------------
+
+  /// Cross-check the simulator's completions against the dispatch model
+  /// (the same assertion the in-memory path runs once at the end) and pop
+  /// every finalized slot off the window front, folding outcomes into the
+  /// reports and the observability registry in trace order.
+  void absorb_completions() {
+    for (const auto& c : array_->take_completions()) {
+      if (c.id >= kBackgroundIdBase) continue;  // write replica / rebuild op
+      auto& s = win_[c.id - win_base_];
+      FLASHQOS_ASSERT(s.out.start == c.start && s.out.finish == c.finish,
+                      "pipeline dispatch model diverged from the simulator");
+      s.st = 2;
+    }
+    while (!win_.empty() && win_.front().st == 2) {
+      fold_outcome(win_base_, win_.front());
+      win_.pop_front();
+      ++win_base_;
+    }
+  }
+
+  void fold_outcome(std::uint64_t idx, const StreamSlot& s) {
+    overall_fold_.add(s.out);
+    if (report_interval_ > 0 && keep_intervals_) {
+      const auto slice = static_cast<std::size_t>(s.ev.time / report_interval_);
+      if (interval_folds_.size() <= slice) interval_folds_.resize(slice + 1);
+      interval_folds_[slice].add(s.out);
+    }
+    if (!s.out.failed && !s.out.is_write && s.out.response() > cfg_.qos_interval) {
+      ++deadline_violations_;
+    }
+    if constexpr (obs::kEnabled) obs_folder_->add(idx, s.out);
+  }
+
+  // ---- dispatch core -----------------------------------------------------
+
+  /// Pop every dispatch group at instants strictly before `bound`.
+  void drain(SimTime bound) {
+    while (!queue_.empty() && queue_.top().dispatch < bound) {
+      process_group();
+      if (streaming_) absorb_completions();
+    }
+  }
+
+  /// Merge every non-empty window tally into its series and feed the SLO
+  /// monitor one sample per spec. Called with the window index that just
+  /// closed; windows with no dispatch instants are simply never flushed
+  /// (they hold no data and contribute no SLO sample).
+  void flush_windows(std::int64_t window) {
     const auto fl = [&](obs::TimeSeries* s, WindowAgg& a) {
       if (s == nullptr || a.count == 0) return;
       s->merge(window, a.first_time, a.sum, a.count, a.min, a.max);
       a = WindowAgg{};
     };
-    fl(win_reads, agg_reads);
-    fl(win_writes, agg_writes);
-    fl(win_shed, agg_shed);
-    fl(win_failed, agg_failed);
-    fl(win_degraded, agg_degraded);
-    fl(win_response, agg_response);
-    fl(win_q, agg_q);
-    for (std::size_t d = 0; d < win_device.size(); ++d) {
-      fl(win_device[d], agg_device[d]);
+    fl(win_reads_, agg_reads_);
+    fl(win_writes_, agg_writes_);
+    fl(win_shed_, agg_shed_);
+    fl(win_failed_, agg_failed_);
+    fl(win_degraded_, agg_degraded_);
+    fl(win_response_, agg_response_);
+    fl(win_q_, agg_q_);
+    for (std::size_t d = 0; d < win_device_.size(); ++d) {
+      fl(win_device_[d], agg_device_[d]);
     }
-    for (std::size_t k = 0; k < win_tenant_reads.size(); ++k) {
-      fl(win_tenant_reads[k], agg_tenant_reads[k]);
-      fl(win_tenant_shed[k], agg_tenant_shed[k]);
+    for (std::size_t k = 0; k < win_tenant_reads_.size(); ++k) {
+      fl(win_tenant_reads_[k], agg_tenant_reads_[k]);
+      fl(win_tenant_shed_[k], agg_tenant_shed_[k]);
     }
-    for (std::size_t si = 0; si < slo_tallies.size(); ++si) {
-      auto& st = slo_tallies[si];
+    for (std::size_t si = 0; si < slo_tallies_.size(); ++si) {
+      auto& st = slo_tallies_[si];
       obs::SloMonitor::global().record(si, window, st.total, st.bad);
       st.total = 0;
       st.bad = 0;
     }
-  };
+  }
 
-  // Fault state. The compiled plan is a pure function of (plan, scheme,
-  // horizon), so the serial engine and every parallel shard materialize
-  // identical fault schedules — serial ≡ parallel bit-identity holds under
-  // any plan. An empty plan takes none of the branches below.
-  const SimTime horizon = t.events.back().time + T;
-  fault::FaultInjector injector(cfg_.faults, scheme_, horizon);
-  const bool faults_active = injector.active();
-  const SimTime retry_timeout = injector.compiled().retry_timeout;
-
-  // Adaptive degraded-mode budgets. While devices are down, deterministic
-  // admission runs against the surviving sub-design's guarantee
-  // S' = (c-f-1)M² + (c-f)M (f = worst-case dead replicas over buckets
-  // that still have a live copy) and statistical admission re-derives Q
-  // from a P_k table sampled on the degraded array. Recomputed whenever
-  // the down-set changes; tables are memoized per mask.
-  std::uint64_t det_limit_now = det.limit();
-  std::vector<bool> down_mask;     // empty = all devices up
-  std::vector<bool> mask_scratch;
-  std::map<std::vector<bool>, std::vector<double>> degraded_tables;
-
-  std::uint64_t retries_tally = 0;
-  std::uint64_t timeouts_tally = 0;
-  std::uint64_t degraded_interval_tally = 0;
-  std::int64_t last_degraded_qi = -1;
-
-  // Deterministic admission against the *live* budget (S while healthy,
-  // S' while degraded). DeterministicAdmission itself stays fixed at S;
-  // only this wrapper tracks the adaptive limit.
-  const auto accept_det = [&](std::uint64_t already,
-                              std::uint64_t count) -> std::uint64_t {
-    return already >= det_limit_now
+  /// Deterministic admission against the *live* budget (S while healthy,
+  /// S' while degraded). DeterministicAdmission itself stays fixed at S;
+  /// only this wrapper tracks the adaptive limit.
+  [[nodiscard]] std::uint64_t accept_det(std::uint64_t already,
+                                         std::uint64_t count) const {
+    return already >= det_limit_now_
                ? 0
-               : std::min<std::uint64_t>(count, det_limit_now - already);
-  };
+               : std::min<std::uint64_t>(count, det_limit_now_ - already);
+  }
 
-  const auto update_budgets = [&]() {
-    if (down_mask.empty()) {
-      det_limit_now = det.limit();
-      if (stat.has_value()) stat->set_budget(det.limit(), cfg_.p_table);
-      if (tenant_mode) ts->set_live_budget(det_limit_now);
+  /// Adaptive degraded-mode budgets. While devices are down, deterministic
+  /// admission runs against the surviving sub-design's guarantee
+  /// S' = (c-f-1)M² + (c-f)M (f = worst-case dead replicas over buckets
+  /// that still have a live copy) and statistical admission re-derives Q
+  /// from a P_k table sampled on the degraded array. Recomputed whenever
+  /// the down-set changes; tables are memoized per mask.
+  void update_budgets() {
+    if (down_mask_.empty()) {
+      det_limit_now_ = det_.limit();
+      if (stat_.has_value()) stat_->set_budget(det_.limit(), cfg_.p_table);
+      if (tenant_mode_) ts_->set_live_budget(det_limit_now_);
       return;
     }
     std::uint32_t f = 0;
@@ -788,7 +1006,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       std::uint32_t dead = 0;
       std::uint32_t alive = 0;
       for (const auto d : scheme_.replicas(b)) {
-        if (down_mask[d]) {
+        if (down_mask_[d]) {
           ++alive;
         } else {
           ++dead;
@@ -797,9 +1015,9 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       if (alive > 0) f = std::max(f, dead);
     }
     const std::uint32_t c_eff = scheme_.copies() > f ? scheme_.copies() - f : 1;
-    det_limit_now = design::guarantee_buckets(c_eff, cfg_.access_budget);
-    if (stat.has_value()) {
-      auto [it, fresh] = degraded_tables.try_emplace(down_mask);
+    det_limit_now_ = design::guarantee_buckets(c_eff, cfg_.access_budget);
+    if (stat_.has_value()) {
+      auto [it, fresh] = degraded_tables_.try_emplace(down_mask_);
       if (fresh) {
         const auto max_k = static_cast<std::uint32_t>(cfg_.p_table.size() - 1);
         it->second = sample_optimal_probabilities(
@@ -807,88 +1025,54 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
             {.samples_per_size = cfg_.p_table_samples,
              .seed = cfg_.p_table_seed,
              .threads = 1},
-            down_mask);
+            down_mask_);
       }
-      stat->set_budget(det_limit_now, it->second);
+      stat_->set_budget(det_limit_now_, it->second);
     }
-    if (tenant_mode) ts->set_live_budget(det_limit_now);
-  };
-
-  flashsim::FlashArray array(
-      scheme_.devices(),
-      std::make_shared<flashsim::FixedLatencyModel>(L, cfg_.write_latency));
-  std::uint64_t next_background_op = result.outcomes.size();  // array ids for
-      // per-replica write ops and background rebuild reads — anything whose
-      // completion is not a trace outcome
-  std::vector<SimTime> free_at(scheme_.devices(), 0);
-
-  // Seed the dispatch queue. Online mode dispatches at arrival; aligned
-  // mode at the enclosing interval boundary (requests already exactly on a
-  // boundary run in that interval, matching the paper's synthetic setup).
-  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue;
-  for (std::size_t i = 0; i < t.events.size(); ++i) {
-    const SimTime arrival = t.events[i].time;
-    const SimTime dispatch = cfg_.retrieval == RetrievalMode::kOnline
-                                 ? arrival
-                                 : next_interval_start(arrival, T);
-    queue.push(Pending{dispatch, i, i});
-    result.outcomes[i].arrival = arrival;
+    if (tenant_mode_) ts_->set_live_budget(det_limit_now_);
   }
 
-  const auto slices = trace::report_slices(t);
-  std::size_t report_idx = 0;  // which reporting interval the mapper is built for
-
-  std::int64_t current_qi = -1;  // current QoS interval index
-  std::uint64_t admitted = 0;    // requests admitted in current QoS interval
-  std::uint64_t demand = 0;      // requests that asked for this interval
-
-  // Per-event counters are tallied in plain locals and published once after
-  // the loop — the shared sharded counters cost an atomic RMW per inc,
-  // which is measurable at one inc per dispatched request.
-  std::uint64_t dispatches_tally = 0;
-  std::uint64_t deferrals_tally = 0;
-  std::uint64_t write_ops_tally = 0;
-
-  // Effective read service on `dev` for a read starting at `at`: the base
-  // quantum stretched by any covering latency-spike window. Passed to the
-  // simulator as a per-request override so the dispatch model and the
-  // event simulator agree exactly.
-  const auto read_service = [&](DeviceId dev, SimTime at) -> SimTime {
-    if (!faults_active) return L;
-    const double factor = injector.service_multiplier(dev, at);
-    if (factor == 1.0) return L;
+  /// Effective read service on `dev` for a read starting at `at`: the base
+  /// quantum stretched by any covering latency-spike window. Passed to the
+  /// simulator as a per-request override so the dispatch model and the
+  /// event simulator agree exactly.
+  [[nodiscard]] SimTime read_service(DeviceId dev, SimTime at) const {
+    if (!faults_active_) return L_;
+    const double factor = injector_->service_multiplier(dev, at);
+    if (factor == 1.0) return L_;
     return std::max<SimTime>(
-        1, static_cast<SimTime>(std::llround(static_cast<double>(L) * factor)));
-  };
+        1, static_cast<SimTime>(std::llround(static_cast<double>(L_) * factor)));
+  }
 
-  const auto dispatch_request = [&](std::size_t idx, DeviceId dev, SimTime start) {
+  void dispatch_request(std::size_t idx, DeviceId dev, SimTime start) {
     const SimTime svc = read_service(dev, start);
-    array.submit(flashsim::IoRequest{.id = idx,
-                                     .device = dev,
-                                     .submit_time = start,
-                                     .pages = 1,
-                                     .service_override =
-                                         faults_active ? svc : SimTime{0}});
-    auto& o = result.outcomes[idx];
+    array_->submit(flashsim::IoRequest{.id = idx,
+                                       .device = dev,
+                                       .submit_time = start,
+                                       .pages = 1,
+                                       .service_override =
+                                           faults_active_ ? svc : SimTime{0}});
+    auto& o = out(idx);
     o.device = dev;
     o.start = start;
     o.finish = start + svc;
-    free_at[dev] = std::max(free_at[dev], o.finish);
+    free_at_[dev] = std::max(free_at_[dev], o.finish);
+    mark_dispatched(idx);
     if constexpr (obs::kEnabled) {
-      ++dispatches_tally;
+      ++dispatches_tally_;
       // Window tallies key on the dispatch instant (== the loop's `now` at
       // every call site), which always lies in the open QoS window.
       const SimTime at = o.dispatch;
       const std::int64_t resp = o.finish - o.dispatch;
-      agg_reads.add(at, 1);
-      agg_response.add(at, resp);
-      agg_device[dev].add(at, 1);
-      if (win_q != nullptr) agg_q.add(at, o.q_ppm);
-      if (o.path == RetrievalPath::kDegraded) agg_degraded.add(at, 1);
-      if (tenant_mode) {
-        agg_tenant_reads[static_cast<std::size_t>(o.tenant)].add(at, 1);
+      agg_reads_.add(at, 1);
+      agg_response_.add(at, resp);
+      agg_device_[dev].add(at, 1);
+      if (win_q_ != nullptr) agg_q_.add(at, o.q_ppm);
+      if (o.path == RetrievalPath::kDegraded) agg_degraded_.add(at, 1);
+      if (tenant_mode_) {
+        agg_tenant_reads_[static_cast<std::size_t>(o.tenant)].add(at, 1);
       }
-      for (auto& st : slo_tallies) {
+      for (auto& st : slo_tallies_) {
         if (st.kind == obs::SloKind::kAdmissionFloor) continue;
         if (st.tenant >= 0 &&
             static_cast<std::uint32_t>(st.tenant) != o.tenant) {
@@ -898,23 +1082,23 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         if (resp > st.threshold_ns) ++st.bad;
       }
     }
-  };
+  }
 
-  // Hot-spare rebuild reads are paced background work: submitted to the
-  // simulator like foreground dispatches (they occupy real device time, so
-  // the dispatch model folds them into free_at), but their completions are
-  // not trace outcomes.
-  const auto submit_rebuild_due = [&](SimTime now) {
-    const auto due = injector.take_rebuild_due(now);
+  /// Hot-spare rebuild reads are paced background work: submitted to the
+  /// simulator like foreground dispatches (they occupy real device time, so
+  /// the dispatch model folds them into free_at), but their completions are
+  /// not trace outcomes.
+  void submit_rebuild_due(SimTime now) {
+    const auto due = injector_->take_rebuild_due(now);
     for (const auto& rr : due) {
-      const SimTime start = std::max(free_at[rr.source], rr.time);
+      const SimTime start = std::max(free_at_[rr.source], rr.time);
       const SimTime svc = read_service(rr.source, start);
-      array.submit(flashsim::IoRequest{.id = next_background_op++,
-                                       .device = rr.source,
-                                       .submit_time = start,
-                                       .pages = 1,
-                                       .service_override = svc});
-      free_at[rr.source] = start + svc;
+      array_->submit(flashsim::IoRequest{.id = next_background_op_++,
+                                         .device = rr.source,
+                                         .submit_time = start,
+                                         .pages = 1,
+                                         .service_override = svc});
+      free_at_[rr.source] = start + svc;
     }
     if constexpr (obs::kEnabled) {
       if (!due.empty()) {
@@ -923,121 +1107,111 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         fm.rebuild_pending.add(-static_cast<std::int64_t>(due.size()));
       }
     }
-  };
-  if constexpr (obs::kEnabled) {
-    if (injector.rebuild_reads_total() > 0) {
-      FaultMetrics::get().rebuild_pending.add(
-          static_cast<std::int64_t>(injector.rebuild_reads_total()));
-    }
   }
 
-  // Per-instant buffers, hoisted out of the dispatch loop so steady-state
-  // scheduling reuses their capacity instead of reallocating every group.
-  std::vector<Pending> group;
-  std::vector<BucketId> buckets;
-  std::vector<bool> available;
-  std::vector<Pending> live;
-  std::vector<BucketId> live_buckets;
-  std::vector<Pending> reads;
-  std::vector<BucketId> read_buckets;
-  std::vector<std::size_t> order;
-  std::vector<std::size_t> matched_members;  // indices into group/buckets
-  std::vector<std::size_t> surplus_members;
-  std::vector<SimTime> cursor;
-  std::vector<SimTime> svc_now;  // per-device effective quanta under spikes
-
-  while (!queue.empty()) {
-    // Pop the group of requests dispatching at the same instant.
-    const SimTime now = queue.top().dispatch;
-    group.clear();
-    while (!queue.empty() && queue.top().dispatch == now) {
-      group.push_back(queue.top());
-      queue.pop();
+  /// One same-instant dispatch group: pop it, roll the FIM/QoS intervals
+  /// forward, and run the admission/scheduling paths. Exactly the body of
+  /// the historical monolithic while-loop, with locals promoted to members
+  /// so a streaming replay can interleave ingestion between groups.
+  void process_group() {
+    const SimTime now = queue_.top().dispatch;
+    group_.clear();
+    while (!queue_.empty() && queue_.top().dispatch == now) {
+      group_.push_back(queue_.top());
+      queue_.pop();
     }
-    if (tenant_mode) {
+    if (tenant_mode_) {
       // Drop stale wakes: requests dispensed (or failed) at an earlier
       // instant while their boundary wake was still pending.
-      std::erase_if(group,
-                    [&](const Pending& g) { return tstate[g.idx] == 2; });
+      std::erase_if(group_,
+                    [&](const Pending& g) { return tst(g.idx) == 2; });
     }
-    if (faults_active) submit_rebuild_due(now);
-    array.run_until(now);
+    if (faults_active_) submit_rebuild_due(now);
+    array_->run_until(now);
 
     // Reporting-interval rollover: rebuild the FIM mapping from the slice
     // that just closed (paper: "we use the trace one previous than the
     // current interval for mining").
-    if (cfg_.mapping == MappingMode::kFim && t.report_interval > 0) {
-      const auto target = static_cast<std::size_t>(now / t.report_interval);
-      while (report_idx < target && report_idx < slices.size()) {
-        if (fim != nullptr) {
-          mapper.rebuild(fim->slice(report_idx));
+    if (cfg_.mapping == MappingMode::kFim && report_interval_ > 0) {
+      const auto target = static_cast<std::size_t>(now / report_interval_);
+      while (report_idx_ < target && report_idx_ < total_slices()) {
+        if (fim_ != nullptr) {
+          mapper_.rebuild(fim_->slice(report_idx_));
+        } else if (streaming_) {
+          mapper_.rebuild(
+              fim::mine_pairs_apriori(take_slice_db(report_idx_),
+                                      cfg_.fim_min_support)
+                  .pairs);
         } else {
-          const auto [begin, end] = slices[report_idx];
-          mapper.rebuild(mine_event_range(t, begin, end, T, cfg_.fim_min_support));
+          const auto [begin, end] = slices_[report_idx_];
+          mapper_.rebuild(
+              mine_event_range(*t_, begin, end, T_, cfg_.fim_min_support));
         }
-        ++report_idx;
+        ++report_idx_;
       }
     }
 
     // QoS interval rollover: reset the admission budget.
-    const std::int64_t qi = now / T;
-    if (qi != current_qi) {
-      if (stat.has_value() && current_qi >= 0) stat->end_interval(demand, admitted);
+    const std::int64_t qi = now / T_;
+    if (qi != current_qi_) {
+      if (stat_.has_value() && current_qi_ >= 0) {
+        stat_->end_interval(demand_, admitted_);
+      }
       if constexpr (obs::kEnabled) {
-        if (current_qi >= 0) {
+        if (current_qi_ >= 0) {
           obs::Tracer::global().record(
               {.request = -1,
                .start = now,
                .end = now,
-               .value = static_cast<std::int64_t>(admitted),
+               .value = static_cast<std::int64_t>(admitted_),
                .device = -1,
                .kind = obs::EventKind::kInterval,
                .detail = obs::EventDetail::kNone});
-          flush_windows(current_qi);
+          flush_windows(current_qi_);
         }
       }
-      current_qi = qi;
-      admitted = 0;
-      demand = 0;
-      if (tenant_mode) {
+      current_qi_ = qi;
+      admitted_ = 0;
+      demand_ = 0;
+      if (tenant_mode_) {
         // Depth sampled at the boundary = backlog carried across it.
-        ts->observe_depths();
+        ts_->observe_depths();
         if constexpr (obs::kEnabled) {
-          for (std::size_t k = 0; k < depth_hist.size(); ++k) {
-            depth_hist[k]->record(static_cast<std::int64_t>(ts->depth(k)));
+          for (std::size_t k = 0; k < depth_hist_.size(); ++k) {
+            depth_hist_[k]->record(static_cast<std::int64_t>(ts_->depth(k)));
           }
         }
-        ts->begin_interval(det_limit_now);
+        ts_->begin_interval(det_limit_now_);
       }
     }
     // Q estimate for this interval (constant between end_interval calls);
     // recorded on every outcome dispatched at this instant.
     const auto q_ppm =
-        stat.has_value()
-            ? static_cast<std::int32_t>(std::llround(stat->q_with() * 1e6))
+        stat_.has_value()
+            ? static_cast<std::int32_t>(std::llround(stat_->q_with() * 1e6))
             : 0;
-    for (const auto& g : group) {
-      if (t.events[g.idx].is_read) ++demand;  // writes bypass read admission
+    for (const auto& g : group_) {
+      if (ev(g.idx).is_read) ++demand_;  // writes bypass read admission
     }
 
     // Resolve buckets through the mapper; record dispatch tentatively (a
     // deferred request's outcome is overwritten on its next pass).
-    buckets.resize(group.size());
-    for (std::size_t i = 0; i < group.size(); ++i) {
-      const auto m = mapper.map(t.events[group[i].idx].block);
-      buckets[i] = m.bucket;
-      auto& o = result.outcomes[group[i].idx];
+    buckets_.resize(group_.size());
+    for (std::size_t i = 0; i < group_.size(); ++i) {
+      const auto m = mapper_.map(ev(group_[i].idx).block);
+      buckets_[i] = m.bucket;
+      auto& o = out(group_[i].idx);
       o.dispatch = now;
       o.fim_matched = cfg_.mapping == MappingMode::kFim && m.matched;
       o.q_ppm = q_ppm;
-      o.tenant = t.events[group[i].idx].tenant;
+      o.tenant = ev(group_[i].idx).tenant;
     }
 
     const auto defer = [&](const Pending& p) {
       Pending d = p;
-      d.dispatch = (qi + 1) * T;
-      queue.push(d);
-      if constexpr (obs::kEnabled) ++deferrals_tally;
+      d.dispatch = (qi + 1) * T_;
+      queue_.push(d);
+      if constexpr (obs::kEnabled) ++deferrals_tally_;
     };
 
     // Device availability at this instant. Requests whose replicas are all
@@ -1046,76 +1220,77 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     // or when the wait would blow the plan's retry timeout. (`available`
     // stays empty — meaning all-up — while zero devices are down, so a
     // fully recovered array is indistinguishable from a healthy one.)
-    if (faults_active) {
+    if (faults_active_) {
       const std::uint32_t down =
-          injector.fill_availability(now, scheme_.devices(), mask_scratch);
+          injector_->fill_availability(now, scheme_.devices(), mask_scratch_);
       if (down == 0) {
-        available.clear();
+        available_.clear();
       } else {
-        available = mask_scratch;
+        available_ = mask_scratch_;
       }
-      if (available != down_mask) {
-        down_mask = available;
+      if (available_ != down_mask_) {
+        down_mask_ = available_;
         update_budgets();
       }
       if (down > 0) {
-        if (qi != last_degraded_qi) {
-          ++degraded_interval_tally;
-          last_degraded_qi = qi;
+        if (qi != last_degraded_qi_) {
+          ++degraded_interval_tally_;
+          last_degraded_qi_ = qi;
         }
-        live.clear();
-        live_buckets.clear();
-        for (std::size_t i = 0; i < group.size(); ++i) {
-          if (tenant_mode && t.events[group[i].idx].is_read) {
+        live_.clear();
+        live_buckets_.clear();
+        for (std::size_t i = 0; i < group_.size(); ++i) {
+          if (tenant_mode_ && ev(group_[i].idx).is_read) {
             // Reads pass through: stranded heads are handled at dispense
             // time (strand_check below), where the WFQ queue can drop
             // them; failing them here would leave stale queue entries.
-            live.push_back(group[i]);
-            live_buckets.push_back(buckets[i]);
+            live_.push_back(group_[i]);
+            live_buckets_.push_back(buckets_[i]);
             continue;
           }
-          const auto reps = scheme_.replicas(buckets[i]);
+          const auto reps = scheme_.replicas(buckets_[i]);
           if (std::any_of(reps.begin(), reps.end(),
-                          [&](DeviceId d) { return available[d]; })) {
-            live.push_back(group[i]);
-            live_buckets.push_back(buckets[i]);
+                          [&](DeviceId d) { return available_[d]; })) {
+            live_.push_back(group_[i]);
+            live_buckets_.push_back(buckets_[i]);
             continue;
           }
           // Stranded: earliest instant any replica is up again (chasing
           // chained windows), pushed out to the next interval boundary.
           SimTime recovery = DeviceFailure::kNeverRecovers;
           for (const auto d : reps) {
-            recovery = std::min(recovery, injector.device_up_at(d, now));
+            recovery = std::min(recovery, injector_->device_up_at(d, now));
           }
-          auto& o = result.outcomes[group[i].idx];
+          auto& o = out(group_[i].idx);
           SimTime next_dispatch = 0;
           if (recovery != DeviceFailure::kNeverRecovers) {
             next_dispatch =
-                std::max((qi + 1) * T, next_interval_start(recovery, T));
+                std::max((qi + 1) * T_, next_interval_start(recovery, T_));
           }
           const bool timed_out =
               recovery != DeviceFailure::kNeverRecovers &&
-              retry_timeout != fault::RetryPolicy::kNoTimeout &&
-              next_dispatch - o.arrival > retry_timeout;
+              retry_timeout_ != fault::RetryPolicy::kNoTimeout &&
+              next_dispatch - o.arrival > retry_timeout_;
           if (recovery == DeviceFailure::kNeverRecovers || timed_out) {
             o.failed = true;
             o.start = now;
             o.finish = now;
             o.path = RetrievalPath::kFailed;
-            if (timed_out) ++timeouts_tally;
-            if constexpr (obs::kEnabled) agg_failed.add(now, 1);
+            if (timed_out) ++timeouts_tally_;
+            if constexpr (obs::kEnabled) agg_failed_.add(now, 1);
+            mark_final(group_[i].idx);
             continue;
           }
-          Pending p = group[i];
+          Pending p = group_[i];
           p.dispatch = next_dispatch;
-          queue.push(p);
-          ++retries_tally;
+          queue_.push(p);
+          ++retries_tally_;
         }
-        std::swap(group, live);
-        std::swap(buckets, live_buckets);
+        std::swap(group_, live_);
+        std::swap(buckets_, live_buckets_);
         // Tenant mode proceeds even with an empty group: queued backlog
         // may still be dispensable at this instant.
-        if (group.empty() && !tenant_mode) continue;
+        if (group_.empty() && !tenant_mode_) return;
       }
     }
 
@@ -1124,33 +1299,33 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     // matcher sees the updated free times and defers reads accordingly.
     // Processed before the group's reads (pessimistic for read QoS).
     {
-      reads.clear();
-      read_buckets.clear();
+      reads_.clear();
+      read_buckets_.clear();
       bool any_write = false;
-      for (std::size_t i = 0; i < group.size(); ++i) {
-        if (t.events[group[i].idx].is_read) {
-          reads.push_back(group[i]);
-          read_buckets.push_back(buckets[i]);
+      for (std::size_t i = 0; i < group_.size(); ++i) {
+        if (ev(group_[i].idx).is_read) {
+          reads_.push_back(group_[i]);
+          read_buckets_.push_back(buckets_[i]);
           continue;
         }
         any_write = true;
-        auto& o = result.outcomes[group[i].idx];
+        auto& o = out(group_[i].idx);
         o.is_write = true;
         o.path = RetrievalPath::kWrite;
         SimTime first_start = INT64_MAX;
         SimTime last_finish = 0;
         DeviceId first_dev = kInvalidDevice;
-        for (const auto dev : scheme_.replicas(buckets[i])) {
-          if (!available.empty() && !available[dev]) continue;
-          const SimTime start = std::max(free_at[dev], now);
+        for (const auto dev : scheme_.replicas(buckets_[i])) {
+          if (!available_.empty() && !available_[dev]) continue;
+          const SimTime start = std::max(free_at_[dev], now);
           const SimTime finish = start + cfg_.write_latency;
-          array.submit(flashsim::IoRequest{.id = next_background_op++,
-                                           .device = dev,
-                                           .submit_time = now,
-                                           .pages = 1,
-                                           .is_write = true});
-          if constexpr (obs::kEnabled) ++write_ops_tally;
-          free_at[dev] = finish;
+          array_->submit(flashsim::IoRequest{.id = next_background_op_++,
+                                             .device = dev,
+                                             .submit_time = now,
+                                             .pages = 1,
+                                             .is_write = true});
+          if constexpr (obs::kEnabled) ++write_ops_tally_;
+          free_at_[dev] = finish;
           if (start < first_start) {
             first_start = start;
             first_dev = dev;
@@ -1161,12 +1336,13 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         o.device = first_dev;
         o.start = first_start;
         o.finish = last_finish;
-        if constexpr (obs::kEnabled) agg_writes.add(now, 1);
+        if constexpr (obs::kEnabled) agg_writes_.add(now, 1);
+        mark_final(group_[i].idx);
       }
       if (any_write) {
-        std::swap(group, reads);
-        std::swap(buckets, read_buckets);
-        if (group.empty() && !tenant_mode) continue;
+        std::swap(group_, reads_);
+        std::swap(buckets_, read_buckets_);
+        if (group_.empty() && !tenant_mode_) return;
       }
     }
 
@@ -1178,16 +1354,16 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     // exactly one wake at the next interval boundary, so backlog keeps
     // draining after the last arrival and every request reaches a final
     // state (dispatched, shed, or failed).
-    if (tenant_mode) {
-      for (std::size_t i = 0; i < group.size(); ++i) {
-        const std::size_t id = group[i].idx;
-        if (tstate[id] != 0) continue;  // a wake, already in its FIFO
-        auto& o = result.outcomes[id];
-        const auto tid = static_cast<std::size_t>(t.events[id].tenant);
+    if (tenant_mode_) {
+      for (std::size_t i = 0; i < group_.size(); ++i) {
+        const std::size_t id = group_[i].idx;
+        if (tst(id) != 0) continue;  // a wake, already in its FIFO
+        auto& o = out(id);
+        const auto tid = static_cast<std::size_t>(ev(id).tenant);
         if constexpr (obs::kEnabled) {
           // Admission-floor SLOs count every fresh enqueue attempt; sheds
           // below add the bad half.
-          for (auto& st : slo_tallies) {
+          for (auto& st : slo_tallies_) {
             if (st.kind != obs::SloKind::kAdmissionFloor) continue;
             if (st.tenant >= 0 && static_cast<std::size_t>(st.tenant) != tid) {
               continue;
@@ -1195,7 +1371,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
             ++st.total;
           }
         }
-        switch (ts->enqueue(tid, id)) {
+        switch (ts_->enqueue(tid, id)) {
           case WfqQueues::Enqueue::kShed:
             // Hard backpressure: dropped at the front end, never queued.
             // Finalized at the arrival instant so shed requests cannot
@@ -1205,11 +1381,12 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
             o.finish = now;
             o.failed = true;
             o.path = RetrievalPath::kShed;
-            tstate[id] = 2;
+            tst(id) = 2;
+            mark_final(id);
             if constexpr (obs::kEnabled) {
-              agg_shed.add(now, 1);
-              agg_tenant_shed[tid].add(now, 1);
-              for (auto& st : slo_tallies) {
+              agg_shed_.add(now, 1);
+              agg_tenant_shed_[tid].add(now, 1);
+              for (auto& st : slo_tallies_) {
                 if (st.kind != obs::SloKind::kAdmissionFloor) continue;
                 if (st.tenant >= 0 &&
                     static_cast<std::size_t>(st.tenant) != tid) {
@@ -1223,52 +1400,53 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
             o.wfq_marked = true;
             [[fallthrough]];
           case WfqQueues::Enqueue::kAccepted:
-            tstate[id] = 1;
+            tst(id) = 1;
             break;
         }
       }
 
       const bool unlimited = cfg_.admission == AdmissionMode::kNone;
-      tenant_blocked.assign(ts->tenants(), false);
+      tenant_blocked_.assign(ts_->tenants(), false);
 
       // Head with every replica down right now: 0 = servable, 1 = wait
       // (tenant blocked this instant; its wake retries at the boundary),
       // 2 = failed and removed from its queue.
       const auto strand_check = [&](std::size_t tid, std::uint64_t id,
                                     BucketId bucket) -> int {
-        if (available.empty()) return 0;
+        if (available_.empty()) return 0;
         const auto reps = scheme_.replicas(bucket);
         if (std::any_of(reps.begin(), reps.end(),
-                        [&](DeviceId d) { return available[d]; })) {
+                        [&](DeviceId d) { return available_[d]; })) {
           return 0;
         }
         SimTime recovery = DeviceFailure::kNeverRecovers;
         for (const auto d : reps) {
-          recovery = std::min(recovery, injector.device_up_at(d, now));
+          recovery = std::min(recovery, injector_->device_up_at(d, now));
         }
-        auto& o = result.outcomes[id];
+        auto& o = out(id);
         SimTime next_dispatch = 0;
         if (recovery != DeviceFailure::kNeverRecovers) {
           next_dispatch =
-              std::max((qi + 1) * T, next_interval_start(recovery, T));
+              std::max((qi + 1) * T_, next_interval_start(recovery, T_));
         }
         const bool timed_out =
             recovery != DeviceFailure::kNeverRecovers &&
-            retry_timeout != fault::RetryPolicy::kNoTimeout &&
-            next_dispatch - o.arrival > retry_timeout;
+            retry_timeout_ != fault::RetryPolicy::kNoTimeout &&
+            next_dispatch - o.arrival > retry_timeout_;
         if (recovery == DeviceFailure::kNeverRecovers || timed_out) {
-          ts->drop_head(tid);
+          ts_->drop_head(tid);
           o.dispatch = now;
           o.start = now;
           o.finish = now;
           o.failed = true;
           o.path = RetrievalPath::kFailed;
-          if (timed_out) ++timeouts_tally;
-          tstate[id] = 2;
-          if constexpr (obs::kEnabled) agg_failed.add(now, 1);
+          if (timed_out) ++timeouts_tally_;
+          tst(id) = 2;
+          mark_final(id);
+          if constexpr (obs::kEnabled) agg_failed_.add(now, 1);
           return 2;
         }
-        tenant_blocked[tid] = true;
+        tenant_blocked_[tid] = true;
         return 1;
       };
 
@@ -1276,7 +1454,7 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
       // instant is when the scheduler releases the request — delay and
       // deferral semantics match the single-tenant admission path.
       const auto dispense_meta = [&](std::uint64_t id, bool matched) {
-        auto& o = result.outcomes[id];
+        auto& o = out(id);
         o.dispatch = now;
         o.fim_matched = cfg_.mapping == MappingMode::kFim && matched;
         o.q_ppm = 0;
@@ -1284,73 +1462,73 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
 
       if (cfg_.scheduler == SchedulerMode::kPrimaryOnly) {
         while (const auto tid =
-                   ts->next_candidate(tenant_blocked, unlimited)) {
-          const std::uint64_t id = ts->head(*tid);
-          if (tstate[id] == 2) {
-            ts->drop_head(*tid);
+                   ts_->next_candidate(tenant_blocked_, unlimited)) {
+          const std::uint64_t id = ts_->head(*tid);
+          if (tst(id) == 2) {
+            ts_->drop_head(*tid);
             continue;
           }
-          const auto m = mapper.map(t.events[id].block);
+          const auto m = mapper_.map(ev(id).block);
           if (strand_check(*tid, id, m.bucket) != 0) continue;
-          ts->pop(*tid, unlimited);
-          ++admitted;
+          ts_->pop(*tid, unlimited);
+          ++admitted_;
           dispense_meta(id, m.matched);
-          tstate[id] = 2;
+          tst(id) = 2;
           DeviceId dev = kInvalidDevice;
           for (const auto d : scheme_.replicas(m.bucket)) {
-            if (available.empty() || available[d]) {
+            if (available_.empty() || available_[d]) {
               dev = d;
               break;
             }
           }
           FLASHQOS_ASSERT(dev != kInvalidDevice,
                           "strand check left a dead head");
-          result.outcomes[id].path = RetrievalPath::kPrimary;
-          dispatch_request(id, dev, std::max(free_at[dev], now));
+          out(id).path = RetrievalPath::kPrimary;
+          dispatch_request(id, dev, std::max(free_at_[dev], now));
         }
       } else if (cfg_.retrieval == RetrievalMode::kIntervalAligned) {
         // Batch path: dispense by budget in VFT order, then schedule the
         // whole batch with DTR + max-flow exactly like the single-tenant
         // aligned path.
-        aligned_ids.clear();
-        aligned_buckets.clear();
+        aligned_ids_.clear();
+        aligned_buckets_.clear();
         while (const auto tid =
-                   ts->next_candidate(tenant_blocked, unlimited)) {
-          const std::uint64_t id = ts->head(*tid);
-          if (tstate[id] == 2) {
-            ts->drop_head(*tid);
+                   ts_->next_candidate(tenant_blocked_, unlimited)) {
+          const std::uint64_t id = ts_->head(*tid);
+          if (tst(id) == 2) {
+            ts_->drop_head(*tid);
             continue;
           }
-          const auto m = mapper.map(t.events[id].block);
+          const auto m = mapper_.map(ev(id).block);
           if (strand_check(*tid, id, m.bucket) != 0) continue;
-          ts->pop(*tid, unlimited);
-          ++admitted;
+          ts_->pop(*tid, unlimited);
+          ++admitted_;
           dispense_meta(id, m.matched);
-          tstate[id] = 2;
-          aligned_ids.push_back(id);
-          aligned_buckets.push_back(m.bucket);
+          tst(id) = 2;
+          aligned_ids_.push_back(id);
+          aligned_buckets_.push_back(m.bucket);
         }
-        if (!aligned_ids.empty()) {
+        if (!aligned_ids_.empty()) {
           const retrieval::Schedule* sched =
-              retriever_.schedule(aligned_buckets, available);
+              retriever_.schedule(aligned_buckets_, available_);
           FLASHQOS_ASSERT(sched != nullptr, "strand check left a dead head");
           const RetrievalPath batch_path =
-              !available.empty() ? RetrievalPath::kDegraded
+              !available_.empty() ? RetrievalPath::kDegraded
               : sched->via == retrieval::SolvedBy::kMaxFlow
                   ? RetrievalPath::kAlignedMaxFlow
                   : RetrievalPath::kAlignedDtr;
-          order.resize(aligned_ids.size());
-          for (std::size_t i = 0; i < aligned_ids.size(); ++i) order[i] = i;
-          std::stable_sort(order.begin(), order.end(),
+          order_.resize(aligned_ids_.size());
+          for (std::size_t i = 0; i < aligned_ids_.size(); ++i) order_[i] = i;
+          std::stable_sort(order_.begin(), order_.end(),
                            [&](std::size_t a, std::size_t b) {
                              return sched->assignments[a].round <
                                     sched->assignments[b].round;
                            });
-          for (const auto i : order) {
+          for (const auto i : order_) {
             const DeviceId dev = sched->assignments[i].device;
-            result.outcomes[aligned_ids[i]].path = batch_path;
-            dispatch_request(aligned_ids[i], dev,
-                             std::max(free_at[dev], now));
+            out(aligned_ids_[i]).path = batch_path;
+            dispatch_request(aligned_ids_[i], dev,
+                             std::max(free_at_[dev], now));
           }
         }
       } else {
@@ -1362,32 +1540,32 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         // overflow to their earliest-finishing replica, like the
         // single-tenant baseline.
         const std::vector<SimTime>* svc_ptr = nullptr;
-        if (faults_active && injector.any_spike_at(now)) {
-          svc_now.resize(scheme_.devices());
+        if (faults_active_ && injector_->any_spike_at(now)) {
+          svc_now_.resize(scheme_.devices());
           for (DeviceId d = 0; d < scheme_.devices(); ++d) {
-            svc_now[d] = read_service(d, now);
+            svc_now_[d] = read_service(d, now);
           }
-          svc_ptr = &svc_now;
+          svc_ptr = &svc_now_;
         }
-        SlotMatcher matcher(scheme_, free_at, now, L, cfg_.access_budget,
-                            available, svc_ptr);
-        dispensed.clear();
+        matcher_.begin_instant(free_at_, now, L_, cfg_.access_budget,
+                               available_, svc_ptr);
+        dispensed_.clear();
         bool matching_open = true;
         while (const auto tid =
-                   ts->next_candidate(tenant_blocked, unlimited)) {
-          const std::uint64_t id = ts->head(*tid);
-          if (tstate[id] == 2) {
-            ts->drop_head(*tid);
+                   ts_->next_candidate(tenant_blocked_, unlimited)) {
+          const std::uint64_t id = ts_->head(*tid);
+          if (tst(id) == 2) {
+            ts_->drop_head(*tid);
             continue;
           }
-          const auto m = mapper.map(t.events[id].block);
+          const auto m = mapper_.map(ev(id).block);
           if (strand_check(*tid, id, m.bucket) != 0) continue;
-          if (matching_open && matcher.add(m.bucket)) {
-            ts->pop(*tid, unlimited);
-            ++admitted;
+          if (matching_open && matcher_.add(m.bucket)) {
+            ts_->pop(*tid, unlimited);
+            ++admitted_;
             dispense_meta(id, m.matched);
-            tstate[id] = 2;
-            dispensed.push_back(id);
+            tst(id) = 2;
+            dispensed_.push_back(id);
             continue;
           }
           if (unlimited) {
@@ -1395,131 +1573,132 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
             // slot view is stale from the first refusal on (same rule as
             // the single-tenant kNone path).
             matching_open = false;
-            ts->pop(*tid, true);
+            ts_->pop(*tid, true);
             dispense_meta(id, m.matched);
-            tstate[id] = 2;
+            tst(id) = 2;
             DeviceId best = kInvalidDevice;
             for (const auto d : scheme_.replicas(m.bucket)) {
-              if (!available.empty() && !available[d]) continue;
+              if (!available_.empty() && !available_[d]) continue;
               if (best == kInvalidDevice ||
-                  std::max(free_at[d], now) < std::max(free_at[best], now)) {
+                  std::max(free_at_[d], now) <
+                      std::max(free_at_[best], now)) {
                 best = d;
               }
             }
             FLASHQOS_ASSERT(best != kInvalidDevice,
                             "strand check left a dead head");
-            result.outcomes[id].path = RetrievalPath::kSurplus;
-            dispatch_request(id, best, std::max(free_at[best], now));
+            out(id).path = RetrievalPath::kSurplus;
+            dispatch_request(id, best, std::max(free_at_[best], now));
             continue;
           }
-          tenant_blocked[*tid] = true;
+          tenant_blocked_[*tid] = true;
         }
         // Materialize matched placements: add order is dispense order, so
         // per-device slots follow the WFQ dispatch order.
-        const auto assignment = matcher.assignment();
-        cursor.assign(free_at.size(), -1);
-        for (std::size_t a = 0; a < dispensed.size(); ++a) {
-          const std::uint64_t id = dispensed[a];
-          const DeviceId dev = assignment[a];
+        cursor_.assign(free_at_.size(), -1);
+        for (std::size_t a = 0; a < dispensed_.size(); ++a) {
+          const std::uint64_t id = dispensed_[a];
+          const DeviceId dev = matcher_.device_of(a);
           FLASHQOS_ASSERT(dev != kInvalidDevice,
                           "matched request must have a device");
-          SimTime& c = cursor[dev];
-          if (c < 0) c = std::max(free_at[dev], now);
-          result.outcomes[id].path = RetrievalPath::kSlotMatched;
+          SimTime& c = cursor_[dev];
+          if (c < 0) c = std::max(free_at_[dev], now);
+          out(id).path = RetrievalPath::kSlotMatched;
           dispatch_request(id, dev, c);
-          c = result.outcomes[id].finish;
+          c = out(id).finish;
         }
       }
 
       // One wake per still-queued member of this group; queued requests
       // from older groups already hold theirs.
-      for (const auto& g : group) {
-        if (tstate[g.idx] != 1) continue;
+      for (const auto& g : group_) {
+        if (tst(g.idx) != 1) continue;
         Pending d = g;
-        d.dispatch = (qi + 1) * T;
-        queue.push(d);
-        if constexpr (obs::kEnabled) ++deferrals_tally;
+        d.dispatch = (qi + 1) * T_;
+        queue_.push(d);
+        if constexpr (obs::kEnabled) ++deferrals_tally_;
       }
-      continue;
+      return;
     }
 
     if (cfg_.scheduler == SchedulerMode::kPrimaryOnly) {
       // Baseline dispatch: every request reads its first copy, FIFO behind
       // whatever is queued there; no admission interplay beyond the budget.
-      for (std::size_t i = 0; i < group.size(); ++i) {
-        std::uint64_t ok = group.size();
+      for (std::size_t i = 0; i < group_.size(); ++i) {
+        std::uint64_t ok = group_.size();
         switch (cfg_.admission) {
           case AdmissionMode::kNone:
             ok = 1;
             break;
           case AdmissionMode::kDeterministic:
-            ok = accept_det(admitted, 1);
+            ok = accept_det(admitted_, 1);
             break;
           case AdmissionMode::kStatistical:
-            ok = stat->accept(admitted, 1);
+            ok = stat_->accept(admitted_, 1);
             break;
         }
         if (ok == 0) {
-          defer(group[i]);
+          defer(group_[i]);
           continue;
         }
-        ++admitted;
+        ++admitted_;
         // First *live* replica — a degraded RAID read.
         DeviceId dev = kInvalidDevice;
-        for (const auto d : scheme_.replicas(buckets[i])) {
-          if (available.empty() || available[d]) {
+        for (const auto d : scheme_.replicas(buckets_[i])) {
+          if (available_.empty() || available_[d]) {
             dev = d;
             break;
           }
         }
         FLASHQOS_ASSERT(dev != kInvalidDevice, "filter left a dead request");
-        result.outcomes[group[i].idx].path = RetrievalPath::kPrimary;
-        dispatch_request(group[i].idx, dev, std::max(free_at[dev], now));
+        out(group_[i].idx).path = RetrievalPath::kPrimary;
+        dispatch_request(group_[i].idx, dev, std::max(free_at_[dev], now));
       }
-      continue;
+      return;
     }
 
     if (cfg_.retrieval == RetrievalMode::kIntervalAligned) {
       // Batch path: admit up to the budget, schedule with DTR + max-flow,
       // dispatch round by round behind any residual device work.
-      std::uint64_t n_accept = group.size();
+      std::uint64_t n_accept = group_.size();
       switch (cfg_.admission) {
         case AdmissionMode::kNone:
           break;
         case AdmissionMode::kDeterministic:
-          n_accept = accept_det(admitted, group.size());
+          n_accept = accept_det(admitted_, group_.size());
           break;
         case AdmissionMode::kStatistical:
-          n_accept = stat->accept(admitted, group.size());
+          n_accept = stat_->accept(admitted_, group_.size());
           break;
       }
-      admitted += n_accept;
-      for (std::size_t i = n_accept; i < group.size(); ++i) defer(group[i]);
-      if (n_accept == 0) continue;
-      buckets.resize(n_accept);
+      admitted_ += n_accept;
+      for (std::size_t i = n_accept; i < group_.size(); ++i) defer(group_[i]);
+      if (n_accept == 0) return;
+      buckets_.resize(n_accept);
 
-      const retrieval::Schedule* degraded = retriever_.schedule(buckets, available);
+      const retrieval::Schedule* degraded =
+          retriever_.schedule(buckets_, available_);
       FLASHQOS_ASSERT(degraded != nullptr, "filter left a dead request");
       const auto& schedule = *degraded;
       const RetrievalPath batch_path =
-          !available.empty() ? RetrievalPath::kDegraded
+          !available_.empty() ? RetrievalPath::kDegraded
           : schedule.via == retrieval::SolvedBy::kMaxFlow
               ? RetrievalPath::kAlignedMaxFlow
               : RetrievalPath::kAlignedDtr;
       // Requests on one device start back to back in round order.
-      order.resize(n_accept);
-      for (std::size_t i = 0; i < n_accept; ++i) order[i] = i;
-      std::stable_sort(order.begin(), order.end(),
+      order_.resize(n_accept);
+      for (std::size_t i = 0; i < n_accept; ++i) order_[i] = i;
+      std::stable_sort(order_.begin(), order_.end(),
                        [&](std::size_t a, std::size_t b) {
                          return schedule.assignments[a].round <
                                 schedule.assignments[b].round;
                        });
-      for (const auto i : order) {
+      for (const auto i : order_) {
         const DeviceId dev = schedule.assignments[i].device;
-        result.outcomes[group[i].idx].path = batch_path;
-        dispatch_request(group[i].idx, dev, std::max(free_at[dev], now));
+        out(group_[i].idx).path = batch_path;
+        dispatch_request(group_[i].idx, dev, std::max(free_at_[dev], now));
       }
-      continue;
+      return;
     }
 
     // Online mode. Deterministic portion: a request is admitted only if it
@@ -1530,128 +1709,108 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
     // surplus beyond S: admitted while Q < ε and served from the earliest-
     // finishing replica, queueing allowed (the Fig. 10 response-time cost).
     const std::vector<SimTime>* svc_ptr = nullptr;
-    if (faults_active && injector.any_spike_at(now)) {
-      svc_now.resize(scheme_.devices());
+    if (faults_active_ && injector_->any_spike_at(now)) {
+      svc_now_.resize(scheme_.devices());
       for (DeviceId d = 0; d < scheme_.devices(); ++d) {
-        svc_now[d] = read_service(d, now);
+        svc_now_[d] = read_service(d, now);
       }
-      svc_ptr = &svc_now;
+      svc_ptr = &svc_now_;
     }
-    SlotMatcher matcher(scheme_, free_at, now, L, cfg_.access_budget, available,
-                        svc_ptr);
-    matched_members.clear();
-    surplus_members.clear();
+    matcher_.begin_instant(free_at_, now, L_, cfg_.access_budget, available_,
+                           svc_ptr);
+    matched_members_.clear();
+    surplus_members_.clear();
     bool matching_open = true;
-    for (std::size_t i = 0; i < group.size(); ++i) {
+    for (std::size_t i = 0; i < group_.size(); ++i) {
       const bool in_budget =
-          cfg_.admission == AdmissionMode::kNone || admitted < det_limit_now;
-      if (in_budget && matching_open && matcher.add(buckets[i])) {
-        matched_members.push_back(i);
-        ++admitted;
+          cfg_.admission == AdmissionMode::kNone || admitted_ < det_limit_now_;
+      if (in_budget && matching_open && matcher_.add(buckets_[i])) {
+        matched_members_.push_back(i);
+        ++admitted_;
         continue;
       }
       if (cfg_.admission == AdmissionMode::kNone) {
         // Baseline: no deferral, queue on the earliest-finishing replica.
         matching_open = false;
-        surplus_members.push_back(i);
+        surplus_members_.push_back(i);
         continue;
       }
       if (cfg_.admission == AdmissionMode::kStatistical &&
-          admitted >= det_limit_now && stat->accept(admitted, 1) > 0) {
+          admitted_ >= det_limit_now_ && stat_->accept(admitted_, 1) > 0) {
         matching_open = false;  // placements below invalidate the slot view
-        surplus_members.push_back(i);
-        ++admitted;
+        surplus_members_.push_back(i);
+        ++admitted_;
         continue;
       }
-      defer(group[i]);
+      defer(group_[i]);
     }
 
     // Materialize the matched placements: per device, slot order follows
     // FIFO (matched_members is already in seq order).
-    const auto assignment = matcher.assignment();
-    cursor.assign(free_at.size(), -1);
-    for (std::size_t a = 0; a < matched_members.size(); ++a) {
-      const std::size_t i = matched_members[a];
-      const DeviceId dev = assignment[a];
+    cursor_.assign(free_at_.size(), -1);
+    for (std::size_t a = 0; a < matched_members_.size(); ++a) {
+      const std::size_t i = matched_members_[a];
+      const DeviceId dev = matcher_.device_of(a);
       FLASHQOS_ASSERT(dev != kInvalidDevice, "matched request must have a device");
-      SimTime& c = cursor[dev];
-      if (c < 0) c = std::max(free_at[dev], now);
-      result.outcomes[group[i].idx].path = RetrievalPath::kSlotMatched;
-      dispatch_request(group[i].idx, dev, c);
+      SimTime& c = cursor_[dev];
+      if (c < 0) c = std::max(free_at_[dev], now);
+      out(group_[i].idx).path = RetrievalPath::kSlotMatched;
+      dispatch_request(group_[i].idx, dev, c);
       // Advance by the *actual* finish — under a latency spike the slot is
       // wider than L, and the next slot on this device starts after it.
-      c = result.outcomes[group[i].idx].finish;
+      c = out(group_[i].idx).finish;
     }
     // Statistical surplus / no-admission overflow: earliest finish replica.
-    for (const auto i : surplus_members) {
-      const auto reps = scheme_.replicas(buckets[i]);
+    for (const auto i : surplus_members_) {
+      const auto reps = scheme_.replicas(buckets_[i]);
       DeviceId best = kInvalidDevice;
       for (const auto d : reps) {
-        if (!available.empty() && !available[d]) continue;
+        if (!available_.empty() && !available_[d]) continue;
         if (best == kInvalidDevice ||
-            std::max(free_at[d], now) < std::max(free_at[best], now)) {
+            std::max(free_at_[d], now) < std::max(free_at_[best], now)) {
           best = d;
         }
       }
       FLASHQOS_ASSERT(best != kInvalidDevice, "filter left a dead request");
-      result.outcomes[group[i].idx].path = RetrievalPath::kSurplus;
-      dispatch_request(group[i].idx, best, std::max(free_at[best], now));
-    }
-  }
-  if (stat.has_value()) stat->end_interval(demand, admitted);
-  if (tenant_mode) {
-    FLASHQOS_ASSERT(!ts->backlogged(),
-                    "tenant backlog must drain before the replay ends");
-    result.tenant_usage.resize(ts->tenants());
-    for (std::size_t k = 0; k < ts->tenants(); ++k) {
-      result.tenant_usage[k] = ts->usage(k);
+      out(group_[i].idx).path = RetrievalPath::kSurplus;
+      dispatch_request(group_[i].idx, best, std::max(free_at_[best], now));
     }
   }
 
-  array.run();
-  for (const auto& c : array.take_completions()) {
-    if (c.id >= result.outcomes.size()) continue;  // per-replica write op
-    auto& o = result.outcomes[c.id];
-    FLASHQOS_ASSERT(o.start == c.start && o.finish == c.finish,
-                    "pipeline dispatch model diverged from the simulator");
-    o.start = c.start;
-    o.finish = c.finish;
-  }
+  // ---- finish ------------------------------------------------------------
 
-  for (const auto& o : result.outcomes) {
-    if (o.failed || o.is_write) continue;
-    if (o.response() > cfg_.qos_interval) ++result.deadline_violations;
-  }
-  if constexpr (obs::kEnabled) {
-    // The loop only flushes a window when a later instant opens the next
-    // one; the final interval still holds its tallies.
-    if (current_qi >= 0) flush_windows(current_qi);
+  /// Per-replay registry publication shared by both modes: the final open
+  /// window, the loop tallies, fault accounting, per-tenant WFQ counters.
+  void publish_run_metrics() {
+    if (current_qi_ >= 0) flush_windows(current_qi_);
     auto& m = PipelineMetrics::get();
-    m.dispatches.inc(dispatches_tally);
-    m.deferral_events.inc(deferrals_tally);
-    m.write_replica_ops.inc(write_ops_tally);
-    if (faults_active) {
+    m.dispatches.inc(dispatches_tally_);
+    m.deferral_events.inc(deferrals_tally_);
+    m.write_replica_ops.inc(write_ops_tally_);
+    if (faults_active_) {
       auto& fm = FaultMetrics::get();
-      fm.injected_outages.inc(injector.compiled().outages.size());
-      fm.injected_spikes.inc(injector.compiled().spikes.size());
-      if (degraded_interval_tally > 0) fm.degraded_intervals.inc(degraded_interval_tally);
-      if (retries_tally > 0) fm.retries.inc(retries_tally);
-      if (timeouts_tally > 0) fm.timeouts.inc(timeouts_tally);
+      fm.injected_outages.inc(injector_->compiled().outages.size());
+      fm.injected_spikes.inc(injector_->compiled().spikes.size());
+      if (degraded_interval_tally_ > 0) {
+        fm.degraded_intervals.inc(degraded_interval_tally_);
+      }
+      if (retries_tally_ > 0) fm.retries.inc(retries_tally_);
+      if (timeouts_tally_ > 0) fm.timeouts.inc(timeouts_tally_);
       // Rebuild reads due after the last dispatch instant never run (the
       // trace ended); return their pending-gauge contribution so the gauge
       // reads 0 between replays.
       const auto leftover = static_cast<std::int64_t>(
-          injector.rebuild_reads_total() - injector.rebuild_reads_issued());
+          injector_->rebuild_reads_total() - injector_->rebuild_reads_issued());
       if (leftover > 0) fm.rebuild_pending.add(-leftover);
     }
-    if (tenant_mode) {
+    if (tenant_mode_) {
       // Per-tenant WFQ tallies, published once per replay like everything
       // else; wfq.vtime accumulates virtual-clock progress (micro-units)
       // across replays.
       auto& reg = obs::MetricRegistry::global();
-      reg.gauge("wfq.vtime").add(std::llround(ts->virtual_time() * 1e6));
-      for (std::size_t k = 0; k < ts->tenants(); ++k) {
-        const auto& u = ts->usage(k);
+      reg.gauge("wfq.vtime").add(std::llround(ts_->virtual_time() * 1e6));
+      for (std::size_t k = 0; k < ts_->tenants(); ++k) {
+        const auto& u = ts_->usage(k);
         const std::string label = "tenant=\"" + cfg_.tenants[k].name + "\"";
         if (u.arrivals > 0) reg.counter("wfq.arrivals", label).inc(u.arrivals);
         if (u.admitted > 0) reg.counter("wfq.admitted", label).inc(u.admitted);
@@ -1659,9 +1818,206 @@ PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
         if (u.marked > 0) reg.counter("wfq.marked", label).inc(u.marked);
       }
     }
-    record_outcome_observability(result);
   }
-  return result;
+
+  void finish_borrowed() {
+    PipelineResult& result = *result_;
+    if (stat_.has_value()) stat_->end_interval(demand_, admitted_);
+    if (tenant_mode_) {
+      FLASHQOS_ASSERT(!ts_->backlogged(),
+                      "tenant backlog must drain before the replay ends");
+      result.tenant_usage.resize(ts_->tenants());
+      for (std::size_t k = 0; k < ts_->tenants(); ++k) {
+        result.tenant_usage[k] = ts_->usage(k);
+      }
+    }
+
+    array_->run();
+    for (const auto& c : array_->take_completions()) {
+      if (c.id >= result.outcomes.size()) continue;  // per-replica write op
+      auto& o = result.outcomes[c.id];
+      FLASHQOS_ASSERT(o.start == c.start && o.finish == c.finish,
+                      "pipeline dispatch model diverged from the simulator");
+      o.start = c.start;
+      o.finish = c.finish;
+    }
+
+    for (const auto& o : result.outcomes) {
+      if (o.failed || o.is_write) continue;
+      if (o.response() > cfg_.qos_interval) ++result.deadline_violations;
+    }
+    if constexpr (obs::kEnabled) {
+      publish_run_metrics();
+      record_outcome_observability(result);
+    }
+  }
+
+  StreamResult finish_streaming() {
+    if (stat_.has_value()) stat_->end_interval(demand_, admitted_);
+    StreamResult res;
+    if (tenant_mode_) {
+      FLASHQOS_ASSERT(!ts_->backlogged(),
+                      "tenant backlog must drain before the replay ends");
+      res.tenant_usage.resize(ts_->tenants());
+      for (std::size_t k = 0; k < ts_->tenants(); ++k) {
+        res.tenant_usage[k] = ts_->usage(k);
+      }
+    }
+    array_->run();
+    absorb_completions();
+    FLASHQOS_ASSERT(win_.empty(),
+                    "every request must reach a final state by end of stream");
+    if constexpr (obs::kEnabled) {
+      publish_run_metrics();
+      obs_folder_->publish(static_cast<std::size_t>(ingested_),
+                          deadline_violations_);
+      obs_folder_.reset();  // flushes the histogram tallies
+    }
+    res.requests = ingested_;
+    res.deadline_violations = deadline_violations_;
+    if (report_interval_ > 0 && keep_intervals_) {
+      if (interval_folds_.size() < slices_total_) {
+        interval_folds_.resize(slices_total_);
+      }
+      res.intervals.reserve(slices_total_);
+      for (std::size_t i = 0; i < slices_total_; ++i) {
+        res.intervals.push_back(interval_folds_[i].finalize());
+      }
+    }
+    res.overall = overall_fold_.finalize();
+    return res;
+  }
+
+  // ---- wiring ------------------------------------------------------------
+  const decluster::AllocationScheme& scheme_;
+  const PipelineConfig& cfg_;
+  retrieval::Retriever& retriever_;
+  const SimTime T_;
+  const SimTime L_;
+  BlockMapper mapper_;
+  DeterministicAdmission det_;
+  SlotMatcher matcher_;  // persists across instants; begin_instant() re-arms
+  const bool tenant_mode_;
+  bool streaming_ = false;
+  bool keep_intervals_ = true;
+  FimSource* fim_ = nullptr;
+  SimTime report_interval_ = 0;
+
+  // ---- in-memory mode ----------------------------------------------------
+  const trace::Trace* t_ = nullptr;
+  PipelineResult* result_ = nullptr;
+  std::vector<std::pair<std::size_t, std::size_t>> slices_;
+  std::vector<std::uint8_t> tstate_;
+
+  // ---- streaming mode ----------------------------------------------------
+  std::deque<StreamSlot> win_;   // slots for requests [win_base_, ingested_)
+  std::uint64_t win_base_ = 0;
+  std::uint64_t ingested_ = 0;
+  SimTime last_time_ = 0;        // arrival time of the last ingested event
+  bool eof_ = false;
+  std::size_t slices_total_ = 0;
+  std::deque<fim::TransactionDb> slice_dbs_;  // slices [slice_db_base_, ...]
+  std::size_t slice_db_base_ = 0;
+  std::size_t fim_slice_ = 0;    // slice the ingest builder is filling
+  std::vector<fim::Item> fim_tx_;
+  std::int64_t fim_window_ = -1;
+  OutcomeFold overall_fold_;
+  std::vector<OutcomeFold> interval_folds_;
+  std::optional<OutcomeObsFolder> obs_folder_;
+  std::size_t deadline_violations_ = 0;
+
+  // ---- replay state (both modes) ------------------------------------------
+  std::optional<StatisticalAdmission> stat_;
+  std::optional<TenantScheduler> ts_;
+  std::vector<bool> tenant_blocked_;
+  std::vector<std::uint64_t> dispensed_;   // matched request ids, add order
+  std::vector<std::size_t> aligned_ids_;   // aligned-mode dispensed batch
+  std::vector<BucketId> aligned_buckets_;
+  std::vector<obs::LatencyHistogram*> depth_hist_;
+
+  obs::TimeSeries* win_reads_ = nullptr;
+  obs::TimeSeries* win_writes_ = nullptr;
+  obs::TimeSeries* win_shed_ = nullptr;
+  obs::TimeSeries* win_failed_ = nullptr;
+  obs::TimeSeries* win_degraded_ = nullptr;
+  obs::TimeSeries* win_response_ = nullptr;
+  obs::TimeSeries* win_q_ = nullptr;
+  std::vector<obs::TimeSeries*> win_device_;
+  std::vector<obs::TimeSeries*> win_tenant_reads_;
+  std::vector<obs::TimeSeries*> win_tenant_shed_;
+  WindowAgg agg_reads_, agg_writes_, agg_shed_, agg_failed_, agg_degraded_,
+      agg_response_, agg_q_;
+  std::vector<WindowAgg> agg_device_;
+  std::vector<WindowAgg> agg_tenant_reads_;
+  std::vector<WindowAgg> agg_tenant_shed_;
+  // Live SLO evaluation: per-spec {total, bad} tallies for the open window,
+  // fed to the global SloMonitor at the same rollover flush. `tenant` is
+  // the resolved tenant index (-1 = all traffic).
+  struct SloTally {
+    obs::SloKind kind;
+    std::int64_t threshold_ns;
+    std::int32_t tenant;
+    std::uint64_t total = 0;
+    std::uint64_t bad = 0;
+  };
+  std::vector<SloTally> slo_tallies_;
+
+  std::optional<fault::FaultInjector> injector_;
+  bool faults_active_ = false;
+  SimTime retry_timeout_ = 0;
+  std::uint64_t det_limit_now_ = 0;
+  std::vector<bool> down_mask_;     // empty = all devices up
+  std::vector<bool> mask_scratch_;
+  std::map<std::vector<bool>, std::vector<double>> degraded_tables_;
+  std::uint64_t retries_tally_ = 0;
+  std::uint64_t timeouts_tally_ = 0;
+  std::uint64_t degraded_interval_tally_ = 0;
+  std::int64_t last_degraded_qi_ = -1;
+
+  std::optional<flashsim::FlashArray> array_;
+  std::uint64_t next_background_op_ = kBackgroundIdBase;
+  std::vector<SimTime> free_at_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
+
+  std::size_t report_idx_ = 0;  // which reporting interval the mapper is built for
+  std::int64_t current_qi_ = -1;  // current QoS interval index
+  std::uint64_t admitted_ = 0;   // requests admitted in current QoS interval
+  std::uint64_t demand_ = 0;     // requests that asked for this interval
+
+  // Per-event counters are tallied in plain locals and published once after
+  // the loop — the shared sharded counters cost an atomic RMW per inc,
+  // which is measurable at one inc per dispatched request.
+  std::uint64_t dispatches_tally_ = 0;
+  std::uint64_t deferrals_tally_ = 0;
+  std::uint64_t write_ops_tally_ = 0;
+
+  // Per-instant buffers, hoisted out of the dispatch loop so steady-state
+  // scheduling reuses their capacity instead of reallocating every group.
+  std::vector<Pending> group_;
+  std::vector<BucketId> buckets_;
+  std::vector<bool> available_;
+  std::vector<Pending> live_;
+  std::vector<BucketId> live_buckets_;
+  std::vector<Pending> reads_;
+  std::vector<BucketId> read_buckets_;
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> matched_members_;  // indices into group/buckets
+  std::vector<std::size_t> surplus_members_;
+  std::vector<SimTime> cursor_;
+  std::vector<SimTime> svc_now_;  // per-device effective quanta under spikes
+};
+
+}  // namespace
+
+PipelineResult QosPipeline::replay(const trace::Trace& t, FimSource* fim) {
+  ReplayEngine engine(scheme_, cfg_, retriever_);
+  return engine.run_borrowed(t, fim);
+}
+
+StreamResult QosPipeline::run_stream(trace::TraceCursor& cursor, FimSource* fim,
+                                     const StreamOptions& opts) {
+  ReplayEngine engine(scheme_, cfg_, retriever_);
+  return engine.run_streaming(cursor, fim, opts);
 }
 
 PipelineResult replay_original(const trace::Trace& t, SimTime service_time,

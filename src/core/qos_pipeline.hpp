@@ -39,6 +39,10 @@
 #include "retrieval/retriever.hpp"
 #include "trace/event.hpp"
 
+namespace flashqos::trace {
+class TraceCursor;
+}
+
 namespace flashqos::core {
 
 enum class RetrievalMode { kIntervalAligned, kOnline };
@@ -193,6 +197,45 @@ struct PipelineResult {
   std::vector<TenantUsage> tenant_usage;
 };
 
+/// Options for the streaming replay path (QosPipeline::run_stream).
+struct StreamOptions {
+  /// Events pulled from the cursor per fill() call. Any positive value
+  /// yields bit-identical results (the engine's read-ahead rule is
+  /// batch-agnostic — audited by flashqos_verify --stream); larger batches
+  /// amortize the per-batch virtual dispatch.
+  std::size_t batch_size = 4096;
+  /// Fault-schedule compile horizon. A streaming replay does not know the
+  /// trace duration up front, so configs with a non-empty fault plan must
+  /// pass the horizon the in-memory path derives (trace duration +
+  /// qos_interval) to materialize the identical schedule. Ignored (may
+  /// stay 0) when the fault plan is empty.
+  SimTime horizon = 0;
+  /// Retain per-reporting-interval reports (`StreamResult::intervals`).
+  /// They are the one result component that grows with trace duration
+  /// (one `IntervalReport` per reporting interval); trace-scale replays
+  /// that only need the overall report, the deadline count, and the
+  /// observability plane set this false to keep memory flat in trace
+  /// length. Does not change any other field, metric, or time-series.
+  bool keep_intervals = true;
+  /// Deliberately break the engine's read-ahead drain bound by one
+  /// instant (verification only): groups dispatching exactly at the
+  /// ingestion frontier run before later batches deliver their
+  /// same-instant members. The stream oracle flips this to prove it
+  /// would catch an engine that dispatches ahead of ingestion.
+  bool misdrain_for_test = false;
+};
+
+/// Result of a streaming replay: everything PipelineResult carries except
+/// the per-request outcomes vector, which would be O(trace) memory — the
+/// point of streaming is that nothing here grows with trace length.
+struct StreamResult {
+  std::vector<IntervalReport> intervals;  // one per trace reporting interval
+  IntervalReport overall;                 // aggregate over all requests
+  std::uint64_t requests = 0;             // events consumed from the cursor
+  std::size_t deadline_violations = 0;    // response > qos_interval
+  std::vector<TenantUsage> tenant_usage;  // indexed like cfg.tenants
+};
+
 /// Serves the per-reporting-slice FIM mining results to the replay loop
 /// (the decode→mine stage of the replay pipeline, factored out so it can
 /// run ahead of the serial core). The serial engine mines inline; the
@@ -239,6 +282,17 @@ class QosPipeline {
   /// empty. The parallel engine summarizes those itself, sharded across
   /// reporting slices; run() == replay() + serial summarization.
   [[nodiscard]] PipelineResult replay(const trace::Trace& t, FimSource* fim = nullptr);
+
+  /// Streaming replay: pull events from `cursor` in batches and run the
+  /// same engine as run() without materializing the trace or the outcomes
+  /// vector — resident memory is O(batch + in-flight window), flat in
+  /// trace length. Interval reports, the overall report, deadline
+  /// violations, registry metrics, and windowed time-series are
+  /// bit-identical to run() on the materialized trace at any batch size
+  /// (audited by flashqos_verify --stream).
+  [[nodiscard]] StreamResult run_stream(trace::TraceCursor& cursor,
+                                        FimSource* fim = nullptr,
+                                        const StreamOptions& opts = {});
 
  private:
   const decluster::AllocationScheme& scheme_;

@@ -205,7 +205,11 @@ struct WordRule {
 }
 
 [[nodiscard]] bool in_hot_path(std::string_view path) {
-  return path.rfind("retrieval/", 0) == 0 || path == "core/sampler.cpp";
+  // The streaming replay loop runs these per event at >= 1M req/s: the
+  // chunked byte-source/parser and the online slot matcher, alongside the
+  // retrieval solvers and the probability sampler.
+  return path.rfind("retrieval/", 0) == 0 || path == "core/sampler.cpp" ||
+         path == "trace/stream_reader.cpp" || path == "core/slot_matcher.cpp";
 }
 
 [[nodiscard]] bool is_main_cpp(std::string_view path) {

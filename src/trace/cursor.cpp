@@ -1,0 +1,20 @@
+#include "trace/cursor.hpp"
+
+namespace flashqos::trace {
+
+Trace drain_cursor(TraceCursor& c) {
+  Trace t;
+  const auto& m = c.meta();
+  t.name = m.name;
+  t.volumes = m.volumes;
+  t.report_interval = m.report_interval;
+  TraceEvent batch[1024];
+  for (;;) {
+    const std::size_t n = c.fill(batch);
+    if (n == 0) break;
+    t.events.insert(t.events.end(), batch, batch + n);
+  }
+  return t;
+}
+
+}  // namespace flashqos::trace

@@ -1,9 +1,10 @@
 #include "trace/msr_format.hpp"
 
 #include <algorithm>
+#include <array>
+#include <charconv>
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -13,16 +14,57 @@ namespace flashqos::trace {
 namespace {
 
 constexpr SimTime kFiletimeTick = 100;  // 100 ns per Windows filetime tick
+constexpr std::size_t kMsrColumns = 6;  // Timestamp..Size (ResponseTime unused)
 
-std::vector<std::string> split_csv(const std::string& line) {
-  std::vector<std::string> out;
-  std::string cell;
-  std::istringstream ss(line);
-  while (std::getline(ss, cell, ',')) out.push_back(cell);
-  return out;
+/// Split the first kMsrColumns comma-separated cells of `line` into `cells`
+/// without allocating; returns how many were found (trailing cells beyond
+/// the schema are ignored, as the in-memory reader does).
+std::size_t split_cells(std::string_view line,
+                        std::array<std::string_view, kMsrColumns>& cells) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (count < kMsrColumns) {
+    const std::size_t comma = line.find(',', pos);
+    if (comma == std::string_view::npos) {
+      cells[count++] = line.substr(pos);
+      break;
+    }
+    cells[count++] = line.substr(pos, comma - pos);
+    pos = comma + 1;
+  }
+  return count;
+}
+
+template <typename T>
+bool parse_cell(std::string_view cell, T& out) {
+  // std::stoll-era leniency: tolerate surrounding whitespace (including a
+  // CSV row's trailing '\r').
+  while (!cell.empty() && (cell.front() == ' ' || cell.front() == '\t')) {
+    cell.remove_prefix(1);
+  }
+  while (!cell.empty() &&
+         (cell.back() == ' ' || cell.back() == '\t' || cell.back() == '\r')) {
+    cell.remove_suffix(1);
+  }
+  if (cell.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), out);
+  return ec == std::errc{} && ptr == cell.data() + cell.size();
 }
 
 }  // namespace
+
+MsrParse parse_msr_row(std::string_view line, bool reads_only, MsrRow& out) {
+  std::array<std::string_view, kMsrColumns> cells{};
+  if (split_cells(line, cells) < kMsrColumns) return MsrParse::kTooFewColumns;
+  if (!parse_cell(cells[0], out.ts)) return MsrParse::kMalformed;
+  if (!parse_cell(cells[2], out.disk)) return MsrParse::kMalformed;
+  out.is_read = cells[3] == "Read" || cells[3] == "read" || cells[3] == "R";
+  if (reads_only && !out.is_read) return MsrParse::kSkipped;
+  if (!parse_cell(cells[4], out.offset)) return MsrParse::kMalformed;
+  if (!parse_cell(cells[5], out.size)) return MsrParse::kMalformed;
+  return MsrParse::kOk;
+}
 
 Trace read_msr_csv(std::istream& in, std::string name, const MsrReadOptions& opts) {
   FLASHQOS_EXPECT(opts.block_bytes > 0, "block size must be positive");
@@ -45,29 +87,25 @@ Trace read_msr_csv(std::istream& in, std::string name, const MsrReadOptions& opt
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line.front() == '#') continue;
-    const auto cells = split_csv(line);
-    if (cells.size() < 6) {
-      throw std::runtime_error("msr csv: too few columns at line " +
-                               std::to_string(line_no));
+    MsrRow row;
+    switch (parse_msr_row(line, opts.reads_only, row)) {
+      case MsrParse::kSkipped:
+        continue;
+      case MsrParse::kTooFewColumns:
+        throw std::runtime_error("msr csv: too few columns at line " +
+                                 std::to_string(line_no));
+      case MsrParse::kMalformed:
+        throw std::runtime_error("msr csv: malformed row at line " +
+                                 std::to_string(line_no));
+      case MsrParse::kOk:
+        break;
     }
-    try {
-      const std::int64_t ts = std::stoll(cells[0]);
-      const auto disk = static_cast<std::uint32_t>(std::stoul(cells[2]));
-      const bool is_read =
-          cells[3] == "Read" || cells[3] == "read" || cells[3] == "R";
-      if (opts.reads_only && !is_read) continue;
-      const std::uint64_t offset = std::stoull(cells[4]);
-      const std::uint64_t size = std::stoull(cells[5]);
-      const DataBlockId first_block = offset / opts.block_bytes;
-      const auto nblocks = static_cast<std::uint32_t>(
-          std::max<std::uint64_t>(1, (size + opts.block_bytes - 1) / opts.block_bytes));
-      if (first_ts < 0) first_ts = ts;
-      max_disk = std::max(max_disk, disk);
-      rows.push_back({ts, disk, first_block, nblocks, is_read});
-    } catch (const std::exception&) {
-      throw std::runtime_error("msr csv: malformed row at line " +
-                               std::to_string(line_no));
-    }
+    const DataBlockId first_block = row.offset / opts.block_bytes;
+    const auto nblocks = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+        1, (row.size + opts.block_bytes - 1) / opts.block_bytes));
+    if (first_ts < 0) first_ts = row.ts;
+    max_disk = std::max(max_disk, row.disk);
+    rows.push_back({row.ts, row.disk, first_block, nblocks, row.is_read});
   }
   std::stable_sort(rows.begin(), rows.end(),
                    [](const Row& a, const Row& b) { return a.ts < b.ts; });

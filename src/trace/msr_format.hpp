@@ -11,6 +11,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "trace/event.hpp"
 
@@ -26,6 +27,29 @@ struct MsrReadOptions {
   /// Block size for the Offset -> block conversion (paper: 8 KB alignment).
   std::uint64_t block_bytes = 8192;
 };
+
+/// One parsed MSR CSV row, pre-conversion (shared by the in-memory reader
+/// and the streaming cursor so both accept exactly the same input).
+struct MsrRow {
+  std::int64_t ts = 0;  // Windows filetime ticks (100 ns)
+  std::uint32_t disk = 0;
+  std::uint64_t offset = 0;  // bytes
+  std::uint64_t size = 0;    // bytes
+  bool is_read = false;
+};
+
+enum class MsrParse {
+  kOk,
+  kSkipped,        // reads_only filter dropped a write row
+  kTooFewColumns,  // fewer than 6 CSV cells
+  kMalformed,      // a numeric cell fails to parse
+};
+
+/// Parse one non-comment, non-blank CSV row (no trailing newline). The
+/// reads_only filter applies before Offset/Size are parsed, matching the
+/// in-memory reader. Structured result; callers attach the line number.
+[[nodiscard]] MsrParse parse_msr_row(std::string_view line, bool reads_only,
+                                     MsrRow& out);
 
 /// Parse an MSR-Cambridge CSV stream. Timestamps are rebased so the first
 /// event is at t = 0; events are sorted by time. Lines starting with '#'

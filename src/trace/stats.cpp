@@ -6,39 +6,111 @@
 
 namespace flashqos::trace {
 
-std::vector<IntervalStats> interval_stats(const Trace& t, SimTime rate_window) {
+StreamingTraceStats::StreamingTraceStats(SimTime report_interval,
+                                         SimTime rate_window,
+                                         std::size_t reservoir_budget,
+                                         std::uint64_t reservoir_seed)
+    : report_interval_(report_interval),
+      rate_window_(rate_window),
+      reservoir_budget_(reservoir_budget),
+      reservoir_rng_(reservoir_seed) {
   FLASHQOS_EXPECT(rate_window > 0, "rate window must be positive");
-  std::vector<IntervalStats> out;
-  const auto slices = report_slices(t);
-  out.reserve(slices.size());
-  for (std::size_t s = 0; s < slices.size(); ++s) {
-    const auto [begin, end] = slices[s];
-    IntervalStats st;
-    const SimTime interval_start = static_cast<SimTime>(s) * t.report_interval;
-    std::size_t window_count = 0;
-    std::int64_t current_window = -1;
-    std::size_t max_window = 0;
-    for (std::size_t i = begin; i < end; ++i) {
-      if (!t.events[i].is_read) continue;
-      ++st.total_reads;
-      const std::int64_t w = (t.events[i].time - interval_start) / rate_window;
-      if (w != current_window) {
-        max_window = std::max(max_window, window_count);
-        window_count = 0;
-        current_window = w;
-      }
-      ++window_count;
+  reservoir_.reserve(reservoir_budget);
+}
+
+void StreamingTraceStats::close_interval() {
+  max_window_ = std::max(max_window_, window_count_);
+  IntervalStats st;
+  st.total_reads = interval_reads_;
+  const double interval_sec = to_sec(report_interval_);
+  const double window_sec = to_sec(rate_window_);
+  st.avg_reads_per_sec =
+      interval_sec > 0 ? static_cast<double>(interval_reads_) / interval_sec
+                       : 0.0;
+  st.max_reads_per_sec =
+      window_sec > 0 ? static_cast<double>(max_window_) / window_sec : 0.0;
+  intervals_.push_back(st);
+  ++current_interval_;
+  interval_reads_ = 0;
+  current_window_ = -1;
+  window_count_ = 0;
+  max_window_ = 0;
+}
+
+void StreamingTraceStats::add(const TraceEvent& e) {
+  FLASHQOS_EXPECT(!finished_, "add() after finish()");
+  if (any_event_) {
+    FLASHQOS_EXPECT(e.time >= prev_time_, "events must arrive in time order");
+    const auto gap = static_cast<double>(e.time - prev_time_);
+    gaps_.add(gap);
+    // Algorithm R: every gap has probability budget/n of being retained,
+    // with O(budget) memory no matter the trace length.
+    if (reservoir_.size() < reservoir_budget_) {
+      reservoir_.push_back(gap);
+    } else if (reservoir_budget_ > 0) {
+      const std::uint64_t j = reservoir_rng_.below(gap_count_ + 1);
+      if (j < reservoir_budget_) reservoir_[j] = gap;
     }
-    max_window = std::max(max_window, window_count);
-    const double interval_sec = to_sec(t.report_interval);
-    const double window_sec = to_sec(rate_window);
-    st.avg_reads_per_sec =
-        interval_sec > 0 ? static_cast<double>(st.total_reads) / interval_sec : 0.0;
-    st.max_reads_per_sec =
-        window_sec > 0 ? static_cast<double>(max_window) / window_sec : 0.0;
-    out.push_back(st);
+    ++gap_count_;
   }
-  return out;
+  any_event_ = true;
+  prev_time_ = e.time;
+  ++events_;
+  if (e.is_read) ++reads_;
+
+  if (report_interval_ <= 0) return;
+  const auto slice = static_cast<std::size_t>(e.time / report_interval_);
+  while (current_interval_ < slice) close_interval();
+  if (!e.is_read) return;
+  const SimTime interval_start =
+      static_cast<SimTime>(current_interval_) * report_interval_;
+  const std::int64_t w = (e.time - interval_start) / rate_window_;
+  if (w != current_window_) {
+    max_window_ = std::max(max_window_, window_count_);
+    window_count_ = 0;
+    current_window_ = w;
+  }
+  ++window_count_;
+  ++interval_reads_;
+}
+
+void StreamingTraceStats::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (any_event_ && report_interval_ > 0) close_interval();
+}
+
+TraceSummary StreamingTraceStats::summary() const {
+  TraceSummary s;
+  s.events = events_;
+  s.reads = reads_;
+  s.mean_gap_ns = gaps_.mean();
+  s.stddev_gap_ns = gaps_.stddev();
+  if (!reservoir_.empty()) {
+    std::vector<double> sorted = reservoir_;
+    std::sort(sorted.begin(), sorted.end());
+    s.p50_gap_ns = percentile_sorted(sorted, 0.50);
+    s.p95_gap_ns = percentile_sorted(sorted, 0.95);
+    s.p99_gap_ns = percentile_sorted(sorted, 0.99);
+  }
+  return s;
+}
+
+std::vector<IntervalStats> interval_stats(const Trace& t, SimTime rate_window) {
+  VectorCursor c(t);
+  return interval_stats(c, rate_window);
+}
+
+std::vector<IntervalStats> interval_stats(TraceCursor& c, SimTime rate_window) {
+  StreamingTraceStats stats(c.meta().report_interval, rate_window);
+  TraceEvent batch[4096];
+  for (;;) {
+    const std::size_t n = c.fill(batch);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) stats.add(batch[i]);
+  }
+  stats.finish();
+  return stats.intervals();
 }
 
 }  // namespace flashqos::trace

@@ -1,10 +1,15 @@
 // Trace statistics (paper Fig. 6): per reporting interval, the total read
-// count plus the maximum and average read rate.
+// count plus the maximum and average read rate — computable in a single
+// streaming pass so trace-scale inputs never need materializing.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "trace/cursor.hpp"
 #include "trace/event.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace flashqos::trace {
 
@@ -14,10 +19,76 @@ struct IntervalStats {
   double max_reads_per_sec = 0.0;  // max over fixed sub-windows, rate-scaled
 };
 
+/// Whole-trace summary computable in the same single pass: Welford moments
+/// of the inter-arrival gaps plus fixed-budget reservoir percentiles (the
+/// reservoir holds `budget` samples no matter how long the trace is, so
+/// the summary is streaming-safe; percentiles are estimates with sampling
+/// error, the moments are exact).
+struct TraceSummary {
+  std::size_t events = 0;
+  std::size_t reads = 0;
+  double mean_gap_ns = 0.0;
+  double stddev_gap_ns = 0.0;
+  double p50_gap_ns = 0.0;
+  double p95_gap_ns = 0.0;
+  double p99_gap_ns = 0.0;
+};
+
+/// Single-pass interval statistics + summary over a time-ordered event
+/// stream. Feed add() in trace order, then finish(); intervals() matches
+/// interval_stats() on the materialized trace exactly. Memory is
+/// O(intervals emitted + reservoir budget) — independent of event count.
+class StreamingTraceStats {
+ public:
+  StreamingTraceStats(SimTime report_interval, SimTime rate_window,
+                      std::size_t reservoir_budget = 4096,
+                      std::uint64_t reservoir_seed = 1);
+
+  void add(const TraceEvent& e);
+  /// Close the trailing interval. add() must not be called afterwards.
+  void finish();
+
+  [[nodiscard]] const std::vector<IntervalStats>& intervals() const noexcept {
+    return intervals_;
+  }
+  [[nodiscard]] TraceSummary summary() const;
+
+ private:
+  void close_interval();
+
+  SimTime report_interval_;
+  SimTime rate_window_;
+  bool finished_ = false;
+
+  // Current-interval state (mirrors the per-slice loop of the in-memory
+  // implementation: run-count reads per rate window, track the max).
+  std::size_t current_interval_ = 0;
+  std::size_t interval_reads_ = 0;
+  std::int64_t current_window_ = -1;
+  std::size_t window_count_ = 0;
+  std::size_t max_window_ = 0;
+  bool any_event_ = false;
+  SimTime prev_time_ = 0;
+
+  std::vector<IntervalStats> intervals_;
+  std::size_t events_ = 0;
+  std::size_t reads_ = 0;
+  Accumulator gaps_;
+  std::vector<double> reservoir_;
+  std::size_t reservoir_budget_;
+  std::size_t gap_count_ = 0;
+  Rng reservoir_rng_;
+};
+
 /// Compute per-reporting-interval statistics. `rate_window` is the width of
 /// the sub-window used for the max rate (the paper uses 1 s on the real
 /// traces; scaled traces should pass something like interval/20).
 [[nodiscard]] std::vector<IntervalStats> interval_stats(const Trace& t,
+                                                        SimTime rate_window);
+
+/// Streaming form: one pass over the cursor, never materializing the
+/// trace. Identical results to the in-memory overload on the same stream.
+[[nodiscard]] std::vector<IntervalStats> interval_stats(TraceCursor& c,
                                                         SimTime rate_window);
 
 }  // namespace flashqos::trace

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "trace/cursor.hpp"
 #include "trace/event.hpp"
 
 namespace flashqos::trace {
@@ -34,6 +36,12 @@ struct SyntheticParams {
 /// `device` field is unused (0) — synthetic experiments always go through an
 /// allocation scheme.
 [[nodiscard]] Trace generate_synthetic(const SyntheticParams& p);
+
+/// Streaming form of generate_synthetic: yields the same events (same RNG
+/// draw order) one interval batch at a time. generate_synthetic() is
+/// drain_cursor() over this.
+[[nodiscard]] std::unique_ptr<TraceCursor> make_synthetic_cursor(
+    const SyntheticParams& p);
 
 /// One tenant's load in a multi-tenant synthetic trace.
 struct TenantLoad {
@@ -75,5 +83,9 @@ struct MultiTenantParams {
 /// instant are ordered tenant 0 first (stable, deterministic). The
 /// `tenant` field is set; `device` is unused (0).
 [[nodiscard]] Trace generate_multi_tenant(const MultiTenantParams& p);
+
+/// Streaming form of generate_multi_tenant (same events, interval batches).
+[[nodiscard]] std::unique_ptr<TraceCursor> make_multi_tenant_cursor(
+    const MultiTenantParams& p);
 
 }  // namespace flashqos::trace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/cursor.hpp"
 #include "util/expect.hpp"
 #include "util/rng.hpp"
 
@@ -38,60 +39,99 @@ class VolumePlacer {
   std::vector<double> cdf_;
 };
 
-}  // namespace
+/// The cursor IS the generator: generate_workload() drains it, so the
+/// streaming and in-memory paths see bit-identical events (same RNG draw
+/// order; one report interval of bursts per produce() call).
+class WorkloadCursor final : public BatchStagedCursor {
+ public:
+  explicit WorkloadCursor(const WorkloadParams& p)
+      : p_(p),
+        rng_(p.seed),
+        placer_(p.volumes, p.volume_skew),
+        meta_{p.name, p.volumes, p.report_interval} {
+    FLASHQOS_EXPECT(p.volumes > 0, "workload needs volumes");
+    FLASHQOS_EXPECT(p.hot_set_size > 0 && p.hot_set_size <= p.block_universe,
+                    "hot set must fit in the block universe");
+    FLASHQOS_EXPECT(p.mean_burst_size >= 1.0,
+                    "bursts contain at least one request");
+    init_hot_set();
+  }
 
-Trace generate_workload(const WorkloadParams& p) {
-  FLASHQOS_EXPECT(p.volumes > 0, "workload needs volumes");
-  FLASHQOS_EXPECT(p.hot_set_size > 0 && p.hot_set_size <= p.block_universe,
-                  "hot set must fit in the block universe");
-  FLASHQOS_EXPECT(p.mean_burst_size >= 1.0, "bursts contain at least one request");
-  Rng rng(p.seed);
-  const VolumePlacer placer(p.volumes, p.volume_skew);
+  [[nodiscard]] const TraceMeta& meta() const noexcept override {
+    return meta_;
+  }
 
-  // Hot set, refreshed partially every interval.
-  std::vector<DataBlockId> hot(p.hot_set_size);
-  for (auto& b : hot) b = rng.below(p.block_universe);
+  void reset() override {
+    restart_stage();
+    rng_.reseed(p_.seed);
+    init_hot_set();
+    interval_ = 0;
+  }
 
-  Trace t;
-  t.name = p.name;
-  t.volumes = p.volumes;
-  t.report_interval = p.report_interval;
-
-  for (std::size_t interval = 0; interval < p.report_intervals; ++interval) {
-    if (interval > 0 && p.hot_drift > 0.0) {
-      const auto replace =
-          static_cast<std::size_t>(p.hot_drift * static_cast<double>(hot.size()));
-      for (const auto i : rng.sample_without_replacement(hot.size(), replace)) {
-        hot[i] = rng.below(p.block_universe);
+ protected:
+  [[nodiscard]] bool produce(std::vector<TraceEvent>& out) override {
+    if (interval_ >= p_.report_intervals) return false;
+    const std::size_t interval = interval_++;
+    if (interval > 0 && p_.hot_drift > 0.0) {
+      const auto replace = static_cast<std::size_t>(
+          p_.hot_drift * static_cast<double>(hot_.size()));
+      for (const auto i : rng_.sample_without_replacement(hot_.size(), replace)) {
+        hot_[i] = rng_.below(p_.block_universe);
       }
     }
-    const double multiplier =
-        p.rate_curve.empty() ? 1.0 : p.rate_curve[interval % p.rate_curve.size()];
-    const double burst_rate = p.bursts_per_second * multiplier;
-    if (burst_rate <= 0.0) continue;
+    const double multiplier = p_.rate_curve.empty()
+                                  ? 1.0
+                                  : p_.rate_curve[interval % p_.rate_curve.size()];
+    const double burst_rate = p_.bursts_per_second * multiplier;
+    if (burst_rate <= 0.0) return true;  // an empty interval, not EOF
 
-    const SimTime start = static_cast<SimTime>(interval) * p.report_interval;
-    const SimTime end = start + p.report_interval;
+    const SimTime start = static_cast<SimTime>(interval) * p_.report_interval;
+    const SimTime end = start + p_.report_interval;
     SimTime now = start;
     for (;;) {
-      now += static_cast<SimTime>(rng.exponential(1e9 / burst_rate));
+      now += static_cast<SimTime>(rng_.exponential(1e9 / burst_rate));
       if (now >= end) break;
       // Geometric burst size with the requested mean: P(extra) = 1 - 1/mean.
       std::size_t burst = 1;
-      const double p_more = 1.0 - 1.0 / p.mean_burst_size;
-      while (rng.chance(p_more)) ++burst;
+      const double p_more = 1.0 - 1.0 / p_.mean_burst_size;
+      while (rng_.chance(p_more)) ++burst;
       for (std::size_t i = 0; i < burst; ++i) {
-        const DataBlockId block = rng.chance(p.hot_fraction)
-                                      ? hot[rng.zipf(hot.size(), p.zipf_s)]
-                                      : rng.below(p.block_universe);
-        t.events.push_back(TraceEvent{.time = now,
-                                      .block = block,
-                                      .device = placer.place(block),
-                                      .size_blocks = 1,
-                                      .is_read = !rng.chance(p.write_fraction)});
+        const DataBlockId block = rng_.chance(p_.hot_fraction)
+                                      ? hot_[rng_.zipf(hot_.size(), p_.zipf_s)]
+                                      : rng_.below(p_.block_universe);
+        out.push_back(TraceEvent{.time = now,
+                                 .block = block,
+                                 .device = placer_.place(block),
+                                 .size_blocks = 1,
+                                 .is_read = !rng_.chance(p_.write_fraction)});
       }
     }
+    return true;
   }
+
+ private:
+  void init_hot_set() {
+    hot_.resize(p_.hot_set_size);
+    for (auto& b : hot_) b = rng_.below(p_.block_universe);
+  }
+
+  WorkloadParams p_;
+  Rng rng_;
+  VolumePlacer placer_;
+  TraceMeta meta_;
+  std::vector<DataBlockId> hot_;
+  std::size_t interval_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<TraceCursor> make_workload_cursor(const WorkloadParams& p) {
+  return std::make_unique<WorkloadCursor>(p);
+}
+
+Trace generate_workload(const WorkloadParams& p) {
+  WorkloadCursor c(p);
+  Trace t = drain_cursor(c);
   FLASHQOS_ASSERT(valid_trace(t), "generated workload must be a valid trace");
   return t;
 }

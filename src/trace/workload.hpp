@@ -20,9 +20,11 @@
 // they live), with Zipf-skewed volume popularity.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "trace/cursor.hpp"
 #include "trace/event.hpp"
 
 namespace flashqos::trace {
@@ -47,6 +49,12 @@ struct WorkloadParams {
 };
 
 [[nodiscard]] Trace generate_workload(const WorkloadParams& p);
+
+/// Streaming form of generate_workload: same events (same RNG draw order),
+/// one report interval of bursts per batch. generate_workload() is
+/// drain_cursor() over this.
+[[nodiscard]] std::unique_ptr<TraceCursor> make_workload_cursor(
+    const WorkloadParams& p);
 
 /// Exchange-like preset. `scale` multiplies the simulated span of each
 /// reporting interval (1.0 ≈ 19 s total, ~70 k requests).

@@ -25,6 +25,7 @@
 #include "verify/invariants.hpp"
 #include "verify/obs_check.hpp"
 #include "verify/replay_equivalence.hpp"
+#include "verify/stream_oracle.hpp"
 
 namespace {
 
@@ -49,6 +50,13 @@ void usage(const char* argv0) {
       "                    identity + seeded-defect mutation check), SLO\n"
       "                    burn-rate pages, and trace spans against the\n"
       "                    returned outcomes (skipped when FLASHQOS_OBS=OFF)\n"
+      "  --stream          audit streaming ≡ in-memory replay identity:\n"
+      "                    every shared result field, registry metric, and\n"
+      "                    windowed time-series point must be bit-identical\n"
+      "                    between run() and run_stream() at batch sizes\n"
+      "                    1/7/4096, through the parallel mined-ahead path,\n"
+      "                    the generator cursors, and the chunked disksim\n"
+      "                    reader; the seeded misdrain defect must trip\n"
       "  --faults          chaos-audit the fault subsystem: randomized fault\n"
       "                    plans (outages, spikes, rebuild, retry timeouts)\n"
       "                    replayed on every selected design, checking request\n"
@@ -92,6 +100,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool replay = false;
   bool obs = false;
+  bool stream = false;
   bool faults = false;
   bool fairness = false;
   bool model = false;
@@ -133,6 +142,8 @@ int main(int argc, char** argv) {
       replay = true;
     } else if (std::strcmp(argv[i], "--obs") == 0) {
       obs = true;
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      stream = true;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       faults = true;
     } else if (std::strcmp(argv[i], "--fairness") == 0) {
@@ -166,7 +177,7 @@ int main(int argc, char** argv) {
   // `--model` alone skips the design audit (the gate runs them as separate
   // stages); any explicit design/audit option brings it back.
   const bool run_designs =
-      !model || design_flags || replay || obs || faults || fairness;
+      !model || design_flags || replay || obs || stream || faults || fairness;
   if (run_designs) {
     // The bound helpers are shared by every design; audit them once up
     // front.
@@ -236,6 +247,19 @@ int main(int argc, char** argv) {
       const auto d = e.make();
       const flashqos::decluster::DesignTheoretic scheme(d, true);
       const auto report = flashqos::verify::verify_observability(scheme);
+      std::printf("%s\n", report.to_string(verbose).c_str());
+      std::fflush(stdout);
+      all_ok = all_ok && report.passed();
+      ++checked;
+    }
+  }
+  if (stream) {
+    // Streaming ≡ in-memory identity audit on the paper's primary design.
+    for (const auto& e : flashqos::design::catalog()) {
+      if (e.name != "(9,3,1)") continue;
+      const auto d = e.make();
+      const flashqos::decluster::DesignTheoretic scheme(d, true);
+      const auto report = flashqos::verify::verify_streaming(scheme);
       std::printf("%s\n", report.to_string(verbose).c_str());
       std::fflush(stdout);
       all_ok = all_ok && report.passed();
