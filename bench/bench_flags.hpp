@@ -1,4 +1,4 @@
-// Shared command-line handling for the bench drivers.
+// Shared command-line handling for the bench drivers, on cli::Options.
 //
 // Every driver accepts:
 //  * --smoke              — run the same code paths at a drastically reduced
@@ -19,47 +19,38 @@
 // every flag with no per-driver plumbing beyond calling smoke_mode(). Under
 // --smoke with --serve-metrics the parser also loops back to its own
 // listener and GETs /metrics, so ctest proves the socket serves — not just
-// binds — in every smoke run.
+// binds — in every smoke run. (micro_retrieval_cost is the one driver not
+// on this path: google-benchmark owns its argv, so it strips the shared
+// flags inline and forwards the rest.)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
+#include "cli/options.hpp"
 #include "obs/export.hpp"
 #include "obs/http_exporter.hpp"
 
 namespace flashqos::bench {
 
-/// True iff --smoke was passed. --metrics-out= / --trace-out= /
-/// --series-out= / --serve-metrics= are consumed by the observability
-/// layer; any other argument is rejected loudly (exit 2) so a typo cannot
-/// silently launch a full-size benchmark.
+/// True iff --smoke was passed. The shared cli::Options parser rejects
+/// anything unregistered loudly (exit 2) so a typo cannot silently launch
+/// a full-size benchmark; a driver that grows its own flags should build
+/// its own cli::Options with these shared ones on top.
 inline bool smoke_mode(int argc, char** argv) {
-  bool smoke = false;
-  bool obs_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-      continue;
-    }
-    if (obs::consume_output_flag(argv[i])) {
-      obs_out = true;
-      continue;
-    }
-    std::fprintf(stderr,
-                 "%s: unknown argument '%s' (supported: --smoke, "
-                 "--metrics-out=<path>, --trace-out=<path>, "
-                 "--series-out=<path>, --serve-metrics=<port>)\n",
-                 argv[0], argv[i]);
-    std::exit(2);
-  }
-  if (obs_out) {
+  cli::Options opts(argv[0] != nullptr ? argv[0] : "bench",
+                    "flashqos benchmark driver");
+  opts.flag("smoke",
+            "reduced-scale smoke run (seconds, not comparable to full)")
+      .obs_output_flags();
+  opts.parse_or_exit(argc, argv);
+  if (opts.obs_output_requested()) {
     // Flush the requested outputs after main() returns, whatever the
     // driver's structure; a failed write is reported but cannot change the
     // exit code from an atexit hook.
     std::atexit([] { (void)obs::write_requested_outputs(); });
   }
+  const bool smoke = opts.has("smoke");
   if (smoke) {
     std::printf("[--smoke: reduced scale; numbers not comparable to a full "
                 "run]\n");

@@ -7,39 +7,34 @@
 //   $ ./flashqos_sim experiment.ini --serve-metrics=9100 &
 //   $ curl http://127.0.0.1:9100/metrics   # /series (CSV), /slo (JSON)
 #include <cstdio>
-#include <cstring>
 #include <exception>
 
+#include "cli/options.hpp"
 #include "core/experiment.hpp"
 #include "obs/export.hpp"
+#include "service/pipeline_service.hpp"
 #include "util/table.hpp"
 
 using namespace flashqos;
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "--template") == 0) {
+  cli::Options opts("flashqos_sim",
+                    "config-driven simulator front end (see --template)");
+  opts.flag("template", "print a starter experiment config and exit")
+      .positional("experiment.ini", "experiment config file", 0, 1)
+      .obs_output_flags();
+  opts.parse_or_exit(argc, argv);
+  if (opts.has("template")) {
     std::fputs(core::experiment_template().c_str(), stdout);
     return 0;
   }
-  const char* config_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (obs::consume_output_flag(argv[i])) continue;
-    if (config_path != nullptr) {
-      std::fprintf(stderr, "flashqos_sim: unexpected argument '%s'\n", argv[i]);
-      return 2;
-    }
-    config_path = argv[i];
-  }
-  if (config_path == nullptr) {
-    std::fprintf(stderr,
-                 "usage: flashqos_sim <experiment.ini> [--metrics-out=<path>]"
-                 " [--trace-out=<path>] [--series-out=<path>]"
-                 " [--serve-metrics=<port>]\n"
-                 "       flashqos_sim --template   (print a starter config)\n");
+  if (opts.positionals().empty()) {
+    std::fprintf(stderr, "flashqos_sim: an experiment config is required "
+                         "(see --help; --template prints a starter)\n");
     return 2;
   }
   try {
-    const auto cfg = Config::load(config_path);
+    const auto cfg = Config::load(opts.positionals().front());
     const auto experiment = core::build_experiment(cfg);
     std::printf("design: %s (%u devices, %u copies, %zu buckets)\n",
                 experiment.design->name().c_str(), experiment.scheme->devices(),
@@ -48,9 +43,12 @@ int main(int argc, char** argv) {
                 experiment.workload.name.c_str(), experiment.workload.events.size(),
                 experiment.workload.report_intervals());
 
-    const auto r =
-        core::QosPipeline(*experiment.scheme, experiment.pipeline)
-            .run(experiment.workload);
+    // The service facade is the sanctioned embedding API (flashqosd serves
+    // the same object over the wire); run() is the in-memory replay.
+    service::ServiceOptions so;
+    so.pipeline = experiment.pipeline;
+    service::PipelineService svc(*experiment.scheme, so);
+    const auto r = svc.run(experiment.workload);
 
     print_banner("Per reporting interval");
     Table table({"interval", "requests", "avg resp (ms)", "max resp (ms)",

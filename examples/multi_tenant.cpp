@@ -19,6 +19,7 @@
 #include "core/qos_pipeline.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
+#include "service/pipeline_service.hpp"
 #include "trace/synthetic.hpp"
 #include "util/table.hpp"
 #include "util/time.hpp"
@@ -57,7 +58,9 @@ int main() {
   };
   const auto trace = trace::generate_multi_tenant(mt);
 
-  const auto result = core::QosPipeline(scheme, cfg).run(trace);
+  service::ServiceOptions so;
+  so.pipeline = cfg;
+  const auto result = service::PipelineService(scheme, so).run(trace);
 
   print_banner("WFQ front end over " + std::to_string(mt.intervals) +
                " intervals");

@@ -13,6 +13,7 @@
 #include "core/sampler.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
+#include "service/pipeline_service.hpp"
 #include "trace/workload.hpp"
 #include "util/table.hpp"
 
@@ -44,7 +45,9 @@ int main() {
     cfg.mapping = core::MappingMode::kFim;
     cfg.epsilon = eps;
     cfg.p_table = p_table;
-    const auto r = core::QosPipeline(scheme, cfg).run(trace);
+    service::ServiceOptions so;
+    so.pipeline = cfg;
+    const auto r = service::PipelineService(scheme, so).run(trace);
     table.add_row({Table::num(eps, 4), Table::pct(r.overall.pct_deferred),
                    Table::ms(r.overall.avg_delay_ms),
                    Table::ms(r.overall.avg_response_ms, 4),

@@ -11,6 +11,7 @@
 #include "core/qos_pipeline.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
+#include "service/pipeline_service.hpp"
 #include "trace/synthetic.hpp"
 #include "util/table.hpp"
 
@@ -59,7 +60,9 @@ int main() {
   cfg.retrieval = core::RetrievalMode::kIntervalAligned;
   cfg.admission = core::AdmissionMode::kDeterministic;
   cfg.mapping = core::MappingMode::kModulo;
-  const auto result = core::QosPipeline(scheme, cfg).run(trace);
+  service::ServiceOptions so;
+  so.pipeline = cfg;
+  const auto result = service::PipelineService(scheme, so).run(trace);
 
   std::printf("\nran %zu requests: avg response %.6f ms, max %.6f ms, "
               "deadline violations %zu, deferred %zu\n",

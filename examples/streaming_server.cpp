@@ -14,6 +14,7 @@
 #include "core/qos_pipeline.hpp"
 #include "decluster/schemes.hpp"
 #include "design/catalog.hpp"
+#include "service/pipeline_service.hpp"
 #include "util/table.hpp"
 
 using namespace flashqos;
@@ -97,7 +98,9 @@ int main() {
   cfg.retrieval = core::RetrievalMode::kIntervalAligned;
   cfg.admission = core::AdmissionMode::kDeterministic;
   cfg.mapping = core::MappingMode::kModulo;
-  const auto r = core::QosPipeline(scheme, cfg).run(trace);
+  service::ServiceOptions so;
+  so.pipeline = cfg;
+  const auto r = service::PipelineService(scheme, so).run(trace);
 
   print_banner("Playout results");
   std::printf("chunks served: %zu\n", r.outcomes.size());

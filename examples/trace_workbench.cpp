@@ -15,6 +15,7 @@
 #include "core/qos_pipeline.hpp"
 #include "decluster/schemes.hpp"
 #include "design/constructions.hpp"
+#include "service/pipeline_service.hpp"
 #include "trace/disksim_format.hpp"
 #include "trace/stats.hpp"
 #include "trace/synthetic.hpp"
@@ -106,7 +107,9 @@ int cmd_qos(int argc, char** argv) {
   cfg.retrieval = core::RetrievalMode::kOnline;
   cfg.admission = core::AdmissionMode::kDeterministic;
   cfg.mapping = core::MappingMode::kFim;
-  const auto qos = core::QosPipeline(scheme, cfg).run(t);
+  service::ServiceOptions so;
+  so.pipeline = cfg;
+  const auto qos = service::PipelineService(scheme, so).run(t);
 
   print_banner("Original stand vs deterministic QoS");
   Table table({"metric", "original", "QoS"});

@@ -20,12 +20,18 @@
 #      against the replay outcomes they describe), and the
 #      fault-injection chaos audit (--faults: randomized fault plans with
 #      request-conservation, routing, guarantee-reestablishment, and
-#      serial ≡ parallel checks), and the streaming-identity audit
+#      serial ≡ parallel checks), the streaming-identity audit
 #      (--stream: run_stream ≡ run() — results, metric registry, and
 #      windowed time-series bit-identical at every batch size, through
 #      generator and chunked-file cursors, with a seeded drain-bound
-#      mutation proving the audit can fail)
-#   7. clang-tidy over src/ (skipped with a warning if clang-tidy is not
+#      mutation proving the audit can fail), and the daemon-identity
+#      audit (--daemon: results served over a real loopback flashqosd
+#      session field-identical to in-process replay, including
+#      multi-connection interleavings, clamping, and mid-session flushes)
+#   7. flashqosd lifecycle smoke: start the daemon on an ephemeral port
+#      from a generated config, parse its listen line, SIGTERM it, and
+#      require a clean drain and exit 0
+#   8. clang-tidy over src/ (skipped with a warning if clang-tidy is not
 #      installed — stages 2–3 are the always-on static gate; clang-tidy is
 #      an extra when a clang toolchain is around)
 #
@@ -54,20 +60,20 @@ banner() {
   echo "==================================================================="
 }
 
-banner "1/7 warnings-as-errors build + ctest"
+banner "1/8 warnings-as-errors build + ctest"
 run cmake -B build-werror -S . -DFLASHQOS_WERROR=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 run cmake --build build-werror -j "$JOBS"
 run ctest --test-dir build-werror --output-on-failure -j "$JOBS"
 
-banner "2/7 flashqos_lint (contract linter)"
+banner "2/8 flashqos_lint (contract linter)"
 run ./build-werror/src/lint/flashqos_lint --root src \
   --baseline scripts/lint_baseline.txt
 
-banner "3/7 schedule-exhaustive model checking"
+banner "3/8 schedule-exhaustive model checking"
 run ./build-werror/src/verify/flashqos_verify --model
 
-banner "4/7 ASan + UBSan"
+banner "4/8 ASan + UBSan"
 run cmake -B build-asan -S . -DFLASHQOS_WERROR=ON -DFLASHQOS_SANITIZE=address \
   -DFLASHQOS_BUILD_BENCH=OFF -DFLASHQOS_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
@@ -77,7 +83,7 @@ UBSAN_OPTIONS="print_stacktrace=1" \
   run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 if [[ $QUICK -eq 0 ]]; then
-  banner "5/7 TSan"
+  banner "5/8 TSan"
   run cmake -B build-tsan -S . -DFLASHQOS_WERROR=ON -DFLASHQOS_SANITIZE=thread \
     -DFLASHQOS_BUILD_BENCH=OFF -DFLASHQOS_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
@@ -85,13 +91,46 @@ if [[ $QUICK -eq 0 ]]; then
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     run ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 else
-  banner "5/7 TSan — SKIPPED (--quick)"
+  banner "5/8 TSan — SKIPPED (--quick)"
 fi
 
-banner "6/7 design-invariant verifier (catalog, N <= 64) + replay equivalence + obs audit + chaos audit + fairness audit + stream audit"
-run ./build-werror/src/verify/flashqos_verify --max-devices 64 --replay --obs --faults --fairness --stream
+banner "6/8 design-invariant verifier (catalog, N <= 64) + replay equivalence + obs audit + chaos audit + fairness audit + stream audit + daemon audit"
+run ./build-werror/src/verify/flashqos_verify --max-devices 64 --replay --obs --faults --fairness --stream --daemon
 
-banner "7/7 clang-tidy (optional extra)"
+banner "7/8 flashqosd lifecycle smoke (ephemeral port, loopback batch, clean drain)"
+daemon_smoke() {
+  # $1: "probe" (drive one batch; end-session drains the daemon) or
+  #     "sigterm" (no traffic; the signal forces the drain).
+  local mode=$1 ini log pid listen port rc=0
+  ini=$(mktemp) log=$(mktemp)
+  printf '[design]\nname = (9,3,1)\n\n[pipeline]\nretrieval = online\nadmission = deterministic\n' > "$ini"
+  echo "+ ./build-werror/src/net/flashqosd $ini --port 0  # $mode" >&2
+  ./build-werror/src/net/flashqosd "$ini" --port 0 > "$log" &
+  pid=$!
+  listen=""
+  for _ in $(seq 1 100); do
+    listen=$(grep -o 'listening on 127\.0\.0\.1:[0-9]*' "$log" || true)
+    [[ -n "$listen" ]] && break
+    kill -0 "$pid" 2> /dev/null || { cat "$log"; echo "check.sh: flashqosd died before listening" >&2; return 1; }
+    sleep 0.1
+  done
+  [[ -n "$listen" ]] || { cat "$log"; echo "check.sh: flashqosd never printed its listen line" >&2; return 1; }
+  if [[ $mode == probe ]]; then
+    port=${listen##*:}
+    run ./build-werror/src/verify/flashqos_verify --daemon-probe "$port" || return 1
+  else
+    kill -TERM "$pid"
+  fi
+  wait "$pid" || rc=$?
+  cat "$log"
+  grep -q 'flashqosd: drained' "$log" || { echo "check.sh: flashqosd did not report a drain ($mode)" >&2; return 1; }
+  rm -f "$ini" "$log"
+  [[ $rc -eq 0 ]] || { echo "check.sh: flashqosd exited $rc (want clean drain + 0, $mode)" >&2; return 1; }
+}
+daemon_smoke probe
+daemon_smoke sigterm
+
+banner "8/8 clang-tidy (optional extra)"
 if command -v clang-tidy > /dev/null 2>&1; then
   run cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
@@ -99,7 +138,7 @@ if command -v clang-tidy > /dev/null 2>&1; then
     | xargs -0 -n 1 -P "$JOBS" clang-tidy -p build-tidy --quiet --warnings-as-errors='*'
 else
   echo "NOTE: clang-tidy not found on PATH; skipping the optional pass" >&2
-  echo "      (the in-tree flashqos_lint gate already ran in stage 2/7)." >&2
+  echo "      (the in-tree flashqos_lint gate already ran in stage 2/8)." >&2
 fi
 
 banner "all checks passed"

@@ -145,7 +145,7 @@ trace::Trace make_workload(const Config& cfg) {
 
 }  // namespace
 
-Experiment build_experiment(const Config& cfg) {
+Experiment build_experiment_config(const Config& cfg) {
   Experiment e;
   e.design = make_design(cfg.get("design", "name", "(9,3,1)"));
   e.scheme = std::make_unique<decluster::DesignTheoretic>(
@@ -295,6 +295,11 @@ Experiment build_experiment(const Config& cfg) {
     fail(msg);
   }
 
+  return e;
+}
+
+Experiment build_experiment(const Config& cfg) {
+  Experiment e = build_experiment_config(cfg);
   e.workload = make_workload(cfg);
   return e;
 }

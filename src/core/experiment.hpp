@@ -63,6 +63,12 @@ struct Experiment {
 /// sampled automatically (samples configurable via [pipeline] samples).
 [[nodiscard]] Experiment build_experiment(const Config& cfg);
 
+/// Everything build_experiment() materializes except the workload (which
+/// is left empty and [workload] ignored): the daemon front end
+/// (service::build_service) loads its design + pipeline from the same
+/// config format but takes its workload over the wire.
+[[nodiscard]] Experiment build_experiment_config(const Config& cfg);
+
 /// Build and run; returns the pipeline result.
 [[nodiscard]] PipelineResult run_experiment(const Config& cfg);
 

@@ -670,7 +670,12 @@ class ReplayEngine {
     // the in-memory early-out on an empty trace.
     std::vector<trace::TraceEvent> buf(opts.batch_size);
     std::size_t n = cursor.fill(buf);
-    if (n == 0) return res;
+    while (n == 0) {
+      // Finite cursors are done (the historical early-out); a live cursor
+      // that is merely idle blocks in fill() until input or close.
+      if (cursor.exhausted()) return res;
+      n = cursor.fill(buf);
+    }
     if (!cfg_.faults.empty()) {
       FLASHQOS_EXPECT(opts.horizon > 0,
                       "streaming replay with a fault plan needs "
@@ -678,6 +683,7 @@ class ReplayEngine {
                       "before the trace length is known)");
     }
     init(opts.horizon, /*streaming=*/true, fim);
+    sink_ = opts.sink;
     obs::LatencyHistogram* ingest_ns = nullptr;
     obs::LatencyHistogram* drain_ns = nullptr;
     if constexpr (obs::kEnabled) {
@@ -685,29 +691,52 @@ class ReplayEngine {
       ingest_ns = &reg.histogram("pipeline.interval_ns", "stage=\"ingest\"");
       drain_ns = &reg.histogram("pipeline.interval_ns", "stage=\"drain\"");
     }
+    // Read-ahead identity rule: every unread arrival has time >= the last
+    // ingested event's time AND >= the cursor's declared frontier, so
+    // dispatch instants strictly before max(last, frontier) can never gain
+    // same-instant members from unread input. Finite cursors promise
+    // nothing (frontier() == 0) and the bound degenerates to the historical
+    // last-ingested-arrival rule, bit for bit. The misdrain knob seeds the
+    // off-by-one defect (<= instead of <): groups dispatching exactly at
+    // the ingestion frontier are processed before later batches deliver
+    // their same-instant members, splitting bursts — the stream oracle
+    // proves it would notice a broken bound. (The defect must stay
+    // clock-safe: draining further ahead would advance the simulator past
+    // arrivals that have not been ingested yet and trip the submit
+    // precondition instead of producing a comparable divergence.)
+    const auto drain_step = [&] {
+      const SimTime clock = std::max(last_time_, cursor.frontier());
+      SimTime bound = clock;
+      if (opts.misdrain_for_test) bound += 1;
+      advance_fim_frontier(bound);
+      // flashqos-lint: allow(wall-clock): stage-timing metric, never a result
+      const auto t0 = std::chrono::steady_clock::now();
+      drain(bound);
+      // Verdict liveness for live streams: with the dispatch queue empty
+      // the simulator's clock would otherwise stall at the last dispatch
+      // instant, holding every in-flight completion hostage until end of
+      // stream. The cursor contract makes `clock` safe: no unread arrival
+      // (hence no future dispatch or simulator event) lies below it. The
+      // misdrain knob must not leak in here — its +1 would advance the
+      // simulator past arrivals not yet ingested and trip the submit
+      // precondition instead of producing a comparable divergence.
+      array_->run_until(clock);
+      absorb_completions();
+      if constexpr (obs::kEnabled) drain_ns->record(stream_elapsed_ns(t0));
+    };
     while (n > 0) {
       // flashqos-lint: allow(wall-clock): stage-timing metric, never a result
-      auto t0 = std::chrono::steady_clock::now();
+      const auto t0 = std::chrono::steady_clock::now();
       for (std::size_t i = 0; i < n; ++i) ingest_event(buf[i]);
       if constexpr (obs::kEnabled) ingest_ns->record(stream_elapsed_ns(t0));
-      // Read-ahead identity rule: every unread arrival has time >= the
-      // last ingested event's time, so dispatch instants strictly before
-      // it can never gain same-instant members from unread input. The
-      // misdrain knob seeds the off-by-one defect (<= instead of <):
-      // groups dispatching exactly at the ingestion frontier are
-      // processed before later batches deliver their same-instant
-      // members, splitting bursts — the stream oracle proves it would
-      // notice a broken bound. (The defect must stay clock-safe: draining
-      // further ahead would advance the simulator past arrivals that have
-      // not been ingested yet and trip the submit precondition instead of
-      // producing a comparable divergence.)
-      const SimTime bound =
-          opts.misdrain_for_test ? last_time_ + 1 : last_time_;
-      // flashqos-lint: allow(wall-clock): stage-timing metric, never a result
-      t0 = std::chrono::steady_clock::now();
-      drain(bound);
-      if constexpr (obs::kEnabled) drain_ns->record(stream_elapsed_ns(t0));
+      drain_step();
       n = cursor.fill(buf);
+      while (n == 0 && !cursor.exhausted()) {
+        // Live stream, momentarily empty: the frontier may have advanced
+        // (a flush) with no new events, so re-drain before blocking again.
+        drain_step();
+        n = cursor.fill(buf);
+      }
     }
     finish_ingest();
     drain(kDrainAll);
@@ -873,6 +902,28 @@ class ReplayEngine {
     ++fim_slice_;
   }
 
+  /// Close every FIM slice that ends at or below the drain bound: events
+  /// already ingested are <= last_time_ and unread ones are >= the cursor
+  /// frontier, so such a slice can never gain another transaction. For
+  /// finite cursors (frontier 0) the bound is the last ingested arrival
+  /// and ingestion has already closed those slices — a strict no-op, which
+  /// is what keeps the historical streaming path bit-identical. Only a
+  /// live cursor whose frontier outruns its events closes (possibly
+  /// empty) slices here; if such a stream ends before events reach the
+  /// frontier, mining may have seen empty slices the in-memory
+  /// materialization would not contain, so live producers that need exact
+  /// replay identity must keep the frontier at or below the final event
+  /// time (the daemon oracle does).
+  void advance_fim_frontier(SimTime bound) {
+    if (cfg_.mapping != MappingMode::kFim || report_interval_ == 0 ||
+        fim_ != nullptr || slice_dbs_.empty()) {
+      return;
+    }
+    while (static_cast<SimTime>(fim_slice_ + 1) * report_interval_ <= bound) {
+      close_fim_slice();
+    }
+  }
+
   [[nodiscard]] fim::TransactionDb take_slice_db(
       [[maybe_unused]] std::size_t idx) {
     FLASHQOS_ASSERT(idx == slice_db_base_ && !slice_dbs_.empty(),
@@ -924,6 +975,7 @@ class ReplayEngine {
   }
 
   void fold_outcome(std::uint64_t idx, const StreamSlot& s) {
+    if (sink_ != nullptr) sink_->on_outcome(idx, s.ev, s.out);
     overall_fold_.add(s.out);
     if (report_interval_ > 0 && keep_intervals_) {
       const auto slice = static_cast<std::size_t>(s.ev.time / report_interval_);
@@ -1901,6 +1953,7 @@ class ReplayEngine {
   bool streaming_ = false;
   bool keep_intervals_ = true;
   FimSource* fim_ = nullptr;
+  OutcomeSink* sink_ = nullptr;
   SimTime report_interval_ = 0;
 
   // ---- in-memory mode ----------------------------------------------------

@@ -197,6 +197,21 @@ struct PipelineResult {
   std::vector<TenantUsage> tenant_usage;
 };
 
+/// Observer of finalized streaming outcomes. run_stream() calls
+/// on_outcome() once per event, in trace order (seq is the 0-based global
+/// ingestion index, strictly increasing), at the moment the outcome folds
+/// into the reports — which is exactly when the engine guarantees no field
+/// can change again. This is how the service facade routes completions
+/// back to live clients without materializing an outcomes vector. The
+/// callback runs on the replay thread; implementations must not re-enter
+/// the pipeline.
+class OutcomeSink {
+ public:
+  virtual ~OutcomeSink() = default;
+  virtual void on_outcome(std::uint64_t seq, const trace::TraceEvent& ev,
+                          const RequestOutcome& out) = 0;
+};
+
 /// Options for the streaming replay path (QosPipeline::run_stream).
 struct StreamOptions {
   /// Events pulled from the cursor per fill() call. Any positive value
@@ -223,6 +238,9 @@ struct StreamOptions {
   /// same-instant members. The stream oracle flips this to prove it
   /// would catch an engine that dispatches ahead of ingestion.
   bool misdrain_for_test = false;
+  /// Optional per-outcome observer (see OutcomeSink). Null = no callback;
+  /// results, metrics, and time-series are identical either way.
+  OutcomeSink* sink = nullptr;
 };
 
 /// Result of a streaming replay: everything PipelineResult carries except
@@ -266,6 +284,12 @@ class FimSource {
 [[nodiscard]] IntervalReport summarize_outcome_range(
     std::span<const RequestOutcome> outcomes, std::size_t begin, std::size_t end);
 
+/// The single-threaded replay engine. New code should not construct this
+/// directly: service::PipelineService wraps it behind a thread-safe facade
+/// with the same one-shot run()/run_stream() semantics plus live submit/
+/// flush/drain, and is what flashqosd, flashqos_sim, and the examples use.
+/// Direct construction remains supported for the engine's own harnesses
+/// (oracles, model checker, benches) that need sub-facade access.
 class QosPipeline {
  public:
   QosPipeline(const decluster::AllocationScheme& scheme, PipelineConfig cfg);

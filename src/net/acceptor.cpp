@@ -1,0 +1,177 @@
+#include "net/acceptor.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>  // flashqos-lint: allow(wall-clock): header name, not a wait
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace flashqos::net {
+
+namespace {
+
+/// accept() errnos that indicate pressure, not a broken listener: keep
+/// accepting. ECONNABORTED/EPROTO are per-connection resets; the E*FILE /
+/// ENOBUFS / ENOMEM family is resource exhaustion that later connections
+/// may survive once fds free up.
+[[nodiscard]] bool transient_accept_errno(int err) noexcept {
+  return err == ECONNABORTED || err == EPROTO || err == EMFILE ||
+         err == ENFILE || err == ENOBUFS || err == ENOMEM;
+}
+
+}  // namespace
+
+bool Acceptor::start(const Options& opts) {
+  if (running_.load(std::memory_order_acquire)) {
+    error_ = "already running";
+    return false;
+  }
+  reap();  // restart after stop(): close anything a previous pool left
+  error_.clear();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    error_ = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, opts.backlog) < 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    error_ = std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+
+  listen_fd_ = fd;
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  pending_ = std::make_unique<HandoffQueue<int>>(
+      opts.queue_capacity == 0 ? 1 : opts.queue_capacity);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Acceptor::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  // Order matters and is the regression-tested fix: close the queue FIRST
+  // so an acceptor blocked in push() (pool busy, queue full) wakes with
+  // false and can observe the listener shutdown; only then join. Joining
+  // first deadlocked — shutdown() wakes accept(), not a blocked push().
+  pending_->close();
+  // Waking the acceptor: shutdown() on a listening socket makes a blocked
+  // accept() return with an error on Linux.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_.store(0, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+  // The queue stays alive: consumers blocked in next_client() still drain
+  // the accepted backlog (a closed HandoffQueue yields queued items), so
+  // already-accepted clients get served before the pool exits. reap()
+  // closes whatever nobody popped once the pool is joined.
+}
+
+void Acceptor::reap() {
+  if (pending_ == nullptr) return;
+  // The queue is closed, so these pops never block: they yield leftover
+  // fds (consumers gone before the backlog drained — the leak the audit
+  // found), then nullopt.
+  while (auto fd = pending_->pop()) ::close(*fd);
+  pending_.reset();
+}
+
+std::optional<int> Acceptor::next_client() {
+  if (pending_ == nullptr) return std::nullopt;
+  return pending_->pop();
+}
+
+void Acceptor::accept_loop() {
+  while (true) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      if (pending_->closed()) return;  // stop() in progress
+      if (transient_accept_errno(errno)) {
+        transient_errors_.fetch_add(1, std::memory_order_relaxed);
+        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+            errno == ENOMEM) {
+          // Resource exhaustion: back off briefly so the loop cannot spin
+          // at 100% CPU while the process is out of fds.
+          // flashqos-lint: allow(wall-clock): bounded socket-layer backoff, never simulated time.
+          ::poll(nullptr, 0, 10);
+        }
+        continue;
+      }
+      return;  // genuinely fatal: listener is gone
+    }
+    if (!pending_->push(client)) ::close(client);  // stopping: refuse
+  }
+}
+
+bool send_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_all(int fd, const std::string& data) {
+  return send_all(fd, data.data(), data.size());
+}
+
+ssize_t recv_some(int fd, void* buf, std::size_t len, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  // flashqos-lint: allow(wall-clock): bounded client-I/O wait on the socket layer, not simulated time.
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) return -1;
+  if (ready == 0) return -1;  // timeout
+  const ssize_t n = ::recv(fd, buf, len, 0);
+  return n < 0 ? -1 : n;
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace flashqos::net

@@ -1,0 +1,126 @@
+// The shared TCP accept seam: one listener, one acceptor thread, a bounded
+// fd handoff queue.
+//
+// Extracted from obs::HttpExporter (PR 8), which proved the shape — accept
+// on a dedicated thread, hand file descriptors to a pool through a
+// HandoffQueue so backpressure is the queue bound plus the kernel backlog —
+// and now fronts both planes: the monitoring HTTP server and flashqosd's
+// binary data plane. Consumers call next_client() from their worker
+// threads; nullopt means the acceptor stopped and the backlog is drained.
+//
+// The extraction fixed three defects the exporter's inline version had
+// (regression-tested in tests/net_test.cpp):
+//  * stop() joined the acceptor thread *before* closing the queue, so an
+//    acceptor blocked in push() — every handler busy, queue full — could
+//    never wake and stop() deadlocked. The queue now closes first; the
+//    blocked push returns false, the client fd is closed, and the next
+//    accept() fails out of the loop.
+//  * a transient accept() failure (EMFILE/ENFILE/ENOBUFS/ECONNABORTED —
+//    routine under fd pressure or client resets) permanently killed the
+//    accept loop while running() stayed true: a silently dead server. The
+//    loop now continues over transient errnos (with a bounded backoff on
+//    fd exhaustion so it cannot spin) and only exits on stop or a
+//    genuinely fatal error.
+//  * fds still queued when the consumers are gone leaked; stop() drains
+//    and closes whatever the pool did not pop.
+//
+// Everything here is wall-clock territory by nature (sockets); the bounded
+// waits are annotated for flashqos_lint, and nothing in this layer ever
+// touches simulated time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "util/handoff_queue.hpp"
+
+namespace flashqos::net {
+
+class Acceptor {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  // 0 = ephemeral; see port()
+    int backlog = 16;
+    std::size_t queue_capacity = 16;
+  };
+
+  Acceptor() = default;
+  ~Acceptor() {
+    stop();
+    reap();
+  }
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  /// Bind 127.0.0.1, listen, spawn the accept thread. False (see
+  /// last_error()) if the socket could not be set up. start()/stop() are
+  /// not thread-safe against each other — drive them from one control
+  /// thread; a stopped acceptor may be started again.
+  bool start(const Options& opts);
+
+  /// Close the handoff queue, wake and join the accept thread, close the
+  /// listener. Idempotent. Consumers blocked in next_client() drain the
+  /// backlog, then get nullopt — stop() does not wait for them: the owner
+  /// joins its pool after this, then calls reap().
+  void stop();
+
+  /// Close any accepted fds the consumer pool never popped and release
+  /// the queue. Call after the pool is joined (the destructor and a
+  /// restarting start() call it too).
+  void reap();
+
+  /// Blocking pop of the next accepted connection; nullopt when the
+  /// acceptor is stopped and the backlog is drained. Any number of worker
+  /// threads may call this concurrently.
+  [[nodiscard]] std::optional<int> next_client();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Port actually bound (resolves ephemeral requests); 0 when stopped.
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return port_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const std::string& last_error() const noexcept {
+    return error_;
+  }
+
+  /// Transient accept() failures survived (EMFILE etc.); monotone across
+  /// restarts. Consumers export it — this layer has no obs dependency.
+  [[nodiscard]] std::uint64_t transient_errors() const noexcept {
+    return transient_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+
+  int listen_fd_ = -1;
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> transient_errors_{0};
+  std::string error_;
+  std::unique_ptr<HandoffQueue<int>> pending_;
+  std::thread thread_;
+};
+
+// ---- small socket helpers shared by both planes ---------------------------
+
+/// Write the whole buffer (retrying short writes / EINTR, MSG_NOSIGNAL).
+bool send_all(int fd, const void* data, std::size_t len);
+bool send_all(int fd, const std::string& data);
+
+/// recv() with a bounded wait: >0 = bytes read, 0 = orderly close,
+/// -1 = error or timeout. timeout_ms < 0 waits indefinitely (the caller
+/// must have another wakeup path, e.g. shutdown() on the fd).
+ssize_t recv_some(int fd, void* buf, std::size_t len, int timeout_ms);
+
+/// Connect to 127.0.0.1:port; -1 on failure.
+int connect_loopback(std::uint16_t port);
+
+}  // namespace flashqos::net

@@ -1,14 +1,8 @@
 #include "obs/http_exporter.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>  // flashqos-lint: allow(wall-clock): header name, not a wait
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
-#include <utility>
+#include <string>
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -20,39 +14,17 @@ namespace flashqos::obs {
 namespace {
 
 constexpr std::size_t kMaxRequestBytes = 8192;
-constexpr int kClientTimeoutMs = 5000;
-constexpr int kListenBacklog = 16;
 
 /// Read until the header terminator (or the client stalls / floods).
-bool read_request(int fd, std::string& request) {
+bool read_request(int fd, std::string& request, int timeout_ms) {
   char buf[4096];
   while (request.find("\r\n\r\n") == std::string::npos &&
          request.size() < kMaxRequestBytes) {
-    pollfd pfd{};
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    // flashqos-lint: allow(wall-clock): bounded client-I/O wait on the monitoring plane, not simulated time.
-    const int ready = ::poll(&pfd, 1, kClientTimeoutMs);
-    if (ready <= 0) return false;
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    const ssize_t n = net::recv_some(fd, buf, sizeof(buf), timeout_ms);
     if (n <= 0) return false;
     request.append(buf, static_cast<std::size_t>(n));
   }
   return request.find("\r\n\r\n") != std::string::npos;
-}
-
-bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
 }
 
 std::string make_response(int code, const char* reason,
@@ -74,91 +46,37 @@ HttpExporter& HttpExporter::global() {
 }
 
 bool HttpExporter::start(const Options& opts) {
-  if (running_) {
-    error_ = "already running";
-    return false;
-  }
-  error_.clear();
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    error_ = std::string("socket: ") + std::strerror(errno);
-    return false;
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(opts.port);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
-    error_ = std::string("bind: ") + std::strerror(errno);
-    ::close(fd);
-    return false;
-  }
-  if (::listen(fd, kListenBacklog) < 0) {
-    error_ = std::string("listen: ") + std::strerror(errno);
-    ::close(fd);
-    return false;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
-    error_ = std::string("getsockname: ") + std::strerror(errno);
-    ::close(fd);
-    return false;
-  }
-
-  listen_fd_ = fd;
-  port_ = ntohs(bound.sin_port);
-  pending_ = std::make_unique<HandoffQueue<int>>(
-      opts.queue_capacity == 0 ? 1 : opts.queue_capacity);
-  running_ = true;
-  acceptor_ = std::thread([this] { accept_loop(); });
-  handlers_.reserve(opts.handler_threads == 0 ? 1 : opts.handler_threads);
-  for (std::size_t i = 0; i < (opts.handler_threads == 0 ? 1 : opts.handler_threads); ++i) {
+  if (acceptor_.running()) return false;
+  client_timeout_ms_ = opts.client_timeout_ms;
+  net::Acceptor::Options ao;
+  ao.port = opts.port;
+  ao.queue_capacity = opts.queue_capacity == 0 ? 1 : opts.queue_capacity;
+  if (!acceptor_.start(ao)) return false;
+  const std::size_t n = opts.handler_threads == 0 ? 1 : opts.handler_threads;
+  handlers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     handlers_.emplace_back([this] { handler_loop(); });
   }
   return true;
 }
 
 void HttpExporter::stop() {
-  if (!running_) return;
-  // Waking the acceptor: shutdown() on a listening socket makes the
-  // blocked accept() return with an error on Linux.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  acceptor_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  // A closed queue still drains its backlog, so already-accepted clients
-  // get responses before the handlers exit.
-  pending_->close();
+  if (!acceptor_.running() && handlers_.empty()) return;
+  // Acceptor first (closes its queue, so handlers drain the backlog and
+  // get nullopt), then the pool, then reap whatever nobody popped.
+  acceptor_.stop();
   for (auto& t : handlers_) t.join();
   handlers_.clear();
-  pending_.reset();
-  port_ = 0;
-  running_ = false;
-}
-
-void HttpExporter::accept_loop() {
-  while (true) {
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener shut down (or fatally broken): acceptor exits
-    }
-    if (!pending_->push(client)) ::close(client);  // stopping: refuse
-  }
+  acceptor_.reap();
 }
 
 void HttpExporter::handler_loop() {
-  while (auto client = pending_->pop()) handle_client(*client);
+  while (auto client = acceptor_.next_client()) handle_client(*client);
 }
 
 void HttpExporter::handle_client(int fd) {
   std::string request;
-  if (!read_request(fd, request)) {
+  if (!read_request(fd, request, client_timeout_ms_)) {
     ::close(fd);
     return;
   }
@@ -216,39 +134,24 @@ void HttpExporter::handle_client(int fd) {
                                "unknown path; try /metrics, /series, /slo\n");
     }
   }
-  send_all(fd, response);
+  net::send_all(fd, response);
   ::close(fd);
 }
 
 bool HttpExporter::self_probe(const std::string& path) {
-  if (!running_) return false;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (!acceptor_.running()) return false;
+  const int fd = net::connect_loopback(acceptor_.port());
   if (fd < 0) return false;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port_);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    ::close(fd);
-    return false;
-  }
   const std::string request =
       "GET " + path + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
-  if (!send_all(fd, request)) {
+  if (!net::send_all(fd, request)) {
     ::close(fd);
     return false;
   }
   std::string reply;
   char buf[512];
   while (reply.size() < sizeof(buf)) {
-    pollfd pfd{};
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    // flashqos-lint: allow(wall-clock): bounded client-I/O wait on the monitoring plane, not simulated time.
-    const int ready = ::poll(&pfd, 1, kClientTimeoutMs);
-    if (ready <= 0) break;
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    const ssize_t n = net::recv_some(fd, buf, sizeof(buf), client_timeout_ms_);
     if (n <= 0) break;
     reply.append(buf, static_cast<std::size_t>(n));
     if (reply.find("\r\n") != std::string::npos) break;

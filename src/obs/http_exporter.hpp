@@ -1,12 +1,12 @@
 // Observability v2: a real /metrics socket.
 //
-// Minimal, dependency-free blocking HTTP/1.1 server — the first real
-// socket in the codebase and the seam the ROADMAP's flashqosd daemon will
-// reuse. One acceptor thread accepts connections and hands file
-// descriptors to a small fixed pool of handler threads through a bounded
-// HandoffQueue (backpressure: when every handler is busy the acceptor
-// blocks and further clients wait in the kernel backlog). Handlers speak
-// just enough HTTP/1.1 to serve GETs and always close the connection.
+// Minimal, dependency-free blocking HTTP/1.1 server. The listening side is
+// net::Acceptor — the accept seam this exporter's first version pioneered
+// and flashqosd's data plane now shares — handing file descriptors to a
+// small fixed pool of handler threads through the acceptor's bounded queue
+// (backpressure: when every handler is busy the acceptor blocks and
+// further clients wait in the kernel backlog). Handlers speak just enough
+// HTTP/1.1 to serve GETs and always close the connection.
 //
 // Endpoints (all read the process-global observability state):
 //   /metrics — Prometheus text exposition of MetricRegistry::global()
@@ -23,17 +23,17 @@
 // Lifecycle: start() binds 127.0.0.1 (port 0 = ephemeral; port() reports
 // the bound port), stop() shuts the listener down and joins every thread.
 // start()/stop() are not thread-safe against each other — drive them from
-// one control thread (main(), a test). The global() instance is leaked
-// like the registries, so a process may exit with the server running.
+// one control thread (main(), a test); a stopped exporter may be started
+// again. The global() instance is leaked like the registries, so a
+// process may exit with the server running.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "util/handoff_queue.hpp"
+#include "net/acceptor.hpp"
 
 namespace flashqos::obs {
 
@@ -43,6 +43,10 @@ class HttpExporter {
     std::uint16_t port = 0;  // 0 = ephemeral, see port()
     std::size_t handler_threads = 2;
     std::size_t queue_capacity = 16;
+    /// Bound on each client-I/O wait (read or probe reply). Production
+    /// default is generous; regression tests shrink it so a stalled
+    /// client cannot stall the suite.
+    int client_timeout_ms = 5000;
   };
 
   HttpExporter() = default;
@@ -58,15 +62,25 @@ class HttpExporter {
   bool start(const Options& opts);
   bool start() { return start(Options()); }
 
-  /// Shut the listener down and join every thread. Idempotent.
+  /// Shut the listener down and join every thread. Already-accepted
+  /// clients still queued are served before the handlers exit. Idempotent.
   void stop();
 
-  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] bool running() const { return acceptor_.running(); }
 
   /// Port actually bound (resolves ephemeral requests); 0 when stopped.
-  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint16_t port() const { return acceptor_.port(); }
 
-  [[nodiscard]] const std::string& last_error() const { return error_; }
+  [[nodiscard]] const std::string& last_error() const {
+    return acceptor_.last_error();
+  }
+
+  /// Transient accept() failures survived without killing the listener
+  /// (EMFILE and friends; the failure mode the PR-6 acceptor extraction
+  /// fixed). Monotone across restarts.
+  [[nodiscard]] std::uint64_t accept_transient_errors() const {
+    return acceptor_.transient_errors();
+  }
 
   /// Loop back to our own listener and GET `path`; true iff an HTTP 200
   /// came back. The --smoke self-probe benches use to prove the endpoint
@@ -74,16 +88,11 @@ class HttpExporter {
   [[nodiscard]] bool self_probe(const std::string& path = "/metrics");
 
  private:
-  void accept_loop();
   void handler_loop();
   void handle_client(int fd);
 
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  bool running_ = false;
-  std::string error_;
-  std::unique_ptr<HandoffQueue<int>> pending_;
-  std::thread acceptor_;
+  net::Acceptor acceptor_;
+  int client_timeout_ms_ = 5000;
   std::vector<std::thread> handlers_;
 };
 

@@ -52,6 +52,25 @@ class TraceCursor {
 
   /// Rewind to the first event; the next pass replays identically.
   virtual void reset() = 0;
+
+  // ---- live-stream extensions (service::PipelineService) -----------------
+  // Finite cursors (files, generators, VectorCursor) keep the defaults and
+  // behave exactly as before: fill()==0 still means end of stream, and the
+  // streaming engine's drain bound stays the last ingested arrival time.
+
+  /// Lower bound on the arrival time of every event fill() has not yet
+  /// delivered. A live producer raises this (an explicit flush, or the
+  /// fact that all connected clients have submitted past t) so the engine
+  /// can dispatch instants below it without waiting for more input. The
+  /// promise is monotone and composes with the time-sorted contract above;
+  /// the default (0) promises nothing beyond it.
+  [[nodiscard]] virtual SimTime frontier() const noexcept { return 0; }
+
+  /// Meaning of fill() returning 0: true (default) = end of stream; false
+  /// = a live stream that is momentarily empty — the caller should drain
+  /// up to frontier() and call fill() again (implementations block rather
+  /// than spin).
+  [[nodiscard]] virtual bool exhausted() const noexcept { return true; }
 };
 
 /// A factory so consumers that need several passes over the same stream

@@ -12,13 +12,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "check/models.hpp"
+#include "cli/options.hpp"
 #include "decluster/schemes.hpp"
 #include "design/catalog.hpp"
+#include "verify/daemon_oracle.hpp"
 #include "verify/fairness_oracle.hpp"
 #include "verify/fault_oracle.hpp"
 #include "verify/guarantee.hpp"
@@ -29,64 +30,12 @@
 
 namespace {
 
-void usage(const char* argv0) {
-  std::printf(
-      "usage: %s [options]\n"
-      "  --max-devices N   only designs with at most N devices (default 64)\n"
-      "  --design NAME     check one catalog design (repeatable); overrides\n"
-      "                    --max-devices\n"
-      "  --trials K        retrieval cross-check trials per design (default 60)\n"
-      "  --samples K       sampled guarantee batches per (design, M) (default 200)\n"
-      "  --budget K        exhaustive-enumeration budget in subsets (default 1e6)\n"
-      "  --max-accesses M  check the S-bound for M = 1..M (default 2)\n"
-      "  --seed S          RNG seed for sampled checks (default 1)\n"
-      "  --replay          also audit serial ≡ parallel replay equivalence\n"
-      "                    (every mode combination, failure windows, sweep\n"
-      "                    sharding) on the (9,3,1) and (13,3,1) schemes\n"
-      "  --replay-threads N  parallel engine width for --replay (default 4)\n"
-      "  --obs             audit the observability layer: replay a set of\n"
-      "                    pipeline configs on the (9,3,1) scheme and check the\n"
-      "                    recorded metrics, windowed time-series (exact window\n"
-      "                    identity + seeded-defect mutation check), SLO\n"
-      "                    burn-rate pages, and trace spans against the\n"
-      "                    returned outcomes (skipped when FLASHQOS_OBS=OFF)\n"
-      "  --stream          audit streaming ≡ in-memory replay identity:\n"
-      "                    every shared result field, registry metric, and\n"
-      "                    windowed time-series point must be bit-identical\n"
-      "                    between run() and run_stream() at batch sizes\n"
-      "                    1/7/4096, through the parallel mined-ahead path,\n"
-      "                    the generator cursors, and the chunked disksim\n"
-      "                    reader; the seeded misdrain defect must trip\n"
-      "  --faults          chaos-audit the fault subsystem: randomized fault\n"
-      "                    plans (outages, spikes, rebuild, retry timeouts)\n"
-      "                    replayed on every selected design, checking request\n"
-      "                    conservation, down-device routing, guarantee\n"
-      "                    re-establishment, and serial == parallel identity\n"
-      "  --fairness        audit the multi-tenant WFQ front end: randomized\n"
-      "                    tenant mixes (always including a flooder) checked\n"
-      "                    against an independent WFQ reference simulation,\n"
-      "                    reservation isolation, work conservation, the\n"
-      "                    per-interval budget, and serial == parallel\n"
-      "                    identity; every deliberate WfqKnobs defect must\n"
-      "                    trip at least one check\n"
-      "  --model           exhaustively model-check the concurrency\n"
-      "                    primitives (src/check): every schedule of the\n"
-      "                    bounded HandoffQueue / ThreadPool / MetricRegistry\n"
-      "                    models, checked for races, deadlocks, lost\n"
-      "                    wakeups and schedule-dependent results; may be\n"
-      "                    used alone (skips the design audit)\n"
-      "  --list            list catalog designs and exit\n"
-      "  --verbose         print passing checks, not only failures\n"
-      "  --help            this text\n",
-      argv0);
-}
-
-std::uint64_t parse_u64(const char* flag, const char* value) {
+std::uint64_t parse_u64(const char* flag, const std::string& value) {
   char* end = nullptr;
-  const auto v = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0') {
-    std::fprintf(stderr, "flashqos_verify: %s expects a number, got '%s'\n",
-                 flag, value);
+  const auto v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    std::fprintf(stderr, "flashqos_verify: --%s expects a number, got '%s'\n",
+                 flag, value.c_str());
     std::exit(2);
   }
   return v;
@@ -95,80 +44,137 @@ std::uint64_t parse_u64(const char* flag, const char* value) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  flashqos::cli::Options opts(
+      "flashqos_verify",
+      "audit the combinatorial structures behind the QoS guarantees");
+  opts.value("max-devices", "N",
+             "only designs with at most N devices (default 64)")
+      .value("design", "NAME",
+             "check one catalog design (repeatable); overrides --max-devices",
+             /*repeatable=*/true)
+      .value("trials", "K",
+             "retrieval cross-check trials per design (default 60)")
+      .value("samples", "K",
+             "sampled guarantee batches per (design, M) (default 200)")
+      .value("budget", "K",
+             "exhaustive-enumeration budget in subsets (default 1e6)")
+      .value("max-accesses", "M", "check the S-bound for M = 1..M (default 2)")
+      .value("seed", "S", "RNG seed for sampled checks (default 1)")
+      .flag("replay",
+            "also audit serial == parallel replay equivalence (every mode "
+            "combination, failure windows, sweep sharding) on the (9,3,1) "
+            "and (13,3,1) schemes")
+      .value("replay-threads", "N",
+             "parallel engine width for --replay (default 4)")
+      .flag("obs",
+            "audit the observability layer: replay a set of pipeline "
+            "configs on the (9,3,1) scheme and check the recorded metrics, "
+            "windowed time-series (exact window identity + seeded-defect "
+            "mutation check), SLO burn-rate pages, and trace spans against "
+            "the returned outcomes (skipped when FLASHQOS_OBS=OFF)")
+      .flag("stream",
+            "audit streaming == in-memory replay identity: every shared "
+            "result field, registry metric, and windowed time-series point "
+            "must be bit-identical between run() and run_stream() at batch "
+            "sizes 1/7/4096, through the parallel mined-ahead path, the "
+            "generator cursors, and the chunked disksim reader; the seeded "
+            "misdrain defect must trip")
+      .flag("daemon",
+            "audit the loopback daemon: a single ordered connection served "
+            "through flashqosd's wire protocol (DaemonServer + "
+            "PipelineService over 127.0.0.1) must reproduce the in-process "
+            "replay exactly — every completion field, the aggregate stream "
+            "result, and the metric/series registries (modulo transport "
+            "instruments); the seeded mangle defect must trip, overload "
+            "must answer pushback, malformed frames must be counted")
+      .flag("faults",
+            "chaos-audit the fault subsystem: randomized fault plans "
+            "(outages, spikes, rebuild, retry timeouts) replayed on every "
+            "selected design, checking request conservation, down-device "
+            "routing, guarantee re-establishment, and serial == parallel "
+            "identity")
+      .flag("fairness",
+            "audit the multi-tenant WFQ front end: randomized tenant mixes "
+            "(always including a flooder) checked against an independent "
+            "WFQ reference simulation, reservation isolation, work "
+            "conservation, the per-interval budget, and serial == parallel "
+            "identity; every deliberate WfqKnobs defect must trip at least "
+            "one check")
+      .flag("model",
+            "exhaustively model-check the concurrency primitives "
+            "(src/check): every schedule of the bounded HandoffQueue / "
+            "ThreadPool / MetricRegistry models, checked for races, "
+            "deadlocks, lost wakeups and schedule-dependent results; may "
+            "be used alone (skips the design audit)")
+      .value("daemon-probe", "PORT",
+             "drive one batch through an already-running flashqosd on "
+             "127.0.0.1:PORT and end the session (the loopback client leg "
+             "of scripts/check.sh's daemon lifecycle smoke); used alone")
+      .flag("list", "list catalog designs and exit")
+      .flag("verbose", "print passing checks, not only failures");
+  opts.parse_or_exit(argc, argv);
+
+  if (opts.has("daemon-probe")) {
+    const auto port = std::strtoul(opts.get("daemon-probe").c_str(), nullptr, 10);
+    if (port == 0 || port > 65535) {
+      std::fprintf(stderr, "flashqos_verify: --daemon-probe needs a port\n");
+      return 2;
+    }
+    return flashqos::verify::probe_daemon(static_cast<std::uint16_t>(port))
+               ? 0
+               : 1;
+  }
+
+  if (opts.has("list")) {
+    for (const auto& e : flashqos::design::catalog()) {
+      std::printf("%-10s N=%-3u c=%u buckets=%zu\n", e.name.c_str(),
+                  e.devices, e.copies, e.buckets);
+    }
+    return 0;
+  }
+
   std::uint64_t max_devices = 64;
-  std::vector<std::string> only;
-  bool verbose = false;
-  bool replay = false;
-  bool obs = false;
-  bool stream = false;
-  bool faults = false;
-  bool fairness = false;
-  bool model = false;
-  bool design_flags = false;  // any design-audit option explicitly given
+  const std::vector<std::string> only = opts.all("design");
+  const bool verbose = opts.has("verbose");
+  const bool replay = opts.has("replay");
+  const bool obs = opts.has("obs");
+  const bool stream = opts.has("stream");
+  const bool daemon = opts.has("daemon");
+  const bool faults = opts.has("faults");
+  const bool fairness = opts.has("fairness");
+  const bool model = opts.has("model");
+  bool design_flags = !only.empty();  // explicit design-audit options given
   flashqos::verify::ReplayEquivalenceParams replay_params;
   flashqos::verify::CatalogCheckParams params;
 
-  for (int i = 1; i < argc; ++i) {
-    const auto need_value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "flashqos_verify: %s needs a value\n", flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--max-devices") == 0) {
-      max_devices = parse_u64("--max-devices", need_value("--max-devices"));
-      design_flags = true;
-    } else if (std::strcmp(argv[i], "--design") == 0) {
-      only.emplace_back(need_value("--design"));
-      design_flags = true;
-    } else if (std::strcmp(argv[i], "--trials") == 0) {
-      params.retrieval.trials =
-          static_cast<std::size_t>(parse_u64("--trials", need_value("--trials")));
-    } else if (std::strcmp(argv[i], "--samples") == 0) {
-      params.guarantee.sampled_trials = static_cast<std::size_t>(
-          parse_u64("--samples", need_value("--samples")));
-    } else if (std::strcmp(argv[i], "--budget") == 0) {
-      params.guarantee.exhaustive_budget =
-          parse_u64("--budget", need_value("--budget"));
-    } else if (std::strcmp(argv[i], "--max-accesses") == 0) {
-      params.guarantee.max_accesses = static_cast<std::uint32_t>(
-          parse_u64("--max-accesses", need_value("--max-accesses")));
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      const auto seed = parse_u64("--seed", need_value("--seed"));
-      params.guarantee.seed = seed;
-      params.retrieval.seed = seed;
-    } else if (std::strcmp(argv[i], "--replay") == 0) {
-      replay = true;
-    } else if (std::strcmp(argv[i], "--obs") == 0) {
-      obs = true;
-    } else if (std::strcmp(argv[i], "--stream") == 0) {
-      stream = true;
-    } else if (std::strcmp(argv[i], "--faults") == 0) {
-      faults = true;
-    } else if (std::strcmp(argv[i], "--fairness") == 0) {
-      fairness = true;
-    } else if (std::strcmp(argv[i], "--model") == 0) {
-      model = true;
-    } else if (std::strcmp(argv[i], "--replay-threads") == 0) {
-      replay_params.threads = static_cast<std::size_t>(
-          parse_u64("--replay-threads", need_value("--replay-threads")));
-    } else if (std::strcmp(argv[i], "--list") == 0) {
-      for (const auto& e : flashqos::design::catalog()) {
-        std::printf("%-10s N=%-3u c=%u buckets=%zu\n", e.name.c_str(),
-                    e.devices, e.copies, e.buckets);
-      }
-      return 0;
-    } else if (std::strcmp(argv[i], "--verbose") == 0) {
-      verbose = true;
-    } else if (std::strcmp(argv[i], "--help") == 0) {
-      usage(argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "flashqos_verify: unknown option '%s'\n", argv[i]);
-      usage(argv[0]);
-      return 2;
-    }
+  if (opts.has("max-devices")) {
+    max_devices = parse_u64("max-devices", opts.get("max-devices"));
+    design_flags = true;
+  }
+  if (opts.has("trials")) {
+    params.retrieval.trials =
+        static_cast<std::size_t>(parse_u64("trials", opts.get("trials")));
+  }
+  if (opts.has("samples")) {
+    params.guarantee.sampled_trials =
+        static_cast<std::size_t>(parse_u64("samples", opts.get("samples")));
+  }
+  if (opts.has("budget")) {
+    params.guarantee.exhaustive_budget =
+        parse_u64("budget", opts.get("budget"));
+  }
+  if (opts.has("max-accesses")) {
+    params.guarantee.max_accesses = static_cast<std::uint32_t>(
+        parse_u64("max-accesses", opts.get("max-accesses")));
+  }
+  if (opts.has("seed")) {
+    const auto seed = parse_u64("seed", opts.get("seed"));
+    params.guarantee.seed = seed;
+    params.retrieval.seed = seed;
+  }
+  if (opts.has("replay-threads")) {
+    replay_params.threads = static_cast<std::size_t>(
+        parse_u64("replay-threads", opts.get("replay-threads")));
   }
 
   bool all_ok = true;
@@ -176,8 +182,8 @@ int main(int argc, char** argv) {
 
   // `--model` alone skips the design audit (the gate runs them as separate
   // stages); any explicit design/audit option brings it back.
-  const bool run_designs =
-      !model || design_flags || replay || obs || stream || faults || fairness;
+  const bool run_designs = !model || design_flags || replay || obs || stream ||
+                           daemon || faults || fairness;
   if (run_designs) {
     // The bound helpers are shared by every design; audit them once up
     // front.
@@ -260,6 +266,19 @@ int main(int argc, char** argv) {
       const auto d = e.make();
       const flashqos::decluster::DesignTheoretic scheme(d, true);
       const auto report = flashqos::verify::verify_streaming(scheme);
+      std::printf("%s\n", report.to_string(verbose).c_str());
+      std::fflush(stdout);
+      all_ok = all_ok && report.passed();
+      ++checked;
+    }
+  }
+  if (daemon) {
+    // Loopback-served ≡ in-process identity audit on the primary design.
+    for (const auto& e : flashqos::design::catalog()) {
+      if (e.name != "(9,3,1)") continue;
+      const auto d = e.make();
+      const flashqos::decluster::DesignTheoretic scheme(d, true);
+      const auto report = flashqos::verify::verify_daemon(scheme);
       std::printf("%s\n", report.to_string(verbose).c_str());
       std::fflush(stdout);
       all_ok = all_ok && report.passed();

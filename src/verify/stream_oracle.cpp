@@ -19,82 +19,10 @@
 #include "trace/stream_reader.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/workload.hpp"
+#include "verify/result_compare.hpp"
 
 namespace flashqos::verify {
 namespace {
-
-/// Exact double compare — the streaming engine must take the same
-/// floating-point path as the in-memory fold; one ULP of drift means the
-/// accumulation order leaked through the batching.
-bool field_eq(double a, double b, const char* name, std::size_t where,
-              std::string* why) {
-  if (a == b) return true;
-  if (why != nullptr) {
-    std::ostringstream ss;
-    ss.precision(17);
-    ss << name << " diverged at interval " << where << ": " << a << " vs " << b;
-    *why = ss.str();
-  }
-  return false;
-}
-
-bool count_eq(std::uint64_t a, std::uint64_t b, const char* name,
-              std::size_t where, std::string* why) {
-  if (a == b) return true;
-  if (why != nullptr) {
-    *why = std::string(name) + " diverged at interval " + std::to_string(where) +
-           ": " + std::to_string(a) + " vs " + std::to_string(b);
-  }
-  return false;
-}
-
-bool interval_eq(const core::IntervalReport& a, const core::IntervalReport& b,
-                 std::size_t where, std::string* why) {
-  return count_eq(a.requests, b.requests, "requests", where, why) &&
-         field_eq(a.avg_response_ms, b.avg_response_ms, "avg_response_ms", where, why) &&
-         field_eq(a.max_response_ms, b.max_response_ms, "max_response_ms", where, why) &&
-         field_eq(a.avg_e2e_ms, b.avg_e2e_ms, "avg_e2e_ms", where, why) &&
-         field_eq(a.max_e2e_ms, b.max_e2e_ms, "max_e2e_ms", where, why) &&
-         count_eq(a.deferred, b.deferred, "deferred", where, why) &&
-         field_eq(a.pct_deferred, b.pct_deferred, "pct_deferred", where, why) &&
-         field_eq(a.avg_delay_ms, b.avg_delay_ms, "avg_delay_ms", where, why) &&
-         field_eq(a.fim_match_rate, b.fim_match_rate, "fim_match_rate", where, why) &&
-         count_eq(a.failed, b.failed, "failed", where, why) &&
-         count_eq(a.writes, b.writes, "writes", where, why) &&
-         field_eq(a.avg_write_ms, b.avg_write_ms, "avg_write_ms", where, why);
-}
-
-/// StreamResult carries everything PipelineResult does except the O(trace)
-/// outcomes vector; every shared field must agree exactly.
-bool stream_matches(const core::PipelineResult& want,
-                    const core::StreamResult& got, std::string* why) {
-  if (!count_eq(got.requests, want.outcomes.size(), "request count", 0, why) ||
-      !count_eq(got.deadline_violations, want.deadline_violations,
-                "deadline_violations", 0, why) ||
-      !count_eq(got.tenant_usage.size(), want.tenant_usage.size(),
-                "tenant_usage count", 0, why)) {
-    return false;
-  }
-  for (std::size_t i = 0; i < want.tenant_usage.size(); ++i) {
-    const auto& x = want.tenant_usage[i];
-    const auto& y = got.tenant_usage[i];
-    if (!count_eq(y.arrivals, x.arrivals, "tenant arrivals", i, why) ||
-        !count_eq(y.admitted, x.admitted, "tenant admitted", i, why) ||
-        !count_eq(y.shed, x.shed, "tenant shed", i, why) ||
-        !count_eq(y.marked, x.marked, "tenant marked", i, why) ||
-        !count_eq(y.max_depth, x.max_depth, "tenant max_depth", i, why)) {
-      return false;
-    }
-  }
-  if (!count_eq(got.intervals.size(), want.intervals.size(), "interval count",
-                0, why)) {
-    return false;
-  }
-  for (std::size_t i = 0; i < want.intervals.size(); ++i) {
-    if (!interval_eq(want.intervals[i], got.intervals[i], i, why)) return false;
-  }
-  return interval_eq(want.overall, got.overall, 0, why);
-}
 
 /// Instruments that legitimately differ between the in-memory and streaming
 /// legs: wall-clock stage timings (streaming-only, nondeterministic values)
@@ -105,140 +33,10 @@ bool excluded_instrument(std::string_view name) {
          name.starts_with("trace.stream.") || name.starts_with("parallel.");
 }
 
-using InstrumentKey = std::pair<std::string, std::string>;
-
-std::string key_str(const InstrumentKey& k) {
-  return k.second.empty() ? k.first : k.first + "{" + k.second + "}";
-}
-
-/// Absolute registry identity modulo excluded_instrument(): a missing
-/// instrument compares equal to a zero/empty one (reset() keeps created
-/// instruments alive, so legs can differ in which zeros exist).
-bool snapshots_match(const obs::MetricsSnapshot& want,
-                     const obs::MetricsSnapshot& got, std::string* why) {
-  const auto fail = [&](const std::string& msg) {
-    if (why != nullptr) *why = msg;
-    return false;
-  };
-  {
-    std::map<InstrumentKey, std::array<std::uint64_t, 2>> vals;
-    for (const auto& c : want.counters) {
-      if (!excluded_instrument(c.name)) vals[{c.name, c.labels}][0] = c.value;
-    }
-    for (const auto& c : got.counters) {
-      if (!excluded_instrument(c.name)) vals[{c.name, c.labels}][1] = c.value;
-    }
-    for (const auto& [k, v] : vals) {
-      if (v[0] != v[1]) {
-        return fail("counter " + key_str(k) + ": " + std::to_string(v[1]) +
-                    " != expected " + std::to_string(v[0]));
-      }
-    }
-  }
-  {
-    std::map<InstrumentKey, std::array<std::int64_t, 2>> vals;
-    for (const auto& g : want.gauges) {
-      if (!excluded_instrument(g.name)) vals[{g.name, g.labels}][0] = g.value;
-    }
-    for (const auto& g : got.gauges) {
-      if (!excluded_instrument(g.name)) vals[{g.name, g.labels}][1] = g.value;
-    }
-    for (const auto& [k, v] : vals) {
-      if (v[0] != v[1]) {
-        return fail("gauge " + key_str(k) + ": " + std::to_string(v[1]) +
-                    " != expected " + std::to_string(v[0]));
-      }
-    }
-  }
-  {
-    std::map<InstrumentKey, std::array<const obs::HistogramSnapshot*, 2>> hists;
-    for (const auto& h : want.histograms) {
-      if (!excluded_instrument(h.name)) hists[{h.name, h.labels}][0] = &h;
-    }
-    for (const auto& h : got.histograms) {
-      if (!excluded_instrument(h.name)) hists[{h.name, h.labels}][1] = &h;
-    }
-    for (const auto& [k, pair] : hists) {
-      const auto* a = pair[0];
-      const auto* b = pair[1];
-      const std::uint64_t ca = a != nullptr ? a->count : 0;
-      const std::uint64_t cb = b != nullptr ? b->count : 0;
-      if (ca != cb) {
-        return fail("histogram " + key_str(k) + ": count " +
-                    std::to_string(cb) + " != expected " + std::to_string(ca));
-      }
-      if (ca == 0) continue;
-      if (a->sum != b->sum || a->min != b->min || a->max != b->max ||
-          a->exact != b->exact) {
-        return fail("histogram " + key_str(k) + ": {sum,min,max,exact} " +
-                    "diverged (sum " + std::to_string(b->sum) +
-                    " != " + std::to_string(a->sum) + " or bounds/exactness)");
-      }
-      if (a->values != b->values) {
-        return fail("histogram " + key_str(k) + ": exact value multiset diverged");
-      }
-      if (a->buckets.size() != b->buckets.size()) {
-        return fail("histogram " + key_str(k) + ": bucket count " +
-                    std::to_string(b->buckets.size()) + " != expected " +
-                    std::to_string(a->buckets.size()));
-      }
-      for (std::size_t i = 0; i < a->buckets.size(); ++i) {
-        if (a->buckets[i].lo != b->buckets[i].lo ||
-            a->buckets[i].hi != b->buckets[i].hi ||
-            a->buckets[i].count != b->buckets[i].count) {
-          return fail("histogram " + key_str(k) + ": bucket " +
-                      std::to_string(i) + " diverged");
-        }
-      }
-    }
-  }
-  return true;
-}
-
-/// Windowed time-series identity: every point of every series, both
-/// directions. `evicted` is excluded by contract (it depends on record
-/// arrival order; point content does not).
-bool series_match(const obs::TimeSeriesSnapshot& want,
-                  const obs::TimeSeriesSnapshot& got, std::string* why) {
-  const auto fail = [&](const std::string& msg) {
-    if (why != nullptr) *why = msg;
-    return false;
-  };
-  std::map<InstrumentKey, std::array<const obs::SeriesSnapshot*, 2>> all;
-  for (const auto& s : want.series) all[{s.name, s.labels}][0] = &s;
-  for (const auto& s : got.series) all[{s.name, s.labels}][1] = &s;
-  for (const auto& [k, pair] : all) {
-    const auto* a = pair[0];
-    const auto* b = pair[1];
-    const std::size_t na = a != nullptr ? a->points.size() : 0;
-    const std::size_t nb = b != nullptr ? b->points.size() : 0;
-    if (na != nb) {
-      return fail("series " + key_str(k) + ": " + std::to_string(nb) +
-                  " points != expected " + std::to_string(na));
-    }
-    if (na == 0) continue;
-    if (a->width != b->width) {
-      return fail("series " + key_str(k) + ": width diverged");
-    }
-    for (std::size_t i = 0; i < na; ++i) {
-      const auto& x = a->points[i];
-      const auto& y = b->points[i];
-      if (x.window != y.window || x.sum != y.sum || x.count != y.count ||
-          x.min != y.min || x.max != y.max || x.first_time != y.first_time) {
-        return fail("series " + key_str(k) + " window " +
-                    std::to_string(x.window) + ": {sum=" +
-                    std::to_string(y.sum) + ",count=" + std::to_string(y.count) +
-                    ",min=" + std::to_string(y.min) + ",max=" +
-                    std::to_string(y.max) + ",first=" +
-                    std::to_string(y.first_time) + "} != expected {sum=" +
-                    std::to_string(x.sum) + ",count=" + std::to_string(x.count) +
-                    ",min=" + std::to_string(x.min) + ",max=" +
-                    std::to_string(x.max) + ",first=" +
-                    std::to_string(x.first_time) + "}");
-      }
-    }
-  }
-  return true;
+bool metrics_snapshots_match_local(const obs::MetricsSnapshot& want,
+                                   const obs::MetricsSnapshot& got,
+                                   std::string* why) {
+  return metrics_snapshots_match(want, got, excluded_instrument, why);
 }
 
 struct Snapshots {
@@ -301,9 +99,9 @@ Report verify_streaming(const decluster::AllocationScheme& scheme,
                              const Snapshots& snaps,
                              const core::StreamResult& got) {
     std::string why;
-    bool ok = stream_matches(want, got, &why);
-    if (ok) ok = snapshots_match(snaps.reg, reg.snapshot(), &why);
-    if (ok) ok = series_match(snaps.ts, tsr.snapshot(), &why);
+    bool ok = stream_result_matches(want, got, &why);
+    if (ok) ok = metrics_snapshots_match_local(snaps.reg, reg.snapshot(), &why);
+    if (ok) ok = series_snapshots_match(snaps.ts, tsr.snapshot(), &why);
     report.add(name, ok, ok ? "" : why);
   };
 
@@ -453,9 +251,9 @@ Report verify_streaming(const decluster::AllocationScheme& scheme,
       why = std::to_string(cursor.parse_errors()) + " parse errors on " +
             "well-formed input";
     }
-    if (ok) ok = stream_matches(want, got, &why);
-    if (ok) ok = snapshots_match(snaps.reg, reg.snapshot(), &why);
-    if (ok) ok = series_match(snaps.ts, tsr.snapshot(), &why);
+    if (ok) ok = stream_result_matches(want, got, &why);
+    if (ok) ok = metrics_snapshots_match_local(snaps.reg, reg.snapshot(), &why);
+    if (ok) ok = series_snapshots_match(snaps.ts, tsr.snapshot(), &why);
     report.add("disksim chunked reader (chunk=61B, batch=7)", ok, why);
   }
 
@@ -476,8 +274,8 @@ Report verify_streaming(const decluster::AllocationScheme& scheme,
     bool ok = got.requests == 0 && got.intervals.empty() &&
               got.deadline_violations == 0 && got.tenant_usage.empty();
     if (!ok) why = "non-empty result from an empty stream";
-    if (ok) ok = snapshots_match(before_reg, reg.snapshot(), &why);
-    if (ok) ok = series_match(before_ts, tsr.snapshot(), &why);
+    if (ok) ok = metrics_snapshots_match_local(before_reg, reg.snapshot(), &why);
+    if (ok) ok = series_snapshots_match(before_ts, tsr.snapshot(), &why);
     report.add("empty stream: empty result, no registry effects", ok, why);
   }
 
@@ -501,10 +299,10 @@ Report verify_streaming(const decluster::AllocationScheme& scheme,
                     &why) &&
            count_eq(got.deadline_violations, want.deadline_violations,
                     "deadline_violations", 0, &why) &&
-           interval_eq(want.overall, got.overall, 0, &why);
+           interval_report_eq(want.overall, got.overall, 0, &why);
     }
-    if (ok) ok = snapshots_match(snaps.reg, reg.snapshot(), &why);
-    if (ok) ok = series_match(snaps.ts, tsr.snapshot(), &why);
+    if (ok) ok = metrics_snapshots_match_local(snaps.reg, reg.snapshot(), &why);
+    if (ok) ok = series_snapshots_match(snaps.ts, tsr.snapshot(), &why);
     report.add("keep_intervals=false: aggregate-only, nothing else moves", ok,
                why);
   }
@@ -528,7 +326,7 @@ Report verify_streaming(const decluster::AllocationScheme& scheme,
       trace::VectorCursor cursor(synthetic);
       const auto got = core::QosPipeline(scheme, cfg).run_stream(
           cursor, nullptr, {.batch_size = batch, .misdrain_for_test = true});
-      if (!stream_matches(want, got, nullptr)) ++tripped;
+      if (!stream_result_matches(want, got, nullptr)) ++tripped;
     };
     core::PipelineConfig online;
     try_trip(online, 1);
